@@ -1,0 +1,64 @@
+//! Ablation: the convex-hull optimization (Lemma 4.3).
+//!
+//! Optimized vs exhaustive slide filter at precisions that stretch the
+//! filtering intervals — the isolated version of Figure 13's headline
+//! contrast. Also benches the raw incremental-hull push cost.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use pla_bench::{run_filter_once, sea_surface, FilterKind};
+use pla_geom::{IncrementalHull, Point2};
+
+fn hull_modes(c: &mut Criterion) {
+    let signal = sea_surface();
+    let mut group = c.benchmark_group("ablation_hull/filter");
+    group
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600))
+        .sample_size(10)
+        .throughput(Throughput::Elements(signal.len() as u64));
+    for pct in [1.0, 10.0, 100.0] {
+        let eps = signal.epsilons_from_range_percent(pct);
+        for kind in [FilterKind::Slide, FilterKind::SlideExhaustive] {
+            group.bench_with_input(
+                BenchmarkId::new(kind.label(), format!("{pct}%")),
+                &eps,
+                |b, eps| b.iter(|| black_box(run_filter_once(kind, eps, &signal))),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn hull_push(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_hull/push");
+    group
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(500))
+        .sample_size(10);
+    for n in [100usize, 1_000, 10_000] {
+        let points: Vec<Point2> = (0..n)
+            .map(|i| {
+                let t = i as f64;
+                Point2::new(t, (t * 0.37).sin() * 3.0 + (t * 0.011).cos())
+            })
+            .collect();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("incremental", n), &points, |b, pts| {
+            b.iter(|| {
+                let mut h = IncrementalHull::with_capacity(64);
+                for &p in pts {
+                    h.push(p);
+                }
+                black_box(h.num_vertices())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, hull_modes, hull_push);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Ablation: the MSE-optimal recording (paper §3.2, eq. 5–6) versus the
+//! "straightforward" clamped-last-point recording, on the swing filter.
+//! Measures the processing cost of maintaining the regression sums; the
+//! error impact is covered by `pla-core`'s tests.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use pla_bench::{sea_surface, walk_signal};
+use pla_core::filters::{RecordingStrategy, StreamFilter, SwingFilter};
+use pla_core::metrics::CountingSink;
+use pla_core::Signal;
+
+fn run_swing(strategy: RecordingStrategy, eps: &[f64], signal: &Signal) -> u64 {
+    let mut f = SwingFilter::builder(eps).recording(strategy).build().unwrap();
+    let mut sink = CountingSink::default();
+    for (t, x) in signal.iter() {
+        f.push(t, x, &mut sink).unwrap();
+    }
+    f.finish(&mut sink).unwrap();
+    sink.recordings
+}
+
+fn recording_strategies(c: &mut Criterion) {
+    let workloads: Vec<(&str, Signal, f64)> = vec![
+        ("sea_1pct", sea_surface(), {
+            let s = sea_surface();
+            s.epsilons_from_range_percent(1.0)[0]
+        }),
+        ("walk", walk_signal(10_000, 0.5, 4.0, 0xD1), 1.0),
+    ];
+    let mut group = c.benchmark_group("ablation_recording");
+    group
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(500))
+        .sample_size(10);
+    for (name, signal, eps) in &workloads {
+        group.throughput(Throughput::Elements(signal.len() as u64));
+        for (label, strategy) in [
+            ("mse_optimal", RecordingStrategy::MseOptimal),
+            ("clamped_last", RecordingStrategy::ClampedLastPoint),
+        ] {
+            group.bench_with_input(BenchmarkId::new(label, name), signal, |b, s| {
+                b.iter(|| black_box(run_swing(strategy, &[*eps], s)))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, recording_strategies);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Ablation: SWAB cost by lookahead choice (paper §6 complementarity).
+//!
+//! Measures the end-to-end cost of SWAB with the linear, swing, and slide
+//! lookaheads against the plain slide filter on the sea-surface signal.
+//! A better lookahead yields fewer bottom-up re-segmentations, so the
+//! throughput differences mirror the segment-count differences the
+//! `repro swab` experiment reports.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use pla_bench::{run_filter_once, sea_surface, FilterKind};
+use pla_core::filters::StreamFilter;
+use pla_core::metrics::CountingSink;
+use pla_swab::{Lookahead, Swab};
+
+fn run_swab(kind: Lookahead, eps: &[f64], signal: &pla_core::Signal) -> u64 {
+    let mut swab = Swab::new(eps, 256, kind).expect("valid config");
+    let mut sink = CountingSink::default();
+    for (t, x) in signal.iter() {
+        swab.push(t, x, &mut sink).expect("valid signal");
+    }
+    swab.finish(&mut sink).expect("flush");
+    sink.recordings
+}
+
+fn swab_lookaheads(c: &mut Criterion) {
+    let signal = sea_surface();
+    let mut group = c.benchmark_group("ablation_swab");
+    group
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600))
+        .sample_size(10)
+        .throughput(Throughput::Elements(signal.len() as u64));
+    for pct in [1.0, 10.0] {
+        let eps = signal.epsilons_from_range_percent(pct);
+        for kind in [Lookahead::Linear, Lookahead::Swing, Lookahead::Slide] {
+            group.bench_with_input(
+                BenchmarkId::new(kind.label(), format!("{pct}%")),
+                &eps,
+                |b, eps| b.iter(|| black_box(run_swab(kind, eps, &signal))),
+            );
+        }
+        group.bench_with_input(
+            BenchmarkId::new("plain slide", format!("{pct}%")),
+            &eps,
+            |b, eps| b.iter(|| black_box(run_filter_once(FilterKind::Slide, eps, &signal))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, swab_lookaheads);
+criterion_main!(benches);

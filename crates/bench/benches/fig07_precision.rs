@@ -1,0 +1,36 @@
+//! Figure 7 operating points: filter processing cost on the sea-surface
+//! signal across the paper's precision-width grid (the compression ratios
+//! themselves are produced by `repro fig7`).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use pla_bench::{run_filter_once, sea_surface, FilterKind};
+
+const PRECISIONS: [f64; 6] = [0.0316, 0.1, 0.316, 1.0, 3.16, 10.0];
+
+fn fig07(c: &mut Criterion) {
+    let signal = sea_surface();
+    let mut group = c.benchmark_group("fig07_precision");
+    group
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(500))
+        .sample_size(10)
+        .throughput(Throughput::Elements(signal.len() as u64));
+    for kind in FilterKind::PAPER_SET {
+        for pct in PRECISIONS {
+            let eps = signal.epsilons_from_range_percent(pct);
+            group.bench_with_input(
+                BenchmarkId::new(kind.label(), format!("{pct}%")),
+                &eps,
+                |b, eps| b.iter(|| black_box(run_filter_once(kind, eps, &signal))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig07);
+criterion_main!(benches);

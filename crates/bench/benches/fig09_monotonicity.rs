@@ -1,0 +1,34 @@
+//! Figure 9 operating points: filter cost across the monotonicity sweep
+//! (p = probability of a decreasing step), x = 400% of ε.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use pla_bench::{run_filter_once, walk_signal, FilterKind};
+
+const N: usize = 10_000;
+
+fn fig09(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig09_monotonicity");
+    group
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(500))
+        .sample_size(10)
+        .throughput(Throughput::Elements(N as u64));
+    for p in [0.0, 0.25, 0.5] {
+        let signal = walk_signal(N, p, 4.0, 0x91 ^ p.to_bits());
+        for kind in FilterKind::PAPER_SET {
+            group.bench_with_input(
+                BenchmarkId::new(kind.label(), format!("p={p}")),
+                &signal,
+                |b, s| b.iter(|| black_box(run_filter_once(kind, &[1.0], s))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig09);
+criterion_main!(benches);

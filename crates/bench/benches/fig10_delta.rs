@@ -1,0 +1,35 @@
+//! Figure 10 operating points: filter cost across the step-magnitude
+//! sweep (x as % of ε), p = 0.5. Larger steps mean shorter intervals and
+//! more recording work per point.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use pla_bench::{run_filter_once, walk_signal, FilterKind};
+
+const N: usize = 10_000;
+
+fn fig10(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10_delta");
+    group
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(500))
+        .sample_size(10)
+        .throughput(Throughput::Elements(N as u64));
+    for pct in [10.0, 316.0, 10_000.0] {
+        let signal = walk_signal(N, 0.5, pct / 100.0, 0xA1 ^ pct.to_bits());
+        for kind in FilterKind::PAPER_SET {
+            group.bench_with_input(
+                BenchmarkId::new(kind.label(), format!("x={pct}%")),
+                &signal,
+                |b, s| b.iter(|| black_box(run_filter_once(kind, &[1.0], s))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig10);
+criterion_main!(benches);

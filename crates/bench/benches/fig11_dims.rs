@@ -1,0 +1,39 @@
+//! Figure 11 operating points: filter cost vs dimensionality (independent
+//! dimensions). Per-point work is O(d) for cache/linear/swing and
+//! O(d·m_H) for slide.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use pla_bench::{multi_walk, run_filter_once, FilterKind, WalkParams};
+
+const N: usize = 5_000;
+
+fn fig11(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11_dims");
+    group
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(500))
+        .sample_size(10)
+        .throughput(Throughput::Elements(N as u64));
+    for d in [1usize, 5, 10] {
+        let signal = multi_walk(
+            d,
+            WalkParams { n: N, p_decrease: 0.5, max_delta: 4.0, seed: 0xB1 + d as u64 },
+        );
+        let eps = vec![1.0; d];
+        for kind in FilterKind::PAPER_SET {
+            group.bench_with_input(
+                BenchmarkId::new(kind.label(), format!("d={d}")),
+                &signal,
+                |b, s| b.iter(|| black_box(run_filter_once(kind, &eps, s))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig11);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Figure 12 operating points: filter cost vs dimension correlation
+//! (d = 5). Higher correlation means longer shared intervals and fewer
+//! recordings per point.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use pla_bench::{run_filter_once, FilterKind};
+use pla_signal::{correlated_walk, WalkParams};
+
+const N: usize = 5_000;
+const D: usize = 5;
+
+fn fig12(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12_correlation");
+    group
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(500))
+        .sample_size(10)
+        .throughput(Throughput::Elements(N as u64));
+    let eps = vec![1.0; D];
+    for rho in [0.1, 0.5, 1.0] {
+        let signal = correlated_walk(
+            D,
+            rho,
+            WalkParams { n: N, p_decrease: 0.5, max_delta: 4.0, seed: 0xC1 ^ rho.to_bits() },
+        );
+        for kind in FilterKind::PAPER_SET {
+            group.bench_with_input(
+                BenchmarkId::new(kind.label(), format!("rho={rho}")),
+                &signal,
+                |b, s| b.iter(|| black_box(run_filter_once(kind, &eps, s))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig12);
+criterion_main!(benches);

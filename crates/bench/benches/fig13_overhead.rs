@@ -1,0 +1,40 @@
+//! Figure 13: per-point processing time vs precision width, all five
+//! filter configurations, on the sea-surface signal.
+//!
+//! Paper shape to reproduce: cache/linear/swing/optimized-slide stay flat
+//! as the precision width (and hence the interval length) grows; the
+//! non-optimized slide filter blows up; absolute costs are microseconds
+//! or below per point.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use pla_bench::{run_filter_once, sea_surface, FilterKind};
+
+const PRECISIONS: [f64; 8] = [0.0316, 0.1, 0.316, 1.0, 3.16, 10.0, 31.6, 100.0];
+
+fn fig13(c: &mut Criterion) {
+    let signal = sea_surface();
+    let mut group = c.benchmark_group("fig13_overhead");
+    group
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600))
+        .sample_size(10)
+        .throughput(Throughput::Elements(signal.len() as u64));
+    for kind in FilterKind::OVERHEAD_SET {
+        for pct in PRECISIONS {
+            let eps = signal.epsilons_from_range_percent(pct);
+            group.bench_with_input(
+                BenchmarkId::new(kind.label(), format!("{pct}%")),
+                &eps,
+                |b, eps| b.iter(|| black_box(run_filter_once(kind, eps, &signal))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig13);
+criterion_main!(benches);

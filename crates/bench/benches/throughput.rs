@@ -1,0 +1,51 @@
+//! Raw streaming throughput (points/second) of every filter on long
+//! 1-D and 8-D random walks — the number a prospective user asks first.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use pla_bench::{multi_walk, run_filter_once, walk_signal, FilterKind, WalkParams};
+
+fn throughput_1d(c: &mut Criterion) {
+    const N: usize = 100_000;
+    let signal = walk_signal(N, 0.5, 2.0, 0xE1);
+    let mut group = c.benchmark_group("throughput/1d");
+    group
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+        .sample_size(10)
+        .throughput(Throughput::Elements(N as u64));
+    for kind in FilterKind::PAPER_SET {
+        group.bench_function(BenchmarkId::from_parameter(kind.label()), |b| {
+            b.iter(|| black_box(run_filter_once(kind, &[1.0], &signal)))
+        });
+    }
+    group.finish();
+}
+
+fn throughput_8d(c: &mut Criterion) {
+    const N: usize = 20_000;
+    const D: usize = 8;
+    let signal = multi_walk(
+        D,
+        WalkParams { n: N, p_decrease: 0.5, max_delta: 2.0, seed: 0xE2 },
+    );
+    let eps = vec![1.0; D];
+    let mut group = c.benchmark_group("throughput/8d");
+    group
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+        .sample_size(10)
+        .throughput(Throughput::Elements(N as u64));
+    for kind in FilterKind::PAPER_SET {
+        group.bench_function(BenchmarkId::from_parameter(kind.label()), |b| {
+            b.iter(|| black_box(run_filter_once(kind, &eps, &signal)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, throughput_1d, throughput_8d);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Shared workload setup for the Criterion benchmarks.
+//!
+//! One bench target per paper figure (see `benches/`): the benchmarks
+//! measure *filter processing cost* at each figure's operating points —
+//! the quantity Figure 13 reports — while the `pla-eval` crate's `repro`
+//! binary reports the compression-ratio/error numbers the other figures
+//! plot (compression ratios are deterministic, so timing them adds
+//! nothing).
+
+use pla_core::metrics::CountingSink;
+use pla_core::Signal;
+pub use pla_eval::FilterKind;
+pub use pla_signal::{multi_walk, random_walk, sea_surface, WalkParams};
+
+/// Runs one filter over a signal, returning the recording count (consumed
+/// by `black_box` in benches so the work cannot be elided).
+pub fn run_filter_once(kind: FilterKind, eps: &[f64], signal: &Signal) -> u64 {
+    let mut filter = kind.build(eps);
+    let mut sink = CountingSink::default();
+    for (t, x) in signal.iter() {
+        filter.push(t, x, &mut sink).expect("valid signal");
+    }
+    filter.finish(&mut sink).expect("flush");
+    sink.recordings
+}
+
+/// The paper's Figure 9/10 random-walk workload at given parameters.
+pub fn walk_signal(n: usize, p_decrease: f64, max_delta: f64, seed: u64) -> Signal {
+    random_walk(WalkParams { n, p_decrease, max_delta, seed })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_runs_every_kind() {
+        let signal = walk_signal(200, 0.5, 2.0, 1);
+        for kind in FilterKind::OVERHEAD_SET {
+            let recs = run_filter_once(kind, &[0.5], &signal);
+            assert!(recs >= 2, "{}", kind.label());
+        }
+    }
+}

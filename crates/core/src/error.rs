@@ -1,0 +1,102 @@
+//! Error types for filter construction and streaming.
+
+use std::fmt;
+
+/// Errors reported by filter constructors and the streaming API.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FilterError {
+    /// A precision width `εᵢ` was zero, negative, NaN or infinite.
+    ///
+    /// The paper's guarantee is stated for strictly positive precision
+    /// widths; `ε = 0` would force a recording for every point that is not
+    /// exactly collinear, which callers should express by not filtering.
+    InvalidEpsilon {
+        /// Index of the offending dimension.
+        dim: usize,
+        /// The rejected value.
+        value: f64,
+    },
+    /// The filter was constructed with zero dimensions.
+    ZeroDimensions,
+    /// `m_max_lag` must allow at least two points per filtering interval;
+    /// smaller values cannot even hold the two points that define the
+    /// initial envelopes.
+    InvalidMaxLag {
+        /// The rejected value.
+        value: usize,
+    },
+    /// A pushed sample had a different dimensionality than the filter.
+    DimensionMismatch {
+        /// Dimensions the filter was built with.
+        expected: usize,
+        /// Dimensions of the offending sample.
+        got: usize,
+    },
+    /// Timestamps must be strictly increasing and finite.
+    NonMonotonicTime {
+        /// Timestamp of the previously accepted sample.
+        previous: f64,
+        /// The offending timestamp.
+        offending: f64,
+    },
+    /// A pushed value was NaN or infinite.
+    NonFiniteValue {
+        /// Dimension of the offending value.
+        dim: usize,
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for FilterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidEpsilon { dim, value } => {
+                write!(f, "precision width for dimension {dim} must be finite and > 0, got {value}")
+            }
+            Self::ZeroDimensions => write!(f, "filters need at least one dimension"),
+            Self::InvalidMaxLag { value } => {
+                write!(f, "m_max_lag must be at least 2, got {value}")
+            }
+            Self::DimensionMismatch { expected, got } => {
+                write!(f, "sample has {got} dimensions, filter expects {expected}")
+            }
+            Self::NonMonotonicTime { previous, offending } => {
+                write!(
+                    f,
+                    "timestamps must be finite and strictly increasing: got {offending} after {previous}"
+                )
+            }
+            Self::NonFiniteValue { dim, value } => {
+                write!(f, "value for dimension {dim} must be finite, got {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FilterError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = FilterError::InvalidEpsilon { dim: 2, value: -1.0 };
+        let s = e.to_string();
+        assert!(s.contains("dimension 2"));
+        assert!(s.contains("-1"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            FilterError::ZeroDimensions,
+            FilterError::ZeroDimensions
+        );
+        assert_ne!(
+            FilterError::ZeroDimensions,
+            FilterError::InvalidMaxLag { value: 1 }
+        );
+    }
+}

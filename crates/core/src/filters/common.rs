@@ -1,0 +1,70 @@
+//! Helpers shared by the filter implementations.
+
+use crate::error::FilterError;
+use crate::sample::Signal;
+use crate::segment::Segment;
+
+use super::StreamFilter;
+
+/// Compresses a whole in-memory [`Signal`] through `filter`, returning the
+/// emitted segments. Convenience wrapper over the streaming API used by
+/// tests, examples, and the experiment harness.
+pub fn run_filter<F: StreamFilter + ?Sized>(
+    filter: &mut F,
+    signal: &Signal,
+) -> Result<Vec<Segment>, FilterError> {
+    let mut out: Vec<Segment> = Vec::new();
+    for (t, x) in signal.iter() {
+        filter.push(t, x, &mut out)?;
+    }
+    filter.finish(&mut out)?;
+    Ok(out)
+}
+
+/// Builds a degenerate single-point segment (used when a stream ends with
+/// an interval holding one lone sample).
+pub(crate) fn point_segment(t: f64, x: &[f64], connected: bool) -> Segment {
+    Segment {
+        t_start: t,
+        x_start: x.to_vec().into_boxed_slice(),
+        t_end: t,
+        x_end: x.to_vec().into_boxed_slice(),
+        connected,
+        n_points: 1,
+        new_recordings: 1,
+    }
+}
+
+/// True when any dimension of `x` deviates from `pred` by more than its
+/// `ε` (the shared violation test of cache and linear filters).
+#[inline]
+pub(crate) fn violates(eps: &[f64], x: &[f64], pred: impl Fn(usize) -> f64) -> bool {
+    x.iter()
+        .enumerate()
+        .any(|(dim, &v)| (v - pred(dim)).abs() > eps[dim])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn violates_checks_every_dimension() {
+        let eps = [1.0, 0.1];
+        let pred = |_dim: usize| 0.0;
+        assert!(!violates(&eps, &[0.5, 0.05], pred));
+        assert!(violates(&eps, &[0.5, 0.2], pred));
+        assert!(violates(&eps, &[1.5, 0.0], pred));
+        // exactly ε is acceptable (closed bound)
+        assert!(!violates(&eps, &[1.0, 0.1], pred));
+    }
+
+    #[test]
+    fn point_segment_is_degenerate() {
+        let s = point_segment(2.0, &[1.0, -1.0], false);
+        assert_eq!(s.t_start, s.t_end);
+        assert_eq!(s.n_points, 1);
+        assert_eq!(s.new_recordings, 1);
+        assert_eq!(s.eval(2.0, 1), -1.0);
+    }
+}

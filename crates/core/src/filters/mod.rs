@@ -1,0 +1,87 @@
+//! The four filter families of the paper.
+//!
+//! | Filter | Paper § | Output | Per-point cost |
+//! |---|---|---|---|
+//! | [`CacheFilter`] | 2.2 | piece-wise constant | O(d) |
+//! | [`LinearFilter`] | 2.2 | connected or disconnected lines | O(d) |
+//! | [`SwingFilter`] | 3 | connected lines | O(d) |
+//! | [`SlideFilter`] | 4 | mixed, mostly disconnected lines | O(d·m_H) |
+//!
+//! All four implement [`StreamFilter`]: push samples, receive [`Segment`](crate::Segment)s
+//! through a [`SegmentSink`], call [`finish`](StreamFilter::finish) to
+//! flush. All four guarantee the paper's L∞ precision bound: every pushed
+//! sample is within `εᵢ` of the emitted approximation in every dimension
+//! (Theorems 3.1 and 4.1 for swing/slide; immediate from the acceptance
+//! tests for cache/linear).
+
+mod cache;
+mod common;
+mod kalman;
+mod linear;
+mod slide;
+mod swing;
+
+pub use cache::{CacheFilter, CacheVariant};
+pub use common::run_filter;
+pub use kalman::{Kalman1D, KalmanFilter};
+pub use linear::{LinearFilter, LinearMode};
+pub use slide::{HullMode, SlideBuilder, SlideFilter};
+pub use swing::{RecordingStrategy, SwingBuilder, SwingFilter};
+
+use crate::error::FilterError;
+use crate::segment::SegmentSink;
+
+/// Streaming interface shared by every filter.
+///
+/// The stream protocol is: any number of [`push`](Self::push) calls with
+/// strictly increasing timestamps, then one [`finish`](Self::finish).
+/// `finish` flushes all pending output and resets the filter, so the same
+/// instance can compress another stream afterwards.
+pub trait StreamFilter {
+    /// Number of dimensions `d` this filter was built for.
+    fn dims(&self) -> usize;
+
+    /// Per-dimension precision widths `εᵢ`.
+    fn epsilons(&self) -> &[f64];
+
+    /// Offers one sample to the filter. Finalized segments, if any, are
+    /// handed to `sink` before the call returns.
+    fn push(&mut self, t: f64, x: &[f64], sink: &mut dyn SegmentSink) -> Result<(), FilterError>;
+
+    /// Ends the stream: flushes every pending segment and resets the
+    /// filter for reuse.
+    fn finish(&mut self, sink: &mut dyn SegmentSink) -> Result<(), FilterError>;
+
+    /// Number of samples already pushed that are not yet covered by any
+    /// emitted segment or provisional update — the receiver lag the paper
+    /// bounds with `m_max_lag`.
+    fn pending_points(&self) -> usize;
+
+    /// Short human-readable name ("cache", "linear", "swing", "slide").
+    fn name(&self) -> &'static str;
+}
+
+/// Validates one incoming sample against filter state; shared by all
+/// filter implementations.
+pub(crate) fn validate_push(
+    dims: usize,
+    last_t: Option<f64>,
+    t: f64,
+    x: &[f64],
+) -> Result<(), FilterError> {
+    if x.len() != dims {
+        return Err(FilterError::DimensionMismatch { expected: dims, got: x.len() });
+    }
+    if !t.is_finite() || last_t.is_some_and(|p| t <= p) {
+        return Err(FilterError::NonMonotonicTime {
+            previous: last_t.unwrap_or(f64::NEG_INFINITY),
+            offending: t,
+        });
+    }
+    for (dim, &v) in x.iter().enumerate() {
+        if !v.is_finite() {
+            return Err(FilterError::NonFiniteValue { dim, value: v });
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,271 @@
+//! The paper's §5.1 evaluation metrics: compression ratio and
+//! reconstruction error.
+//!
+//! * **Compression ratio** — "the number of recordings needed when no
+//!   filtering is used divided by that when filtering is used": `n`
+//!   divided by the total recording count of the emitted segments (a
+//!   connected segment costs one recording, a disconnected one two, a
+//!   piece-wise-constant one one). Provisional lag updates, when present,
+//!   are charged one recording each.
+//! * **Average error** — "the sum of errors for each sample divided by
+//!   the number of samples", computed per dimension and aggregated.
+
+use crate::error::FilterError;
+use crate::filters::{run_filter, StreamFilter};
+use crate::reconstruct::{GapPolicy, Polyline};
+use crate::sample::Signal;
+use crate::segment::{CollectingSink, Segment, SegmentSink};
+
+/// Per-dimension reconstruction error statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ErrorStats {
+    /// Mean absolute error per dimension.
+    pub mean_abs: Vec<f64>,
+    /// Maximum absolute error per dimension.
+    pub max_abs: Vec<f64>,
+    /// Root-mean-square error per dimension.
+    pub rmse: Vec<f64>,
+    /// Number of samples evaluated.
+    pub n: usize,
+}
+
+impl ErrorStats {
+    /// Mean absolute error averaged across dimensions — the scalar the
+    /// paper plots in Figure 8.
+    pub fn mean_abs_overall(&self) -> f64 {
+        if self.mean_abs.is_empty() {
+            return 0.0;
+        }
+        self.mean_abs.iter().sum::<f64>() / self.mean_abs.len() as f64
+    }
+
+    /// Largest per-dimension maximum error.
+    pub fn max_abs_overall(&self) -> f64 {
+        self.max_abs.iter().copied().fold(0.0, f64::max)
+    }
+}
+
+/// Summary of one compression run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompressionReport {
+    /// Samples in the original signal (`n`).
+    pub n_points: usize,
+    /// Emitted segments (`K`).
+    pub n_segments: usize,
+    /// Total recordings (see module docs).
+    pub n_recordings: u64,
+    /// Provisional lag updates charged into `n_recordings`.
+    pub n_provisionals: u64,
+    /// `n_points / n_recordings` (∞-safe: 0 recordings ⇒ ratio 0).
+    pub compression_ratio: f64,
+    /// Reconstruction error of the original samples against the
+    /// approximation.
+    pub error: ErrorStats,
+}
+
+/// Computes error statistics of `segments` against the original `signal`.
+///
+/// # Panics
+///
+/// Panics if some sample time is not covered by any segment — filters
+/// guarantee coverage, so this indicates a filter bug.
+pub fn error_stats(signal: &Signal, segments: &[Segment]) -> ErrorStats {
+    let d = signal.dims();
+    let poly = Polyline::new(segments.to_vec());
+    let mut sum_abs = vec![0.0; d];
+    let mut max_abs = vec![0.0f64; d];
+    let mut sum_sq = vec![0.0; d];
+    for (t, x) in signal.iter() {
+        for dim in 0..d {
+            let approx = poly
+                .eval(t, dim, GapPolicy::Strict)
+                .unwrap_or_else(|| panic!("sample at t={t} not covered by any segment"));
+            let err = (approx - x[dim]).abs();
+            sum_abs[dim] += err;
+            max_abs[dim] = max_abs[dim].max(err);
+            sum_sq[dim] += err * err;
+        }
+    }
+    let n = signal.len().max(1);
+    ErrorStats {
+        mean_abs: sum_abs.iter().map(|s| s / n as f64).collect(),
+        max_abs,
+        rmse: sum_sq.iter().map(|s| (s / n as f64).sqrt()).collect(),
+        n: signal.len(),
+    }
+}
+
+/// Runs `filter` over `signal` and assembles the full report.
+pub fn evaluate(
+    filter: &mut dyn StreamFilter,
+    signal: &Signal,
+) -> Result<CompressionReport, FilterError> {
+    let mut sink = CollectingSink::default();
+    for (t, x) in signal.iter() {
+        filter.push(t, x, &mut sink)?;
+    }
+    filter.finish(&mut sink)?;
+    Ok(report_from(signal, &sink.segments, sink.provisionals.len() as u64))
+}
+
+/// Assembles a report from already-collected segments.
+pub fn report_from(
+    signal: &Signal,
+    segments: &[Segment],
+    n_provisionals: u64,
+) -> CompressionReport {
+    let seg_recordings: u64 = segments.iter().map(|s| s.new_recordings as u64).sum();
+    let n_recordings = seg_recordings + n_provisionals;
+    let compression_ratio = if n_recordings == 0 {
+        0.0
+    } else {
+        signal.len() as f64 / n_recordings as f64
+    };
+    CompressionReport {
+        n_points: signal.len(),
+        n_segments: segments.len(),
+        n_recordings,
+        n_provisionals,
+        compression_ratio,
+        error: error_stats(signal, segments),
+    }
+}
+
+/// Convenience: compress `signal` with a fresh sink and return both the
+/// segments and the report.
+pub fn compress_and_report(
+    filter: &mut dyn StreamFilter,
+    signal: &Signal,
+) -> Result<(Vec<Segment>, CompressionReport), FilterError> {
+    let segments = run_filter(filter, signal)?;
+    let report = report_from(signal, &segments, 0);
+    Ok((segments, report))
+}
+
+/// Sink that counts recordings without storing segments — for
+/// memory-lean throughput benchmarking.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct CountingSink {
+    /// Segments seen.
+    pub segments: u64,
+    /// Recordings seen.
+    pub recordings: u64,
+    /// Provisional updates seen.
+    pub provisionals: u64,
+    /// Data points covered by seen segments.
+    pub points: u64,
+}
+
+impl SegmentSink for CountingSink {
+    fn segment(&mut self, seg: Segment) {
+        self.segments += 1;
+        self.recordings += seg.new_recordings as u64;
+        self.points += seg.n_points as u64;
+    }
+    fn provisional(&mut self, _update: crate::segment::ProvisionalUpdate) {
+        self.provisionals += 1;
+        self.recordings += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filters::{CacheFilter, LinearFilter, SlideFilter, SwingFilter};
+
+    fn noisy_signal(n: usize) -> Signal {
+        let mut seed = 2024u64;
+        let mut rnd = || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((seed >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        let mut x = 0.0;
+        Signal::from_values(
+            &(0..n)
+                .map(|_| {
+                    x += rnd();
+                    x
+                })
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    #[test]
+    fn constant_signal_compresses_perfectly() {
+        let signal = Signal::from_values(&[3.0; 100]);
+        let mut f = CacheFilter::new(&[0.1]).unwrap();
+        let report = evaluate(&mut f, &signal).unwrap();
+        assert_eq!(report.n_recordings, 1);
+        assert_eq!(report.compression_ratio, 100.0);
+        assert_eq!(report.error.max_abs_overall(), 0.0);
+    }
+
+    #[test]
+    fn error_never_exceeds_epsilon() {
+        let signal = noisy_signal(500);
+        let eps = 0.4;
+        let mut filters: Vec<Box<dyn StreamFilter>> = vec![
+            Box::new(CacheFilter::new(&[eps]).unwrap()),
+            Box::new(LinearFilter::new(&[eps]).unwrap()),
+            Box::new(SwingFilter::new(&[eps]).unwrap()),
+            Box::new(SlideFilter::new(&[eps]).unwrap()),
+        ];
+        for f in filters.iter_mut() {
+            let report = evaluate(f.as_mut(), &signal).unwrap();
+            assert!(
+                report.error.max_abs_overall() <= eps * (1.0 + 1e-6),
+                "{} exceeded ε: {}",
+                f.name(),
+                report.error.max_abs_overall()
+            );
+            assert!(report.compression_ratio > 0.0);
+        }
+    }
+
+    #[test]
+    fn average_error_below_max_error() {
+        let signal = noisy_signal(300);
+        let mut f = SwingFilter::new(&[1.0]).unwrap();
+        let report = evaluate(&mut f, &signal).unwrap();
+        assert!(report.error.mean_abs_overall() <= report.error.max_abs_overall());
+        assert!(report.error.rmse[0] >= report.error.mean_abs[0] - 1e-12);
+    }
+
+    #[test]
+    fn provisionals_are_charged() {
+        let signal = Signal::from_values(&(0..40).map(|i| i as f64).collect::<Vec<_>>());
+        let mut f = SwingFilter::builder(&[0.5]).max_lag(10).build().unwrap();
+        let report = evaluate(&mut f, &signal).unwrap();
+        assert!(report.n_provisionals >= 1);
+        assert!(report.n_recordings > report.n_segments as u64);
+    }
+
+    #[test]
+    fn counting_sink_matches_collecting_sink() {
+        let signal = noisy_signal(400);
+        let mut f1 = SlideFilter::new(&[0.5]).unwrap();
+        let mut f2 = SlideFilter::new(&[0.5]).unwrap();
+        let segs = run_filter(&mut f1, &signal).unwrap();
+        let mut counter = CountingSink::default();
+        for (t, x) in signal.iter() {
+            f2.push(t, x, &mut counter).unwrap();
+        }
+        f2.finish(&mut counter).unwrap();
+        assert_eq!(counter.segments as usize, segs.len());
+        assert_eq!(
+            counter.recordings,
+            segs.iter().map(|s| s.new_recordings as u64).sum::<u64>()
+        );
+        assert_eq!(counter.points as usize, signal.len());
+    }
+
+    #[test]
+    fn empty_signal_report() {
+        let signal = Signal::new(1);
+        let mut f = CacheFilter::new(&[0.1]).unwrap();
+        let report = evaluate(&mut f, &signal).unwrap();
+        assert_eq!(report.n_points, 0);
+        assert_eq!(report.n_recordings, 0);
+        assert_eq!(report.compression_ratio, 0.0);
+    }
+}

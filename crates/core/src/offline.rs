@@ -1,0 +1,260 @@
+//! Offline oracles: optimal segment counts for L∞-bounded approximation.
+//!
+//! For *disconnected* piece-wise linear approximation under an L∞ bound,
+//! the greedy strategy — extend the current piece while **some** line
+//! stays within `εᵢ` of every covered point, cut otherwise — produces the
+//! minimum possible number of pieces. (Classic interval-covering
+//! exchange argument: a greedy piece ends strictly no earlier than the
+//! corresponding piece of any optimal solution, by induction.) The
+//! feasibility test is exactly the slide filter's envelope invariant
+//! (Lemmas 4.1–4.2), so the slide filter's interval structure is
+//! *segment-count optimal*; this module recomputes the optimum
+//! independently (same math, separate code path) so tests can
+//! cross-check, and derives the recording lower bound
+//!
+//! ```text
+//! recordings ≥ K + 1      (K pieces, all endpoints shared at best)
+//! ```
+//!
+//! which the `optgap` experiment compares against what the filters
+//! actually spend.
+
+use crate::sample::Signal;
+use crate::segment::validate_epsilons;
+use crate::FilterError;
+
+/// Feasibility tracker for one dimension of one growing piece: the
+/// extrapolation-envelope slopes, updated exactly as Lemma 4.1 dictates
+/// but with the exhaustive candidate scan (this is an oracle, not a
+/// filter — clarity over speed).
+struct EnvelopeState {
+    /// Points of the current piece (t, x).
+    pts: Vec<(f64, f64)>,
+    /// Upper envelope as (anchor_t, anchor_x, slope).
+    u: (f64, f64, f64),
+    /// Lower envelope.
+    l: (f64, f64, f64),
+}
+
+impl EnvelopeState {
+    fn new(p0: (f64, f64), p1: (f64, f64), eps: f64) -> Self {
+        let u_slope = (p1.1 + eps - (p0.1 - eps)) / (p1.0 - p0.0);
+        let l_slope = (p1.1 - eps - (p0.1 + eps)) / (p1.0 - p0.0);
+        Self {
+            pts: vec![p0, p1],
+            u: (p0.0, p0.1 - eps, u_slope),
+            l: (p0.0, p0.1 + eps, l_slope),
+        }
+    }
+
+    fn eval(env: (f64, f64, f64), t: f64) -> f64 {
+        env.1 + env.2 * (t - env.0)
+    }
+
+    /// Lemma 4.2 acceptance; Lemma 4.1 update on success.
+    fn try_extend(&mut self, t: f64, x: f64, eps: f64) -> bool {
+        let hi = Self::eval(self.u, t) + eps;
+        let lo = Self::eval(self.l, t) - eps;
+        if x > hi || x < lo {
+            return false;
+        }
+        if x > Self::eval(self.l, t) + eps {
+            // New lower envelope: max slope through (t', x'+ε), (t, x−ε).
+            let q = (t, x - eps);
+            let mut best: Option<(f64, f64, f64)> = None;
+            for &(tp, xp) in &self.pts {
+                let slope = (q.1 - (xp + eps)) / (q.0 - tp);
+                if best.is_none_or(|b| slope > b.2) {
+                    best = Some((tp, xp + eps, slope));
+                }
+            }
+            self.l = best.expect("piece has points");
+        }
+        if x < Self::eval(self.u, t) - eps {
+            let q = (t, x + eps);
+            let mut best: Option<(f64, f64, f64)> = None;
+            for &(tp, xp) in &self.pts {
+                let slope = (q.1 - (xp - eps)) / (q.0 - tp);
+                if best.is_none_or(|b| slope < b.2) {
+                    best = Some((tp, xp - eps, slope));
+                }
+            }
+            self.u = best.expect("piece has points");
+        }
+        self.pts.push((t, x));
+        true
+    }
+}
+
+/// Minimum number of contiguous pieces needed to approximate `signal`
+/// under the per-dimension bounds `eps`, each piece representable by one
+/// line within `εᵢ` of all its points in every dimension.
+///
+/// Runs the greedy maximal-piece construction; see the module docs for
+/// why that is optimal. Cost is O(n · m) in the worst case (`m` = piece
+/// length) — an oracle for tests and experiments, not a streaming filter.
+pub fn min_segments(signal: &Signal, eps: &[f64]) -> Result<usize, FilterError> {
+    validate_epsilons(eps)?;
+    if eps.len() != signal.dims() {
+        return Err(FilterError::DimensionMismatch {
+            expected: signal.dims(),
+            got: eps.len(),
+        });
+    }
+    let n = signal.len();
+    if n == 0 {
+        return Ok(0);
+    }
+    let d = signal.dims();
+    let mut pieces = 0usize;
+    let mut j = 0usize;
+    while j < n {
+        pieces += 1;
+        if j + 1 >= n {
+            break; // final singleton piece
+        }
+        let (t0, x0) = signal.sample(j);
+        let (t1, x1) = signal.sample(j + 1);
+        let mut envs: Vec<EnvelopeState> = (0..d)
+            .map(|i| EnvelopeState::new((t0, x0[i]), (t1, x1[i]), eps[i]))
+            .collect();
+        let mut k = j + 2;
+        while k < n {
+            let (t, x) = signal.sample(k);
+            // A piece extends only if every dimension accepts; probe
+            // without mutating, then commit.
+            let ok = envs.iter().zip(x.iter()).zip(eps.iter()).all(|((env, &v), &e)| {
+                v <= EnvelopeState::eval(env.u, t) + e && v >= EnvelopeState::eval(env.l, t) - e
+            });
+            if !ok {
+                break;
+            }
+            for (i, env) in envs.iter_mut().enumerate() {
+                let extended = env.try_extend(t, x[i], eps[i]);
+                debug_assert!(extended, "probe and extend disagree");
+            }
+            k += 1;
+        }
+        j = k;
+    }
+    Ok(pieces)
+}
+
+/// Lower bound on the recordings *any* ε-bounded piece-wise linear
+/// approximation of `signal` must make: `K + 1` where `K` is
+/// [`min_segments`] (every piece needs two endpoints; adjacent pieces can
+/// share at most one).
+pub fn recording_lower_bound(signal: &Signal, eps: &[f64]) -> Result<u64, FilterError> {
+    let k = min_segments(signal, eps)?;
+    Ok(match k {
+        0 => 0,
+        1 if signal.len() == 1 => 1,
+        k => k as u64 + 1,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filters::{run_filter, SlideFilter};
+
+    fn walk(n: usize, seed: u64, scale: f64) -> Signal {
+        let mut state = seed | 1;
+        let mut rnd = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        let mut x = 0.0;
+        Signal::from_values(
+            &(0..n)
+                .map(|_| {
+                    x += rnd() * scale;
+                    x
+                })
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    #[test]
+    fn straight_line_needs_one_piece() {
+        let s = Signal::from_values(&(0..50).map(|i| 2.0 * i as f64).collect::<Vec<_>>());
+        assert_eq!(min_segments(&s, &[0.1]).unwrap(), 1);
+        assert_eq!(recording_lower_bound(&s, &[0.1]).unwrap(), 2);
+    }
+
+    #[test]
+    fn each_jump_forces_a_piece() {
+        // Three plateaus at 0, 100, 200 with ε = 1: three pieces.
+        let mut vals = vec![0.0; 10];
+        vals.extend(vec![100.0; 10]);
+        vals.extend(vec![200.0; 10]);
+        let s = Signal::from_values(&vals);
+        assert_eq!(min_segments(&s, &[1.0]).unwrap(), 3);
+    }
+
+    #[test]
+    fn empty_and_tiny_signals() {
+        let s = Signal::new(1);
+        assert_eq!(min_segments(&s, &[1.0]).unwrap(), 0);
+        assert_eq!(recording_lower_bound(&s, &[1.0]).unwrap(), 0);
+        let s = Signal::from_values(&[5.0]);
+        assert_eq!(min_segments(&s, &[1.0]).unwrap(), 1);
+        assert_eq!(recording_lower_bound(&s, &[1.0]).unwrap(), 1);
+        let s = Signal::from_values(&[5.0, 9.0]);
+        assert_eq!(min_segments(&s, &[0.1]).unwrap(), 1);
+    }
+
+    #[test]
+    fn slide_filter_is_segment_count_optimal() {
+        // The slide filter's greedy intervals are maximal, so its segment
+        // count must equal the oracle's minimum.
+        for seed in [1u64, 2, 3, 4, 5] {
+            let s = walk(600, seed, 1.5);
+            for eps in [0.3, 1.0, 4.0] {
+                let optimal = min_segments(&s, &[eps]).unwrap();
+                let mut f = SlideFilter::new(&[eps]).unwrap();
+                let segs = run_filter(&mut f, &s).unwrap();
+                assert_eq!(
+                    segs.len(),
+                    optimal,
+                    "seed {seed}, ε {eps}: slide {} vs optimal {optimal}",
+                    segs.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn slide_recordings_respect_lower_bound() {
+        for seed in [7u64, 8, 9] {
+            let s = walk(500, seed, 2.0);
+            let eps = 0.8;
+            let bound = recording_lower_bound(&s, &[eps]).unwrap();
+            let mut f = SlideFilter::new(&[eps]).unwrap();
+            let segs = run_filter(&mut f, &s).unwrap();
+            let recs: u64 = segs.iter().map(|sg| sg.new_recordings as u64).sum();
+            assert!(recs >= bound, "recordings {recs} below lower bound {bound}");
+            // Slide never spends more than 2 per piece.
+            assert!(recs <= 2 * segs.len() as u64);
+        }
+    }
+
+    #[test]
+    fn multi_dim_pieces_break_on_any_dimension() {
+        let mut s = Signal::new(2);
+        for j in 0..20 {
+            let t = j as f64;
+            let x1 = if j < 10 { 0.0 } else { 50.0 };
+            s.push(t, &[t, x1]).unwrap();
+        }
+        assert_eq!(min_segments(&s, &[0.5, 0.5]).unwrap(), 2);
+    }
+
+    #[test]
+    fn rejects_bad_epsilons() {
+        let s = Signal::from_values(&[1.0, 2.0]);
+        assert!(min_segments(&s, &[]).is_err());
+        assert!(min_segments(&s, &[0.0]).is_err());
+        assert!(min_segments(&s, &[1.0, 1.0]).is_err());
+    }
+}

@@ -1,0 +1,261 @@
+//! Columnar storage for multi-dimensional signals.
+//!
+//! A signal is the paper's on-line sequence `(t_j, X_j)`, `X_j ∈ ℝᵈ`
+//! (§2.1). Storage is columnar-by-row: one `times` vector and one flat
+//! `values` vector holding `d` contiguous values per sample, so iterating
+//! samples hands the filters a `(f64, &[f64])` pair without per-point
+//! allocation.
+
+use crate::error::FilterError;
+
+/// A multi-dimensional signal stored in memory.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Signal {
+    dims: usize,
+    times: Vec<f64>,
+    values: Vec<f64>,
+}
+
+impl Signal {
+    /// Creates an empty signal with `dims` dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims == 0`; a signal must carry at least one value per
+    /// sample.
+    pub fn new(dims: usize) -> Self {
+        assert!(dims > 0, "a signal needs at least one dimension");
+        Self { dims, times: Vec::new(), values: Vec::new() }
+    }
+
+    /// Creates an empty signal with capacity reserved for `n` samples.
+    pub fn with_capacity(dims: usize, n: usize) -> Self {
+        assert!(dims > 0, "a signal needs at least one dimension");
+        Self {
+            dims,
+            times: Vec::with_capacity(n),
+            values: Vec::with_capacity(n * dims),
+        }
+    }
+
+    /// Builds a 1-D signal from `(t, x)` pairs.
+    pub fn from_pairs(pairs: &[(f64, f64)]) -> Self {
+        let mut s = Self::with_capacity(1, pairs.len());
+        for &(t, x) in pairs {
+            s.push(t, &[x]).expect("from_pairs input must be monotone and finite");
+        }
+        s
+    }
+
+    /// Builds a 1-D signal with unit-spaced timestamps `0, 1, 2, …` from
+    /// raw values.
+    pub fn from_values(values: &[f64]) -> Self {
+        let mut s = Self::with_capacity(1, values.len());
+        for (j, &x) in values.iter().enumerate() {
+            s.push(j as f64, &[x]).expect("from_values input must be finite");
+        }
+        s
+    }
+
+    /// Number of dimensions `d`.
+    #[inline]
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Number of samples `n`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// Whether the signal holds no samples.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// Appends a sample, validating monotonicity and finiteness — the same
+    /// checks the filters make, so a [`Signal`] is always a valid filter
+    /// input.
+    pub fn push(&mut self, t: f64, x: &[f64]) -> Result<(), FilterError> {
+        if x.len() != self.dims {
+            return Err(FilterError::DimensionMismatch { expected: self.dims, got: x.len() });
+        }
+        if !t.is_finite() || self.times.last().is_some_and(|&p| t <= p) {
+            return Err(FilterError::NonMonotonicTime {
+                previous: self.times.last().copied().unwrap_or(f64::NEG_INFINITY),
+                offending: t,
+            });
+        }
+        for (dim, &v) in x.iter().enumerate() {
+            if !v.is_finite() {
+                return Err(FilterError::NonFiniteValue { dim, value: v });
+            }
+        }
+        self.times.push(t);
+        self.values.extend_from_slice(x);
+        Ok(())
+    }
+
+    /// The sample at index `j` as `(t, values)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of bounds.
+    #[inline]
+    pub fn sample(&self, j: usize) -> (f64, &[f64]) {
+        (self.times[j], &self.values[j * self.dims..(j + 1) * self.dims])
+    }
+
+    /// Iterator over samples as `(t, values)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (f64, &[f64])> + '_ {
+        self.times.iter().copied().zip(self.values.chunks_exact(self.dims))
+    }
+
+    /// All timestamps.
+    #[inline]
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// The value of dimension `dim` at sample `j`.
+    #[inline]
+    pub fn value(&self, j: usize, dim: usize) -> f64 {
+        self.values[j * self.dims + dim]
+    }
+
+    /// Per-dimension value range `(min, max)`, or `None` for an empty
+    /// signal. The paper expresses precision widths as a percentage of
+    /// `max − min` (§5.1).
+    pub fn range(&self, dim: usize) -> Option<(f64, f64)> {
+        assert!(dim < self.dims);
+        if self.is_empty() {
+            return None;
+        }
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for j in 0..self.len() {
+            let v = self.value(j, dim);
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        Some((lo, hi))
+    }
+
+    /// Precision widths `εᵢ` equal to `percent`% of each dimension's value
+    /// range — the normalization used throughout the paper's §5.
+    ///
+    /// Dimensions with zero range (a constant signal) fall back to an `ε`
+    /// of `percent`% of `max(|value|, 1)`, so the result is always a valid
+    /// filter precision.
+    pub fn epsilons_from_range_percent(&self, percent: f64) -> Vec<f64> {
+        (0..self.dims)
+            .map(|dim| {
+                let (lo, hi) = self.range(dim).unwrap_or((0.0, 1.0));
+                let span = hi - lo;
+                if span > 0.0 {
+                    span * percent / 100.0
+                } else {
+                    lo.abs().max(1.0) * percent / 100.0
+                }
+            })
+            .collect()
+    }
+
+    /// Extracts a single dimension as a fresh 1-D signal (used by the
+    /// independent-vs-joint compression experiment, §5.4).
+    pub fn project(&self, dim: usize) -> Signal {
+        assert!(dim < self.dims);
+        let mut out = Signal::with_capacity(1, self.len());
+        for j in 0..self.len() {
+            out.push(self.times[j], &[self.value(j, dim)])
+                .expect("projection of a valid signal is valid");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_read_back() {
+        let mut s = Signal::new(2);
+        s.push(0.0, &[1.0, 2.0]).unwrap();
+        s.push(1.0, &[3.0, 4.0]).unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.sample(1), (1.0, &[3.0, 4.0][..]));
+        assert_eq!(s.value(0, 1), 2.0);
+    }
+
+    #[test]
+    fn rejects_non_monotone_time() {
+        let mut s = Signal::new(1);
+        s.push(5.0, &[0.0]).unwrap();
+        assert!(matches!(
+            s.push(5.0, &[1.0]),
+            Err(FilterError::NonMonotonicTime { .. })
+        ));
+        assert!(matches!(
+            s.push(4.0, &[1.0]),
+            Err(FilterError::NonMonotonicTime { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_wrong_dims_and_non_finite() {
+        let mut s = Signal::new(2);
+        assert!(matches!(
+            s.push(0.0, &[1.0]),
+            Err(FilterError::DimensionMismatch { expected: 2, got: 1 })
+        ));
+        assert!(matches!(
+            s.push(0.0, &[1.0, f64::NAN]),
+            Err(FilterError::NonFiniteValue { dim: 1, .. })
+        ));
+        assert!(matches!(
+            s.push(f64::INFINITY, &[1.0, 1.0]),
+            Err(FilterError::NonMonotonicTime { .. })
+        ));
+    }
+
+    #[test]
+    fn iter_matches_sample() {
+        let s = Signal::from_pairs(&[(0.0, 1.0), (1.0, 2.0), (2.5, -1.0)]);
+        let collected: Vec<(f64, f64)> = s.iter().map(|(t, x)| (t, x[0])).collect();
+        assert_eq!(collected, vec![(0.0, 1.0), (1.0, 2.0), (2.5, -1.0)]);
+    }
+
+    #[test]
+    fn range_and_epsilons() {
+        let s = Signal::from_values(&[2.0, 6.0, 4.0]);
+        assert_eq!(s.range(0), Some((2.0, 6.0)));
+        let eps = s.epsilons_from_range_percent(10.0);
+        assert!((eps[0] - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_signal_epsilon_fallback() {
+        let s = Signal::from_values(&[5.0, 5.0, 5.0]);
+        let eps = s.epsilons_from_range_percent(10.0);
+        assert!((eps[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn project_extracts_dimension() {
+        let mut s = Signal::new(3);
+        s.push(0.0, &[1.0, 10.0, 100.0]).unwrap();
+        s.push(1.0, &[2.0, 20.0, 200.0]).unwrap();
+        let p = s.project(1);
+        assert_eq!(p.dims(), 1);
+        assert_eq!(p.sample(1), (1.0, &[20.0][..]));
+    }
+
+    #[test]
+    fn from_values_uses_unit_spacing() {
+        let s = Signal::from_values(&[9.0, 8.0]);
+        assert_eq!(s.times(), &[0.0, 1.0]);
+    }
+}

@@ -1,0 +1,189 @@
+//! Iterator ergonomics: compress any sample iterator lazily.
+//!
+//! The filters' push-based API is the primitive; this module adapts it to
+//! Rust's iterator idiom so a pipeline reads naturally:
+//!
+//! ```
+//! use pla_core::filters::SwingFilter;
+//! use pla_core::stream::FilterIteratorExt;
+//!
+//! let samples = (0..100).map(|j| (j as f64, 0.5 * j as f64));
+//! let filter = SwingFilter::new(&[0.1]).unwrap();
+//! let segments: Vec<_> = samples.pla_segments(filter).map(|r| r.unwrap()).collect();
+//! assert_eq!(segments.len(), 1); // a straight line is one segment
+//! ```
+
+use std::collections::VecDeque;
+
+use crate::error::FilterError;
+use crate::filters::StreamFilter;
+use crate::segment::Segment;
+
+/// Lazily compresses an underlying sample iterator.
+///
+/// Yields `Result<Segment, FilterError>`; after the first error the
+/// iterator fuses (returns `None` forever), since filter state after a
+/// rejected sample should be inspected, not silently continued.
+pub struct SegmentIter<I, F> {
+    samples: I,
+    filter: F,
+    ready: VecDeque<Segment>,
+    finished: bool,
+    errored: bool,
+}
+
+impl<I, F> SegmentIter<I, F> {
+    /// The wrapped filter (for inspecting state mid-stream).
+    pub fn filter(&self) -> &F {
+        &self.filter
+    }
+}
+
+/// One multi-dimensional sample: timestamp plus values.
+pub trait Sample {
+    /// Value slice of this sample.
+    fn values(&self) -> &[f64];
+    /// Timestamp of this sample.
+    fn time(&self) -> f64;
+}
+
+impl Sample for (f64, f64) {
+    fn values(&self) -> &[f64] {
+        std::slice::from_ref(&self.1)
+    }
+    fn time(&self) -> f64 {
+        self.0
+    }
+}
+
+impl Sample for (f64, Vec<f64>) {
+    fn values(&self) -> &[f64] {
+        &self.1
+    }
+    fn time(&self) -> f64 {
+        self.0
+    }
+}
+
+impl<I, F, S> Iterator for SegmentIter<I, F>
+where
+    S: Sample,
+    I: Iterator<Item = S>,
+    F: StreamFilter,
+{
+    type Item = Result<Segment, FilterError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if let Some(seg) = self.ready.pop_front() {
+                return Some(Ok(seg));
+            }
+            if self.errored || (self.finished && self.ready.is_empty()) {
+                return None;
+            }
+            match self.samples.next() {
+                Some(sample) => {
+                    let mut sink: Vec<Segment> = Vec::new();
+                    if let Err(e) =
+                        self.filter.push(sample.time(), sample.values(), &mut sink)
+                    {
+                        self.errored = true;
+                        return Some(Err(e));
+                    }
+                    self.ready.extend(sink);
+                }
+                None => {
+                    self.finished = true;
+                    let mut sink: Vec<Segment> = Vec::new();
+                    if let Err(e) = self.filter.finish(&mut sink) {
+                        self.errored = true;
+                        return Some(Err(e));
+                    }
+                    self.ready.extend(sink);
+                }
+            }
+        }
+    }
+}
+
+/// Extension trait adding `.pla_segments(filter)` to sample iterators.
+pub trait FilterIteratorExt: Iterator + Sized {
+    /// Compresses this iterator's samples through `filter`, yielding
+    /// segments lazily.
+    fn pla_segments<F>(self, filter: F) -> SegmentIter<Self, F>
+    where
+        Self::Item: Sample,
+        F: StreamFilter,
+    {
+        SegmentIter {
+            samples: self,
+            filter,
+            ready: VecDeque::new(),
+            finished: false,
+            errored: false,
+        }
+    }
+}
+
+impl<I: Iterator> FilterIteratorExt for I {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filters::{SlideFilter, SwingFilter};
+
+    #[test]
+    fn lazy_compression_of_a_ramp() {
+        let samples = (0..50).map(|j| (j as f64, 2.0 * j as f64));
+        let iter = samples.pla_segments(SwingFilter::new(&[0.1]).unwrap());
+        let segs: Result<Vec<_>, _> = iter.collect();
+        let segs = segs.unwrap();
+        assert_eq!(segs.len(), 1);
+        assert_eq!(segs[0].n_points, 50);
+    }
+
+    #[test]
+    fn multi_dim_samples() {
+        let samples = (0..30).map(|j| (j as f64, vec![j as f64, -(j as f64)]));
+        let iter = samples.pla_segments(SlideFilter::new(&[0.1, 0.1]).unwrap());
+        let segs: Result<Vec<_>, _> = iter.collect();
+        assert_eq!(segs.unwrap().len(), 1);
+    }
+
+    #[test]
+    fn segments_stream_out_before_exhaustion() {
+        // A jumpy signal emits segments mid-stream; the iterator must
+        // yield them without waiting for the end.
+        let samples = (0..100).map(|j| (j as f64, if j < 50 { 0.0 } else { 100.0 }));
+        let mut iter = samples.pla_segments(SwingFilter::new(&[0.5]).unwrap());
+        let first = iter.next().unwrap().unwrap();
+        assert!(first.t_end <= 50.0);
+        // Remaining segments still arrive.
+        let rest: Result<Vec<_>, _> = iter.collect();
+        assert!(!rest.unwrap().is_empty());
+    }
+
+    #[test]
+    fn error_fuses_the_iterator() {
+        let samples = vec![(0.0, 1.0), (1.0, 2.0), (1.0, 3.0), (2.0, 4.0)];
+        let mut iter = samples
+            .into_iter()
+            .pla_segments(SwingFilter::new(&[0.5]).unwrap());
+        let mut saw_error = false;
+        for item in iter.by_ref() {
+            if item.is_err() {
+                saw_error = true;
+                break;
+            }
+        }
+        assert!(saw_error, "duplicate timestamp must surface");
+        assert!(iter.next().is_none(), "iterator must fuse after error");
+    }
+
+    #[test]
+    fn empty_input_yields_nothing() {
+        let samples = std::iter::empty::<(f64, f64)>();
+        let mut iter = samples.pla_segments(SlideFilter::new(&[1.0]).unwrap());
+        assert!(iter.next().is_none());
+    }
+}

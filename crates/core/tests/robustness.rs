@@ -1,0 +1,173 @@
+//! Failure-injection tests: filters must reject bad input cleanly and
+//! remain usable afterwards.
+
+use pla_core::filters::{
+    CacheFilter, KalmanFilter, LinearFilter, SlideFilter, StreamFilter, SwingFilter,
+};
+use pla_core::{FilterError, Segment};
+
+fn all_filters(eps: &[f64]) -> Vec<Box<dyn StreamFilter>> {
+    vec![
+        Box::new(CacheFilter::new(eps).unwrap()),
+        Box::new(LinearFilter::new(eps).unwrap()),
+        Box::new(SwingFilter::new(eps).unwrap()),
+        Box::new(SlideFilter::new(eps).unwrap()),
+        Box::new(KalmanFilter::new(eps).unwrap()),
+    ]
+}
+
+#[test]
+fn nan_values_are_rejected_and_stream_continues() {
+    for mut f in all_filters(&[0.5]) {
+        let mut out: Vec<Segment> = Vec::new();
+        f.push(0.0, &[1.0], &mut out).unwrap();
+        f.push(1.0, &[1.1], &mut out).unwrap();
+        // Invalid sample rejected without corrupting state …
+        assert!(matches!(
+            f.push(2.0, &[f64::NAN], &mut out),
+            Err(FilterError::NonFiniteValue { .. })
+        ));
+        // … and the stream can continue with valid samples.
+        f.push(2.0, &[1.2], &mut out).unwrap();
+        f.push(3.0, &[1.3], &mut out).unwrap();
+        f.finish(&mut out).unwrap();
+        let total: u32 = out.iter().map(|s| s.n_points).sum();
+        assert_eq!(total, 4, "{}: rejected sample must not be counted", f.name());
+        // Guarantee still holds for the accepted samples.
+        for (t, x) in [(0.0, 1.0), (1.0, 1.1), (2.0, 1.2), (3.0, 1.3)] {
+            let seg = out.iter().find(|s| s.covers(t)).unwrap();
+            assert!((seg.eval(t, 0) - x).abs() <= 0.5 + 1e-9);
+        }
+    }
+}
+
+#[test]
+fn infinite_time_is_rejected() {
+    for mut f in all_filters(&[0.5]) {
+        let mut out: Vec<Segment> = Vec::new();
+        f.push(0.0, &[1.0], &mut out).unwrap();
+        assert!(matches!(
+            f.push(f64::INFINITY, &[1.0], &mut out),
+            Err(FilterError::NonMonotonicTime { .. })
+        ));
+        assert!(matches!(
+            f.push(f64::NAN, &[1.0], &mut out),
+            Err(FilterError::NonMonotonicTime { .. })
+        ));
+    }
+}
+
+#[test]
+fn time_regression_is_rejected_at_every_state() {
+    for mut f in all_filters(&[0.5]) {
+        let mut out: Vec<Segment> = Vec::new();
+        // State One.
+        f.push(10.0, &[1.0], &mut out).unwrap();
+        assert!(f.push(9.0, &[1.0], &mut out).is_err());
+        // State Active.
+        f.push(11.0, &[1.0], &mut out).unwrap();
+        assert!(f.push(11.0, &[1.0], &mut out).is_err());
+        assert!(f.push(10.5, &[1.0], &mut out).is_err());
+        // Valid continuation.
+        f.push(12.0, &[1.0], &mut out).unwrap();
+        f.finish(&mut out).unwrap();
+    }
+}
+
+#[test]
+fn dimension_mismatch_is_rejected() {
+    for mut f in all_filters(&[0.5, 0.5]) {
+        let mut out: Vec<Segment> = Vec::new();
+        assert!(matches!(
+            f.push(0.0, &[1.0], &mut out),
+            Err(FilterError::DimensionMismatch { expected: 2, got: 1 })
+        ));
+        assert!(matches!(
+            f.push(0.0, &[1.0, 2.0, 3.0], &mut out),
+            Err(FilterError::DimensionMismatch { expected: 2, got: 3 })
+        ));
+        f.push(0.0, &[1.0, 2.0], &mut out).unwrap();
+        f.finish(&mut out).unwrap();
+        assert_eq!(out.len(), 1);
+    }
+}
+
+#[test]
+fn huge_timestamps_stay_numerically_sane() {
+    // Anchoring far from zero (epoch-nanosecond-like timestamps) must not
+    // destroy the guarantee.
+    let base = 1.7e18; // ~ns epoch
+    for mut f in all_filters(&[0.5]) {
+        let mut out: Vec<Segment> = Vec::new();
+        let samples: Vec<(f64, f64)> = (0..200)
+            .map(|j| (base + j as f64 * 1e9, (j as f64 * 0.37).sin() * 3.0))
+            .collect();
+        for &(t, x) in &samples {
+            f.push(t, &[x], &mut out).unwrap();
+        }
+        f.finish(&mut out).unwrap();
+        for &(t, x) in &samples {
+            let seg = out
+                .iter()
+                .find(|s| s.covers(t))
+                .unwrap_or_else(|| panic!("{}: t={t} uncovered", f.name()));
+            let err = (seg.eval(t, 0) - x).abs();
+            assert!(
+                err <= 0.5 + 1e-6,
+                "{}: error {err} at huge timestamps",
+                f.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn tiny_and_huge_epsilons() {
+    let values: Vec<f64> = (0..100).map(|j| (j as f64 * 0.7).sin()).collect();
+    for eps in [1e-12, 1e12] {
+        for mut f in all_filters(&[eps]) {
+            let mut out: Vec<Segment> = Vec::new();
+            for (j, &x) in values.iter().enumerate() {
+                f.push(j as f64, &[x], &mut out).unwrap();
+            }
+            f.finish(&mut out).unwrap();
+            let total: u32 = out.iter().map(|s| s.n_points).sum();
+            assert_eq!(total as usize, values.len(), "{} at ε={eps}", f.name());
+            if eps > 1.0 {
+                // Everything fits one segment when ε dwarfs the signal.
+                assert!(out.len() <= 2, "{}: {} segments at huge ε", f.name(), out.len());
+            }
+        }
+    }
+}
+
+#[test]
+fn adversarial_identical_values() {
+    // Long constant runs exercise zero-slope cones and degenerate hulls.
+    for mut f in all_filters(&[0.1]) {
+        let mut out: Vec<Segment> = Vec::new();
+        for j in 0..500 {
+            f.push(j as f64, &[42.0], &mut out).unwrap();
+        }
+        f.finish(&mut out).unwrap();
+        assert_eq!(out.len(), 1, "{}", f.name());
+        assert_eq!(out[0].n_points, 500);
+        assert!((out[0].eval(250.0, 0) - 42.0).abs() <= 0.1 + 1e-12);
+    }
+}
+
+#[test]
+fn alternating_extremes_worst_case() {
+    // Every point violates: segment per 1–2 points, but nothing panics
+    // and accounting stays exact.
+    for mut f in all_filters(&[0.01]) {
+        let mut out: Vec<Segment> = Vec::new();
+        for j in 0..200 {
+            let x = if j % 2 == 0 { 1e6 } else { -1e6 };
+            f.push(j as f64, &[x], &mut out).unwrap();
+        }
+        f.finish(&mut out).unwrap();
+        let total: u32 = out.iter().map(|s| s.n_points).sum();
+        assert_eq!(total, 200, "{}", f.name());
+    }
+}

@@ -1,0 +1,122 @@
+//! `repro` — regenerate the paper's figures from the command line.
+//!
+//! ```text
+//! repro <experiment>... [--quick] [--csv DIR]
+//! repro all [--quick] [--csv DIR]
+//! ```
+//!
+//! Experiments: fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 joint
+//!              lag hull connect bytes variants
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use pla_eval::experiments::{self, Config};
+use pla_eval::Table;
+
+const ALL: [&str; 17] = [
+    "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "joint", "lag", "hull",
+    "connect", "bytes", "variants", "optgap", "swab", "kalman",
+];
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut experiments_requested: Vec<String> = Vec::new();
+    let mut cfg = Config::default();
+    let mut csv_dir: Option<PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => cfg = Config::quick(),
+            "--csv" => {
+                i += 1;
+                match args.get(i) {
+                    Some(dir) => csv_dir = Some(PathBuf::from(dir)),
+                    None => {
+                        eprintln!("--csv needs a directory argument");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--help" | "-h" => {
+                print_usage();
+                return ExitCode::SUCCESS;
+            }
+            "all" => experiments_requested.extend(ALL.iter().map(|s| s.to_string())),
+            other if ALL.contains(&other) => experiments_requested.push(other.to_string()),
+            other => {
+                eprintln!("unknown experiment or flag: {other}");
+                print_usage();
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+    if experiments_requested.is_empty() {
+        print_usage();
+        return ExitCode::FAILURE;
+    }
+    if let Some(dir) = &csv_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    for name in experiments_requested {
+        run_one(&name, &cfg, csv_dir.as_deref());
+    }
+    ExitCode::SUCCESS
+}
+
+fn run_one(name: &str, cfg: &Config, csv_dir: Option<&std::path::Path>) {
+    if name == "fig6" {
+        let signal = experiments::fig6_signal();
+        println!("# Figure 6: sea surface temperature proxy ({} points)", signal.len());
+        match csv_dir {
+            Some(dir) => {
+                let path = dir.join("fig6.csv");
+                pla_signal::csv::save(&signal, &path).expect("write fig6.csv");
+                println!("written to {}", path.display());
+            }
+            None => {
+                let mut out = Vec::new();
+                pla_signal::csv::write_signal(&signal, &mut out).expect("serialize");
+                println!("{}", String::from_utf8(out).expect("utf8"));
+            }
+        }
+        return;
+    }
+    let table: Table = match name {
+        "fig7" => experiments::fig7_compression(cfg),
+        "fig8" => experiments::fig8_error(cfg),
+        "fig9" => experiments::fig9_monotonicity(cfg),
+        "fig10" => experiments::fig10_delta(cfg),
+        "fig11" => experiments::fig11_dims(cfg),
+        "fig12" => experiments::fig12_correlation(cfg),
+        "fig13" => experiments::fig13_overhead(cfg),
+        "joint" => experiments::joint_vs_independent(cfg),
+        "lag" => experiments::lag_ablation(cfg),
+        "hull" => experiments::hull_ablation(cfg),
+        "connect" => experiments::connect_ablation(cfg),
+        "bytes" => experiments::bytes_ablation(cfg),
+        "variants" => experiments::variants_ablation(cfg),
+        "optgap" => experiments::optgap_experiment(cfg),
+        "swab" => experiments::swab_experiment(cfg),
+        "kalman" => experiments::kalman_experiment(cfg),
+        other => unreachable!("validated experiment name {other}"),
+    };
+    println!("{}", table.to_text());
+    if let Some(dir) = csv_dir {
+        let path = dir.join(format!("{name}.csv"));
+        std::fs::write(&path, table.to_csv()).expect("write csv");
+        println!("written to {}\n", path.display());
+    }
+}
+
+fn print_usage() {
+    eprintln!("usage: repro <experiment>... [--quick] [--csv DIR]");
+    eprintln!("experiments: {}", ALL.join(" "));
+    eprintln!("             all  (runs everything)");
+    eprintln!("flags: --quick    reduced workload sizes");
+    eprintln!("       --csv DIR  also write each table as CSV into DIR");
+}

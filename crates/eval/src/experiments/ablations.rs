@@ -1,0 +1,272 @@
+//! Ablations beyond the paper's figures (DESIGN.md §3).
+
+use pla_core::filters::{CacheFilter, CacheVariant, SlideFilter, StreamFilter, SwingFilter};
+use pla_core::metrics;
+use pla_core::Signal;
+use pla_signal::{random_walk, sea_surface, WalkParams};
+use pla_transport::wire::{CompactCodec, FixedCodec};
+use pla_transport::Transmitter;
+
+use crate::experiments::{Config, PRECISION_GRID};
+use crate::Table;
+
+/// abl-lag: compression ratio as a function of `m_max_lag` for the swing
+/// and slide filters (the paper introduces the knob but never sweeps it).
+///
+/// Expected shape: tiny lag bounds force frequent provisional commitments
+/// and cost compression; the curves approach the unbounded ratio as the
+/// bound grows.
+pub fn lag_ablation(_cfg: &Config) -> Table {
+    let signal = sea_surface();
+    let eps = signal.epsilons_from_range_percent(1.0);
+    let mut table = Table::new(
+        "Ablation: compression ratio vs m_max_lag (sea surface, ε = 1% of range)",
+        "m_max_lag (0 = unbounded)",
+        vec!["swing".to_string(), "slide".to_string()],
+    );
+    let run = |max_lag: Option<usize>| -> Vec<f64> {
+        let mut swing: Box<dyn StreamFilter> = match max_lag {
+            Some(m) => Box::new(SwingFilter::builder(&eps).max_lag(m).build().unwrap()),
+            None => Box::new(SwingFilter::new(&eps).unwrap()),
+        };
+        let mut slide: Box<dyn StreamFilter> = match max_lag {
+            Some(m) => Box::new(SlideFilter::builder(&eps).max_lag(m).build().unwrap()),
+            None => Box::new(SlideFilter::new(&eps).unwrap()),
+        };
+        vec![
+            metrics::evaluate(swing.as_mut(), &signal).unwrap().compression_ratio,
+            metrics::evaluate(slide.as_mut(), &signal).unwrap().compression_ratio,
+        ]
+    };
+    for m in [2usize, 4, 8, 16, 32, 64, 128, 256] {
+        table.push_row(m as f64, run(Some(m)));
+    }
+    table.push_row(0.0, run(None)); // unbounded reference
+    table
+}
+
+/// abl-hull: slide-filter hull size versus interval length across
+/// precision widths — the paper's §4.3 claim that `m_H` stays small.
+pub fn hull_ablation(_cfg: &Config) -> Table {
+    let signal = sea_surface();
+    let mut table = Table::new(
+        "Ablation: slide hull size vs precision width (sea surface)",
+        "precision (% of range)",
+        vec![
+            "max hull vertices".to_string(),
+            "mean hull vertices".to_string(),
+            "max interval points".to_string(),
+        ],
+    );
+    for &pct in &PRECISION_GRID {
+        let eps = signal.epsilons_from_range_percent(pct);
+        let mut f = SlideFilter::new(&eps).unwrap();
+        let _ = pla_core::filters::run_filter(&mut f, &signal).unwrap();
+        let stats = f.hull_stats();
+        table.push_row(
+            pct,
+            vec![
+                stats.max_vertices as f64,
+                stats.mean_vertices(),
+                stats.max_interval_points as f64,
+            ],
+        );
+    }
+    table
+}
+
+/// abl-connect: fraction of slide segments that end up *connected*
+/// (costing one recording instead of two) as signal volatility grows —
+/// quantifying the paper's §5.3 remark that sharp fluctuation raises the
+/// chances of connecting neighbouring segments.
+pub fn connect_ablation(cfg: &Config) -> Table {
+    let mut table = Table::new(
+        "Ablation: slide segment connection rate vs step magnitude (p = 0.5)",
+        "max delta (% of ε)",
+        vec!["connected fraction".to_string(), "compression ratio".to_string()],
+    );
+    for (i, &pct) in [10.0, 31.6, 100.0, 316.0, 1000.0, 3160.0, 10_000.0].iter().enumerate() {
+        let signal = random_walk(WalkParams {
+            n: cfg.n,
+            p_decrease: 0.5,
+            max_delta: pct / 100.0,
+            seed: cfg.seed ^ (0x400 + i as u64),
+        });
+        let mut f = SlideFilter::new(&[1.0]).unwrap();
+        let segs = pla_core::filters::run_filter(&mut f, &signal).unwrap();
+        let connected = segs.iter().filter(|s| s.connected).count();
+        let frac = if segs.len() > 1 {
+            connected as f64 / (segs.len() - 1) as f64
+        } else {
+            0.0
+        };
+        let report = metrics::report_from(&signal, &segs, 0);
+        table.push_row(pct, vec![frac, report.compression_ratio]);
+    }
+    table
+}
+
+/// abl-bytes: wire-level bytes per data point for the slide filter under
+/// the fixed and compact codecs, against the unfiltered baseline
+/// (8·(d+1) bytes per sample).
+pub fn bytes_ablation(_cfg: &Config) -> Table {
+    let signal = sea_surface();
+    let mut table = Table::new(
+        "Ablation: wire bytes per point (slide filter, sea surface)",
+        "precision (% of range)",
+        vec![
+            "raw (no filter)".to_string(),
+            "fixed codec".to_string(),
+            "compact codec".to_string(),
+        ],
+    );
+    for &pct in &PRECISION_GRID {
+        let eps = signal.epsilons_from_range_percent(pct);
+        let raw = 8.0 * (signal.dims() + 1) as f64;
+        let fixed = bytes_per_point(&signal, &eps, Codecs::Fixed);
+        let compact = bytes_per_point(&signal, &eps, Codecs::Compact);
+        table.push_row(pct, vec![raw, fixed, compact]);
+    }
+    table
+}
+
+enum Codecs {
+    Fixed,
+    Compact,
+}
+
+fn bytes_per_point(signal: &Signal, eps: &[f64], which: Codecs) -> f64 {
+    let filter = SlideFilter::new(eps).unwrap();
+    let bytes = match which {
+        Codecs::Fixed => {
+            let mut tx = Transmitter::new(filter, FixedCodec);
+            for (t, x) in signal.iter() {
+                tx.push(t, x).unwrap();
+            }
+            tx.finish().unwrap();
+            tx.stats().bytes
+        }
+        Codecs::Compact => {
+            // Quantize to ε/16 per value and the sampling interval / 16 on
+            // the time axis — far below the precision budget.
+            let t_quantum = (signal.times()[1] - signal.times()[0]) / 16.0;
+            let quanta: Vec<f64> = eps.iter().map(|e| e / 16.0).collect();
+            let mut tx = Transmitter::new(filter, CompactCodec::new(t_quantum, &quanta));
+            for (t, x) in signal.iter() {
+                tx.push(t, x).unwrap();
+            }
+            tx.finish().unwrap();
+            tx.stats().bytes
+        }
+    };
+    bytes as f64 / signal.len() as f64
+}
+
+/// abl-variants: the three cache-filter recording strategies compared
+/// (first-value vs midrange vs clamped mean) on the sea-surface signal.
+pub fn variants_ablation(_cfg: &Config) -> Table {
+    let signal = sea_surface();
+    let variants = [
+        ("first-value", CacheVariant::FirstValue),
+        ("midrange", CacheVariant::Midrange),
+        ("mean", CacheVariant::Mean),
+    ];
+    let mut table = Table::new(
+        "Ablation: cache filter variants (sea surface)",
+        "precision (% of range)",
+        variants.iter().map(|(n, _)| n.to_string()).collect(),
+    );
+    for &pct in &PRECISION_GRID {
+        let eps = signal.epsilons_from_range_percent(pct);
+        let values = variants
+            .iter()
+            .map(|&(_, v)| {
+                let mut f = CacheFilter::with_variant(&eps, v).unwrap();
+                metrics::evaluate(&mut f, &signal).unwrap().compression_ratio
+            })
+            .collect();
+        table.push_row(pct, values);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lag_ablation_converges_to_unbounded() {
+        let t = lag_ablation(&Config::quick());
+        let slide = t.series_values("slide");
+        let unbounded = *slide.last().unwrap(); // m = 0 row
+        let tight = slide[0]; // m = 2 row
+        let loose = slide[slide.len() - 2]; // m = 256 row
+        assert!(tight <= unbounded, "tight lag cannot beat unbounded");
+        assert!(
+            (loose - unbounded).abs() / unbounded < 0.25,
+            "m=256 ratio {loose} should approach unbounded {unbounded}"
+        );
+    }
+
+    #[test]
+    fn hull_stays_small_relative_to_interval() {
+        let t = hull_ablation(&Config::quick());
+        let verts = t.series_values("max hull vertices");
+        let pts = t.series_values("max interval points");
+        let last = t.rows.len() - 1;
+        // At 10% precision the intervals span many points; the hull must
+        // stay far smaller (the §4.3 observation).
+        assert!(pts[last] > 20.0, "expected long intervals, got {}", pts[last]);
+        assert!(
+            verts[last] < pts[last] / 2.0,
+            "hull {} not small next to interval {}",
+            verts[last],
+            pts[last]
+        );
+    }
+
+    #[test]
+    fn connection_rate_rises_with_volatility() {
+        let t = connect_ablation(&Config::quick());
+        let frac = t.series_values("connected fraction");
+        // Paper §5.3: sharp fluctuations raise connection chances —
+        // compare the small-delta and large-delta ends.
+        let first = frac[0];
+        let last = *frac.last().unwrap();
+        assert!(
+            last >= first * 0.8 || last > 0.3,
+            "connection rate should not collapse at high volatility: {first} → {last}"
+        );
+        for f in &frac {
+            assert!((0.0..=1.0).contains(f));
+        }
+    }
+
+    #[test]
+    fn compact_codec_beats_fixed_and_both_beat_raw() {
+        let t = bytes_ablation(&Config::quick());
+        for (row, (_, values)) in t.rows.iter().enumerate() {
+            let (raw, fixed, compact) = (values[0], values[1], values[2]);
+            assert!(fixed < raw, "row {row}: fixed {fixed} not below raw {raw}");
+            assert!(
+                compact < fixed,
+                "row {row}: compact {compact} not below fixed {fixed}"
+            );
+        }
+    }
+
+    #[test]
+    fn midrange_variant_compresses_best() {
+        let t = variants_ablation(&Config::quick());
+        let fv = t.series_values("first-value");
+        let mr = t.series_values("midrange");
+        for i in 0..t.rows.len() {
+            assert!(
+                mr[i] >= fv[i] * 0.95,
+                "row {i}: midrange {} should not trail first-value {}",
+                mr[i],
+                fv[i]
+            );
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! Extension experiments: the offline-optimality gap, the SWAB lookahead
+//! comparison (paper §6's complementarity claim), and the Kalman baseline
+//! (paper §6, Jain et al.).
+
+use pla_core::filters::{run_filter, KalmanFilter};
+use pla_core::{metrics, offline, Signal};
+use pla_signal::{random_walk, sea_surface, WalkParams};
+use pla_swab::{Lookahead, Swab};
+
+use crate::experiments::{report, Config, PRECISION_GRID};
+use crate::{FilterKind, Table};
+
+/// ext-optgap: how close do the filters get to the offline-optimal
+/// recording count?
+///
+/// `min segments` is the provably minimal piece count for any
+/// disconnected L∞-bounded PLA (the greedy/slide structure); `K + 1` is
+/// the recording lower bound for *any* piece-wise linear approximation.
+/// The gap column shows slide's recordings relative to that bound.
+pub fn optgap_experiment(_cfg: &Config) -> Table {
+    let signal = sea_surface();
+    let mut table = Table::new(
+        "Extension: optimality gap vs precision width (sea surface)",
+        "precision (% of range)",
+        vec![
+            "recording lower bound".to_string(),
+            "slide recordings".to_string(),
+            "swing recordings".to_string(),
+            "slide / bound".to_string(),
+        ],
+    );
+    for &pct in &PRECISION_GRID {
+        let eps = signal.epsilons_from_range_percent(pct);
+        let bound = offline::recording_lower_bound(&signal, &eps).expect("valid") as f64;
+        let slide = report(FilterKind::Slide, &eps, &signal).n_recordings as f64;
+        let swing = report(FilterKind::Swing, &eps, &signal).n_recordings as f64;
+        table.push_row(pct, vec![bound, slide, swing, slide / bound.max(1.0)]);
+    }
+    table
+}
+
+/// ext-swab: SWAB segment counts with linear, swing, and slide
+/// lookaheads, against the plain slide filter.
+///
+/// The VLDB paper's §6: "the swing and slide filters can replace the
+/// linear filter in the SWAB algorithm" — this quantifies what that buys.
+pub fn swab_experiment(cfg: &Config) -> Table {
+    let signal = sea_surface();
+    let mut table = Table::new(
+        "Extension: SWAB segments by lookahead (sea surface, buffer 256)",
+        "precision (% of range)",
+        vec![
+            "swab(linear)".to_string(),
+            "swab(swing)".to_string(),
+            "swab(slide)".to_string(),
+            "plain slide".to_string(),
+        ],
+    );
+    let _ = cfg;
+    for &pct in &PRECISION_GRID {
+        let eps = signal.epsilons_from_range_percent(pct);
+        let mut row = Vec::with_capacity(4);
+        for kind in [Lookahead::Linear, Lookahead::Swing, Lookahead::Slide] {
+            let mut swab = Swab::new(&eps, 256, kind).expect("valid config");
+            let segs = run_filter(&mut swab, &signal).expect("valid signal");
+            row.push(segs.len() as f64);
+        }
+        row.push(report(FilterKind::Slide, &eps, &signal).n_segments as f64);
+        table.push_row(pct, row);
+    }
+    table
+}
+
+/// ext-kalman: the Kalman-slope baseline against the paper's filters on
+/// noisy trends (where slope smoothing should matter most).
+pub fn kalman_experiment(cfg: &Config) -> Table {
+    let mut table = Table::new(
+        "Extension: Kalman-slope baseline, CR vs noise amplitude (noisy ramp)",
+        "noise amplitude (× ε)",
+        vec![
+            "linear".to_string(),
+            "kalman".to_string(),
+            "swing".to_string(),
+            "slide".to_string(),
+        ],
+    );
+    let eps = 1.0;
+    for (i, &amp) in [0.5, 1.0, 2.0, 4.0, 8.0].iter().enumerate() {
+        let signal = noisy_ramp(cfg.n, amp * eps, cfg.seed ^ (0x500 + i as u64));
+        let linear = report(FilterKind::Linear, &[eps], &signal).compression_ratio;
+        let mut kf = KalmanFilter::with_noise(&[eps], 1e-4, 0.25).expect("valid");
+        let kalman = metrics::evaluate(&mut kf, &signal).expect("valid").compression_ratio;
+        let swing = report(FilterKind::Swing, &[eps], &signal).compression_ratio;
+        let slide = report(FilterKind::Slide, &[eps], &signal).compression_ratio;
+        table.push_row(amp, vec![linear, kalman, swing, slide]);
+    }
+    table
+}
+
+/// A linear trend with uniform noise of the given amplitude — the
+/// workload where a smoothed slope estimate shines.
+fn noisy_ramp(n: usize, amplitude: f64, seed: u64) -> Signal {
+    let jitter = random_walk(WalkParams {
+        n,
+        p_decrease: 0.5,
+        max_delta: amplitude,
+        seed,
+    });
+    let mut out = Signal::with_capacity(1, n);
+    let mut prev = 0.0;
+    for (j, (t, x)) in jitter.iter().enumerate() {
+        // De-integrate the walk into i.i.d.-ish noise around a ramp.
+        let noise = x[0] - prev;
+        prev = x[0];
+        out.push(t, &[0.3 * j as f64 + noise]).expect("monotone time");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn optgap_is_small_and_bounded_below() {
+        let t = optgap_experiment(&Config::quick());
+        let bound = t.series_values("recording lower bound");
+        let slide = t.series_values("slide recordings");
+        let gap = t.series_values("slide / bound");
+        for i in 0..t.rows.len() {
+            assert!(slide[i] >= bound[i], "row {i}: recordings below lower bound");
+            assert!(
+                gap[i] <= 2.0 + 1e-9,
+                "row {i}: slide spends more than 2× the lower bound ({})",
+                gap[i]
+            );
+        }
+    }
+
+    #[test]
+    fn swab_slide_lookahead_not_worse_than_linear() {
+        let t = swab_experiment(&Config::quick());
+        let lin = t.series_values("swab(linear)");
+        let sli = t.series_values("swab(slide)");
+        for i in 0..t.rows.len() {
+            assert!(
+                sli[i] <= lin[i] * 1.15 + 2.0,
+                "row {i}: swab(slide) {} much worse than swab(linear) {}",
+                sli[i],
+                lin[i]
+            );
+        }
+    }
+
+    #[test]
+    fn kalman_beats_linear_on_noisy_trends() {
+        let t = kalman_experiment(&Config::quick());
+        let linear = t.series_values("linear");
+        let kalman = t.series_values("kalman");
+        let slide = t.series_values("slide");
+        let mut kalman_wins = 0;
+        for i in 0..t.rows.len() {
+            if kalman[i] > linear[i] {
+                kalman_wins += 1;
+            }
+            // The paper's point stands: swing/slide beat the
+            // single-hypothesis Kalman approach too.
+            assert!(
+                slide[i] >= kalman[i] * 0.95,
+                "row {i}: slide {} should not trail kalman {}",
+                slide[i],
+                kalman[i]
+            );
+        }
+        assert!(
+            kalman_wins >= t.rows.len() / 2,
+            "kalman should beat plain linear on most noise levels"
+        );
+    }
+}

@@ -1,0 +1,93 @@
+//! Experiment implementations, one per figure (see the crate docs).
+
+mod ablations;
+mod extensions;
+mod overhead;
+mod realdata;
+mod synthetic;
+
+pub use ablations::{
+    bytes_ablation, connect_ablation, hull_ablation, lag_ablation, variants_ablation,
+};
+pub use extensions::{kalman_experiment, optgap_experiment, swab_experiment};
+pub use overhead::fig13_overhead;
+pub use realdata::{fig6_signal, fig7_compression, fig8_error};
+pub use synthetic::{
+    fig10_delta, fig11_dims, fig12_correlation, fig9_monotonicity, joint_vs_independent,
+};
+
+use pla_core::metrics::{self, CompressionReport};
+use pla_core::Signal;
+
+use crate::FilterKind;
+
+/// Shared experiment configuration.
+///
+/// Defaults match the scale of the paper's setup; [`Config::quick`] is a
+/// reduced configuration for unit tests and smoke runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Config {
+    /// Number of synthetic samples per run (§5.3/§5.4 workloads).
+    pub n: usize,
+    /// Base RNG seed; sweeps derive per-point seeds from it.
+    pub seed: u64,
+    /// Minimum wall-clock time per timing measurement (Figure 13).
+    pub timing_min_ms: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self { n: 20_000, seed: 0xC0FFEE, timing_min_ms: 50 }
+    }
+}
+
+impl Config {
+    /// Reduced configuration for tests and smoke runs.
+    pub fn quick() -> Self {
+        Self { n: 2_000, seed: 0xC0FFEE, timing_min_ms: 2 }
+    }
+}
+
+/// Runs one filter kind over a signal and returns the full report.
+pub(crate) fn report(kind: FilterKind, eps: &[f64], signal: &Signal) -> CompressionReport {
+    let mut filter = kind.build(eps);
+    metrics::evaluate(filter.as_mut(), signal).expect("valid signal")
+}
+
+/// Compression ratio of one filter kind over a signal.
+pub(crate) fn cr(kind: FilterKind, eps: &[f64], signal: &Signal) -> f64 {
+    report(kind, eps, signal).compression_ratio
+}
+
+/// The paper's precision-width grid for the sea-surface figures
+/// (percent of the signal's range; Figures 7/8 use up to 10%,
+/// Figure 13 extends to 100%).
+pub(crate) const PRECISION_GRID: [f64; 6] = [0.0316, 0.1, 0.316, 1.0, 3.16, 10.0];
+
+/// Extended grid for the overhead figure.
+pub(crate) const PRECISION_GRID_WIDE: [f64; 8] =
+    [0.0316, 0.1, 0.316, 1.0, 3.16, 10.0, 31.6, 100.0];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_defaults_are_sane() {
+        let c = Config::default();
+        assert!(c.n >= 10_000);
+        let q = Config::quick();
+        assert!(q.n < c.n);
+    }
+
+    #[test]
+    fn report_runs_every_paper_filter() {
+        let signal = pla_signal::waveforms::sine(300, 2.0, 60.0);
+        for kind in FilterKind::PAPER_SET {
+            let r = report(kind, &[0.25], &signal);
+            assert_eq!(r.n_points, 300);
+            assert!(r.compression_ratio > 0.0, "{}", kind.label());
+            assert!(r.error.max_abs_overall() <= 0.25 * (1.0 + 1e-6));
+        }
+    }
+}

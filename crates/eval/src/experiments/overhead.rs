@@ -1,0 +1,127 @@
+//! Figure 13: per-point processing overhead.
+//!
+//! The paper feeds the sea-surface signal through each filter, varying
+//! the precision width (which controls the average filtering-interval
+//! length — the only knob that matters for per-point cost), and reports
+//! microseconds per data point. The headline observations to reproduce:
+//!
+//! * cache, linear, swing, and the *optimized* slide filter are flat —
+//!   their per-point cost does not grow with interval length;
+//! * the non-optimized slide filter (no convex-hull maintenance; scans
+//!   every stored point) blows up as coarser precision makes intervals
+//!   longer;
+//! * absolute costs sit in the microsecond-or-below regime.
+
+use std::time::{Duration, Instant};
+
+use pla_core::metrics::CountingSink;
+use pla_core::Signal;
+use pla_signal::sea_surface;
+
+use crate::experiments::{Config, PRECISION_GRID_WIDE};
+use crate::{FilterKind, Table};
+
+/// Measures mean per-point processing time (µs) of one filter
+/// configuration, re-running the whole signal until `min_duration` has
+/// elapsed (the paper repeats 10 000×; we repeat adaptively).
+pub fn time_per_point_us(
+    kind: FilterKind,
+    eps: &[f64],
+    signal: &Signal,
+    min_duration: Duration,
+) -> f64 {
+    let mut total = Duration::ZERO;
+    let mut points = 0u64;
+    // Warm-up pass (page in code and data).
+    run_once(kind, eps, signal);
+    while total < min_duration {
+        let start = Instant::now();
+        run_once(kind, eps, signal);
+        total += start.elapsed();
+        points += signal.len() as u64;
+    }
+    total.as_secs_f64() * 1e6 / points as f64
+}
+
+fn run_once(kind: FilterKind, eps: &[f64], signal: &Signal) {
+    let mut filter = kind.build(eps);
+    let mut sink = CountingSink::default();
+    for (t, x) in signal.iter() {
+        filter.push(t, x, &mut sink).expect("valid signal");
+    }
+    filter.finish(&mut sink).expect("flush");
+    // Keep the sink's counters observable so the work is not elided.
+    std::hint::black_box(sink);
+}
+
+/// Figure 13: processing time per data point (µs) vs precision width for
+/// all five filter configurations on the sea-surface signal.
+pub fn fig13_overhead(cfg: &Config) -> Table {
+    let signal = sea_surface();
+    let mut table = Table::new(
+        "Figure 13: processing time per data point (µs) vs precision width",
+        "precision (% of range)",
+        FilterKind::OVERHEAD_SET.iter().map(|f| f.label().to_string()).collect(),
+    );
+    let min_duration = Duration::from_millis(cfg.timing_min_ms);
+    for &pct in &PRECISION_GRID_WIDE {
+        let eps = signal.epsilons_from_range_percent(pct);
+        let values = FilterKind::OVERHEAD_SET
+            .iter()
+            .map(|&kind| time_per_point_us(kind, &eps, &signal, min_duration))
+            .collect();
+        table.push_row(pct, values);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn optimized_filters_stay_flat_but_exhaustive_slide_blows_up() {
+        let cfg = Config::quick();
+        let t = fig13_overhead(&cfg);
+        let opt = t.series_values("slide");
+        let exh = t.series_values("slide (non-optimized)");
+        // At the coarsest precision the intervals span hundreds of points:
+        // the exhaustive filter must be far slower than the optimized one.
+        let last = t.rows.len() - 1;
+        assert!(
+            exh[last] > 3.0 * opt[last],
+            "exhaustive {} µs should dwarf optimized {} µs at 100% precision",
+            exh[last],
+            opt[last]
+        );
+        // The optimized slide filter must not blow up with interval
+        // length: compare the finest and coarsest rows within an order of
+        // magnitude.
+        assert!(
+            opt[last] < opt[0] * 10.0 + 1.0,
+            "optimized slide not flat: {} → {} µs",
+            opt[0],
+            opt[last]
+        );
+    }
+
+    #[test]
+    fn all_filters_run_in_microseconds() {
+        let cfg = Config::quick();
+        let signal = sea_surface();
+        let eps = signal.epsilons_from_range_percent(1.0);
+        for kind in FilterKind::PAPER_SET {
+            let us = time_per_point_us(
+                kind,
+                &eps,
+                &signal,
+                Duration::from_millis(cfg.timing_min_ms),
+            );
+            assert!(
+                us < 50.0,
+                "{} took {us} µs per point — far above the paper's regime",
+                kind.label()
+            );
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Figures 6–8: the sea-surface-temperature experiments.
+
+use pla_core::Signal;
+use pla_signal::sea_surface;
+
+use crate::experiments::{cr, report, Config, PRECISION_GRID};
+use crate::{FilterKind, Table};
+
+/// Figure 6: the (proxy) sea-surface temperature signal itself.
+///
+/// The paper plots the raw trace; this returns it for dumping/plotting.
+pub fn fig6_signal() -> Signal {
+    sea_surface()
+}
+
+/// Figure 7: compression ratio vs precision width (% of range) for the
+/// four filters on the sea-surface signal.
+///
+/// Paper shape: slide > swing > cache > linear at every precision, with
+/// the slide filter's advantage exploding at coarse precision (up to
+/// ~19.7× over linear at 10%).
+pub fn fig7_compression(_cfg: &Config) -> Table {
+    let signal = sea_surface();
+    let mut table = Table::new(
+        "Figure 7: compression ratio vs precision width — sea surface temperature",
+        "precision (% of range)",
+        FilterKind::PAPER_SET.iter().map(|f| f.label().to_string()).collect(),
+    );
+    for &pct in &PRECISION_GRID {
+        let eps = signal.epsilons_from_range_percent(pct);
+        let values = FilterKind::PAPER_SET
+            .iter()
+            .map(|&kind| cr(kind, &eps, &signal))
+            .collect();
+        table.push_row(pct, values);
+    }
+    table
+}
+
+/// Figure 8: average reconstruction error (% of range) vs precision width
+/// on the sea-surface signal.
+///
+/// Paper shape: all filters' average error is far below the prescribed
+/// precision (≤ ~45% of it); slide/swing/cache nearly coincide and the
+/// linear filter is slightly lower (it also compresses least).
+pub fn fig8_error(_cfg: &Config) -> Table {
+    let signal = sea_surface();
+    let (lo, hi) = signal.range(0).expect("non-empty");
+    let range = hi - lo;
+    let mut table = Table::new(
+        "Figure 8: average error vs precision width — sea surface temperature",
+        "precision (% of range)",
+        FilterKind::PAPER_SET.iter().map(|f| f.label().to_string()).collect(),
+    );
+    for &pct in &PRECISION_GRID {
+        let eps = signal.epsilons_from_range_percent(pct);
+        let values = FilterKind::PAPER_SET
+            .iter()
+            .map(|&kind| {
+                let r = report(kind, &eps, &signal);
+                r.error.mean_abs_overall() / range * 100.0
+            })
+            .collect();
+        table.push_row(pct, values);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig7_slide_dominates_and_swing_beats_baselines() {
+        let t = fig7_compression(&Config::quick());
+        let slide = t.series_values("slide");
+        let swing = t.series_values("swing");
+        let cache = t.series_values("cache");
+        let linear = t.series_values("linear");
+        for i in 0..t.rows.len() {
+            assert!(
+                slide[i] >= swing[i] * 0.95,
+                "row {i}: slide {} should not trail swing {}",
+                slide[i],
+                swing[i]
+            );
+            assert!(slide[i] >= 1.0, "compression ratio below 1 at row {i}");
+            assert!(
+                slide[i] >= linear[i],
+                "row {i}: slide must dominate the linear filter"
+            );
+            // Cache can nose ahead at precisions finer than the sensor's
+            // 0.01 °C quantization (constant runs cost it one recording);
+            // from 0.316% up, slide must dominate as in the paper.
+            if t.rows[i].0 >= 0.3 {
+                assert!(
+                    slide[i] >= cache[i],
+                    "row {i}: slide {} must dominate cache {}",
+                    slide[i],
+                    cache[i]
+                );
+            }
+        }
+        // Paper: ratios grow with precision width; check endpoints.
+        assert!(slide.last().unwrap() > &slide[0]);
+        // Paper: the cache filter beats the linear filter on this signal
+        // (values repeat often). Check at the coarser precisions where the
+        // effect is pronounced.
+        let last = t.rows.len() - 1;
+        assert!(
+            cache[last] > linear[last],
+            "cache {} should beat linear {} at 10% precision",
+            cache[last],
+            linear[last]
+        );
+    }
+
+    #[test]
+    fn fig8_errors_stay_below_precision() {
+        let t = fig8_error(&Config::quick());
+        for (row, (pct, values)) in t.rows.iter().enumerate() {
+            for (s, v) in t.series.iter().zip(values.iter()) {
+                assert!(
+                    v <= pct,
+                    "row {row}: {s} average error {v}% exceeds precision {pct}%"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fig6_is_the_paper_scale_signal() {
+        let s = fig6_signal();
+        assert_eq!(s.len(), 1285);
+        assert_eq!(s.dims(), 1);
+    }
+}

@@ -1,0 +1,281 @@
+//! Figures 9–12 and the §5.4 analysis: synthetic random-walk experiments.
+
+use pla_core::filters::{SlideFilter, StreamFilter};
+use pla_signal::{correlated_walk, multi_walk, random_walk, WalkParams};
+use pla_transport::packing::compare_joint_vs_independent;
+
+use crate::experiments::{cr, Config};
+use crate::{FilterKind, Table};
+
+/// The synthetic experiments fix ε = 1 and express the step magnitude `x`
+/// relative to it, exactly as the paper does ("% of precision width").
+const EPS: f64 = 1.0;
+
+/// Figure 9: compression ratio vs the probability `p` of a decreasing
+/// step (degree of monotonicity), with `x = 400%` of the precision width.
+///
+/// Paper shape: slide ≳ swing > linear > cache everywhere; everything but
+/// cache degrades as the signal turns from monotone (`p = 0`) to
+/// oscillating (`p = 0.5`); slide-over-cache improvement runs from ~200%
+/// (p=0) to ~70% (p=0.5).
+pub fn fig9_monotonicity(cfg: &Config) -> Table {
+    let mut table = Table::new(
+        "Figure 9: compression ratio vs degree of monotonicity (x = 400% of ε)",
+        "p (probability of decrease)",
+        FilterKind::PAPER_SET.iter().map(|f| f.label().to_string()).collect(),
+    );
+    for step in 0..=10 {
+        let p = step as f64 * 0.05;
+        let signal = random_walk(WalkParams {
+            n: cfg.n,
+            p_decrease: p,
+            max_delta: 4.0 * EPS,
+            seed: cfg.seed ^ (step as u64),
+        });
+        let values = FilterKind::PAPER_SET
+            .iter()
+            .map(|&kind| cr(kind, &[EPS], &signal))
+            .collect();
+        table.push_row(p, values);
+    }
+    table
+}
+
+/// Figure 10: compression ratio vs maximum step magnitude `x`
+/// (% of precision width, log grid), with `p = 0.5`.
+///
+/// Paper shape: all ratios fall as `x` grows; slide wins throughout
+/// (+266% over linear at x=10% down to +19.5% at x=10000%); cache beats
+/// linear when `x < ε` because oscillation inside the band suits constant
+/// prediction.
+pub fn fig10_delta(cfg: &Config) -> Table {
+    let mut table = Table::new(
+        "Figure 10: compression ratio vs step magnitude (p = 0.5)",
+        "max delta (% of ε)",
+        FilterKind::PAPER_SET.iter().map(|f| f.label().to_string()).collect(),
+    );
+    for (i, &pct) in [10.0, 31.6, 100.0, 316.0, 1000.0, 3160.0, 10_000.0].iter().enumerate() {
+        let signal = random_walk(WalkParams {
+            n: cfg.n,
+            p_decrease: 0.5,
+            max_delta: pct / 100.0 * EPS,
+            seed: cfg.seed ^ (0x10 + i as u64),
+        });
+        let values = FilterKind::PAPER_SET
+            .iter()
+            .map(|&kind| cr(kind, &[EPS], &signal))
+            .collect();
+        table.push_row(pct, values);
+    }
+    table
+}
+
+/// Figure 11: compression ratio vs number of (independent) dimensions,
+/// `p = 0.5`, `x = 400%` of ε.
+///
+/// Paper shape: ratios fall as dimensions are added (any dimension's
+/// violation cuts everyone's interval); slide and swing stay on top.
+pub fn fig11_dims(cfg: &Config) -> Table {
+    let mut table = Table::new(
+        "Figure 11: compression ratio vs number of dimensions",
+        "dimensions",
+        FilterKind::PAPER_SET.iter().map(|f| f.label().to_string()).collect(),
+    );
+    for d in 1..=10usize {
+        let signal = multi_walk(
+            d,
+            WalkParams {
+                n: cfg.n,
+                p_decrease: 0.5,
+                max_delta: 4.0 * EPS,
+                seed: cfg.seed ^ (0x100 + d as u64),
+            },
+        );
+        let eps = vec![EPS; d];
+        let values = FilterKind::PAPER_SET
+            .iter()
+            .map(|&kind| cr(kind, &eps, &signal))
+            .collect();
+        table.push_row(d as f64, values);
+    }
+    table
+}
+
+/// Figure 12: compression ratio vs correlation between the five
+/// dimensions of a joint signal.
+///
+/// Paper shape: ratios rise with correlation (correlated dimensions
+/// violate together); slide and swing dominate throughout.
+pub fn fig12_correlation(cfg: &Config) -> Table {
+    let mut table = Table::new(
+        "Figure 12: compression ratio vs dimension correlation (d = 5)",
+        "correlation",
+        FilterKind::PAPER_SET.iter().map(|f| f.label().to_string()).collect(),
+    );
+    for step in 1..=10 {
+        let rho = step as f64 * 0.1;
+        let signal = correlated_walk(
+            5,
+            rho,
+            WalkParams {
+                n: cfg.n,
+                p_decrease: 0.5,
+                max_delta: 4.0 * EPS,
+                seed: cfg.seed ^ (0x200 + step as u64),
+            },
+        );
+        let eps = vec![EPS; 5];
+        let values = FilterKind::PAPER_SET
+            .iter()
+            .map(|&kind| cr(kind, &eps, &signal))
+            .collect();
+        table.push_row(rho, values);
+    }
+    table
+}
+
+/// §5.4: joint vs independent compression of a 5-dimensional signal as a
+/// function of correlation, in scalar units.
+///
+/// Paper analysis: with a single-dimension ratio of 2.47, independent
+/// compression is worth `2.47·(5+1)/(2·5) = 1.48`; joint compression
+/// overtakes it once correlation exceeds ≈ 0.7. The table reports both
+/// measured ratios plus the paper's closed-form model.
+pub fn joint_vs_independent(cfg: &Config) -> Table {
+    let mut table = Table::new(
+        "§5.4: joint vs independent compression (slide filter, d = 5)",
+        "correlation",
+        vec![
+            "joint CR".to_string(),
+            "independent CR (scalar units)".to_string(),
+            "independent CR (paper model)".to_string(),
+        ],
+    );
+    for step in 1..=10 {
+        let rho = step as f64 * 0.1;
+        let signal = correlated_walk(
+            5,
+            rho,
+            WalkParams {
+                n: cfg.n,
+                p_decrease: 0.5,
+                max_delta: 4.0 * EPS,
+                seed: cfg.seed ^ (0x300 + step as u64),
+            },
+        );
+        let eps = vec![EPS; 5];
+        let cmp = compare_joint_vs_independent(&signal, &eps, |e| {
+            Box::new(SlideFilter::new(e).unwrap()) as Box<dyn StreamFilter>
+        })
+        .expect("valid signal");
+        table.push_row(
+            rho,
+            vec![cmp.joint_cr, cmp.independent_cr, cmp.independent_cr_model],
+        );
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Config {
+        Config::quick()
+    }
+
+    #[test]
+    fn fig9_slide_and_swing_beat_baselines() {
+        let t = fig9_monotonicity(&quick());
+        let slide = t.series_values("slide");
+        let swing = t.series_values("swing");
+        let cache = t.series_values("cache");
+        let linear = t.series_values("linear");
+        for i in 0..t.rows.len() {
+            let best_base = cache[i].max(linear[i]);
+            assert!(
+                slide[i] >= best_base,
+                "row {i}: slide {} below best baseline {best_base}",
+                slide[i]
+            );
+            assert!(
+                swing[i] >= 0.9 * best_base,
+                "row {i}: swing {} far below best baseline {best_base}",
+                swing[i]
+            );
+        }
+        // Monotone signals compress better than oscillating ones.
+        assert!(slide[0] > *slide.last().unwrap());
+    }
+
+    #[test]
+    fn fig10_ratios_fall_with_delta_and_cache_beats_linear_when_small() {
+        let t = fig10_delta(&quick());
+        let slide = t.series_values("slide");
+        let cache = t.series_values("cache");
+        let linear = t.series_values("linear");
+        // Paper: cache beats linear when x < ε (first row, x = 10% of ε).
+        assert!(
+            cache[0] > linear[0],
+            "cache {} should beat linear {} at x = 10% of ε",
+            cache[0],
+            linear[0]
+        );
+        // Ratios drop from the first to the last row for every filter.
+        for name in ["cache", "linear", "swing", "slide"] {
+            let v = t.series_values(name);
+            assert!(
+                v[0] > *v.last().unwrap(),
+                "{name}: CR should fall as delta grows"
+            );
+        }
+        // Slide dominates at both extremes.
+        assert!(slide[0] >= linear[0] && slide[0] >= cache[0]);
+        let last = t.rows.len() - 1;
+        assert!(slide[last] >= linear[last] * 0.95);
+    }
+
+    #[test]
+    fn fig11_ratio_falls_with_dimensions() {
+        let t = fig11_dims(&quick());
+        for name in ["swing", "slide"] {
+            let v = t.series_values(name);
+            assert!(
+                v[0] > *v.last().unwrap(),
+                "{name}: CR should fall from d=1 to d=10"
+            );
+        }
+        let slide = t.series_values("slide");
+        let cache = t.series_values("cache");
+        let linear = t.series_values("linear");
+        for i in 0..t.rows.len() {
+            assert!(slide[i] >= cache[i].max(linear[i]) * 0.95, "row {i}");
+        }
+    }
+
+    #[test]
+    fn fig12_ratio_rises_with_correlation() {
+        let t = fig12_correlation(&quick());
+        for name in ["swing", "slide"] {
+            let v = t.series_values(name);
+            assert!(
+                *v.last().unwrap() > v[0],
+                "{name}: CR should rise from ρ=0.1 to ρ=1.0 ({} vs {})",
+                v.last().unwrap(),
+                v[0]
+            );
+        }
+    }
+
+    #[test]
+    fn joint_wins_only_at_high_correlation() {
+        let t = joint_vs_independent(&quick());
+        let joint = t.series_values("joint CR");
+        let indep = t.series_values("independent CR (scalar units)");
+        // At ρ=0.1 independent wins; at ρ=1.0 joint wins (paper's §5.4
+        // crossover logic).
+        assert!(indep[0] > joint[0], "independent should win at ρ=0.1");
+        let last = t.rows.len() - 1;
+        assert!(joint[last] > indep[last], "joint should win at ρ=1.0");
+    }
+}

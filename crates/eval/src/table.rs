@@ -1,0 +1,170 @@
+//! Result tables: the series a paper figure plots, printable as aligned
+//! text, markdown, or CSV.
+
+use std::fmt::Write as _;
+
+/// A figure's data: one x column and one y column per series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    /// Figure title.
+    pub title: String,
+    /// Label of the x column.
+    pub x_label: String,
+    /// Series names (paper legend entries).
+    pub series: Vec<String>,
+    /// Rows: x value plus one y per series.
+    pub rows: Vec<(f64, Vec<f64>)>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        series: Vec<String>,
+    ) -> Self {
+        Self { title: title.into(), x_label: x_label.into(), series, rows: Vec::new() }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value count does not match the series count.
+    pub fn push_row(&mut self, x: f64, values: Vec<f64>) {
+        assert_eq!(values.len(), self.series.len(), "row width mismatch");
+        self.rows.push((x, values));
+    }
+
+    /// All y values of one series, in row order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the series does not exist.
+    pub fn series_values(&self, name: &str) -> Vec<f64> {
+        let idx = self
+            .series
+            .iter()
+            .position(|s| s == name)
+            .unwrap_or_else(|| panic!("no series named {name:?}"));
+        self.rows.iter().map(|(_, v)| v[idx]).collect()
+    }
+
+    /// The x values, in row order.
+    pub fn x_values(&self) -> Vec<f64> {
+        self.rows.iter().map(|(x, _)| *x).collect()
+    }
+
+    /// Renders as an aligned plain-text table.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "# {}", self.title);
+        let headers: Vec<String> = std::iter::once(self.x_label.clone())
+            .chain(self.series.iter().cloned())
+            .collect();
+        let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+        let cells: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|(x, vals)| {
+                std::iter::once(format_num(*x))
+                    .chain(vals.iter().map(|v| format_num(*v)))
+                    .collect()
+            })
+            .collect();
+        for row in &cells {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let write_row = |out: &mut String, row: &[String]| {
+            for (i, c) in row.iter().enumerate() {
+                let _ = write!(out, "{:>w$}  ", c, w = widths[i]);
+            }
+            out.push('\n');
+        };
+        write_row(&mut out, &headers);
+        for row in &cells {
+            write_row(&mut out, row);
+        }
+        out
+    }
+
+    /// Renders as CSV (header + rows).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(out, "{}", self.x_label);
+        for s in &self.series {
+            let _ = write!(out, ",{s}");
+        }
+        out.push('\n');
+        for (x, vals) in &self.rows {
+            let _ = write!(out, "{x}");
+            for v in vals {
+                let _ = write!(out, ",{v}");
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+fn format_num(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 1000.0 || v.abs() < 0.001 {
+        format!("{v:.3e}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("Demo", "x", vec!["a".into(), "b".into()]);
+        t.push_row(1.0, vec![2.0, 3.0]);
+        t.push_row(2.0, vec![4.0, 6.0]);
+        t
+    }
+
+    #[test]
+    fn series_extraction() {
+        let t = sample();
+        assert_eq!(t.series_values("a"), vec![2.0, 4.0]);
+        assert_eq!(t.series_values("b"), vec![3.0, 6.0]);
+        assert_eq!(t.x_values(), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_enforced() {
+        sample().push_row(3.0, vec![1.0]);
+    }
+
+    #[test]
+    fn text_render_contains_all_cells() {
+        let text = sample().to_text();
+        assert!(text.contains("Demo"));
+        assert!(text.contains("2.0000"));
+        assert!(text.contains("6.0000"));
+    }
+
+    #[test]
+    fn csv_round_shape() {
+        let csv = sample().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "x,a,b");
+        assert_eq!(lines[1], "1,2,3");
+    }
+
+    #[test]
+    fn extreme_values_format() {
+        assert_eq!(format_num(0.0), "0");
+        assert!(format_num(123456.0).contains('e'));
+        assert!(format_num(0.0000123).contains('e'));
+    }
+}

@@ -1,0 +1,292 @@
+//! Incremental convex hull of a time-ordered point stream.
+//!
+//! The slide filter (paper §4.1, Lemma 4.3) only ever inserts points with
+//! strictly increasing `t`, which makes the hull maintenance the append-only
+//! half of Andrew's monotone-chain algorithm: keep an *upper* chain (turns
+//! clockwise as `t` grows) and a *lower* chain (turns counter-clockwise),
+//! push the new point onto both, and pop middle vertices that break the
+//! turn invariant. Each point is pushed and popped at most once per chain,
+//! so maintenance is amortized O(1) per point.
+//!
+//! The paper's Algorithm 2 consults the chains as follows (everything in
+//! one dimension `i`):
+//!
+//! * raising the lower envelope `lᵢᵏ` scans the **upper** chain shifted up
+//!   by `εᵢ` (candidates `(t_j′, X_j′ + εᵢ)`, Alg. 2 line 35);
+//! * lowering the upper envelope `uᵢᵏ` scans the **lower** chain shifted
+//!   down by `εᵢ` (candidates `(t_j′, X_j′ − εᵢ)`, Alg. 2 line 38).
+
+use crate::point::{cross, Point2};
+
+/// Which of the two hull chains to address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Chain {
+    /// The chain bounding the points from above (clockwise turns).
+    Upper,
+    /// The chain bounding the points from below (counter-clockwise turns).
+    Lower,
+}
+
+/// Convex hull of a stream of points with strictly increasing `t`.
+///
+/// Both chains share their first and last vertex (the oldest and newest
+/// point), mirroring the list layout described in paper §4.1.
+///
+/// ```
+/// use pla_geom::{IncrementalHull, Chain, Point2};
+///
+/// let mut hull = IncrementalHull::new();
+/// for (t, x) in [(0.0, 0.0), (1.0, 2.0), (2.0, 1.0), (3.0, 3.0)] {
+///     hull.push(Point2::new(t, x));
+/// }
+/// // (1.0, 2.0) survives on the upper chain, (2.0, 1.0) on the lower one.
+/// assert_eq!(hull.chain(Chain::Upper).len(), 3);
+/// assert_eq!(hull.chain(Chain::Lower).len(), 3);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct IncrementalHull {
+    upper: Vec<Point2>,
+    lower: Vec<Point2>,
+    len: usize,
+}
+
+impl IncrementalHull {
+    /// An empty hull.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty hull with vertex capacity reserved on both chains.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            upper: Vec::with_capacity(cap),
+            lower: Vec::with_capacity(cap),
+            len: 0,
+        }
+    }
+
+    /// Number of points inserted since the last [`clear`](Self::clear).
+    #[inline]
+    pub fn num_points(&self) -> usize {
+        self.len
+    }
+
+    /// Total number of distinct hull vertices (shared endpoints counted
+    /// once). This is the paper's `m_H`.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        match self.len {
+            0 => 0,
+            1 => 1,
+            // Endpoints appear on both chains.
+            _ => self.upper.len() + self.lower.len() - 2,
+        }
+    }
+
+    /// The vertices of one chain, oldest first.
+    #[inline]
+    pub fn chain(&self, which: Chain) -> &[Point2] {
+        match which {
+            Chain::Upper => &self.upper,
+            Chain::Lower => &self.lower,
+        }
+    }
+
+    /// Removes all points, retaining buffer capacity for reuse by the next
+    /// filtering interval.
+    pub fn clear(&mut self) {
+        self.upper.clear();
+        self.lower.clear();
+        self.len = 0;
+    }
+
+    /// Inserts a point.
+    ///
+    /// # Panics
+    ///
+    /// In debug builds, panics if `p.t` is not strictly greater than the
+    /// previously inserted timestamp; the filters validate monotonicity at
+    /// their own boundary, so this is an internal invariant.
+    pub fn push(&mut self, p: Point2) {
+        debug_assert!(
+            self.upper.last().is_none_or(|q| q.t < p.t),
+            "hull points must arrive in strictly increasing time order"
+        );
+        // Upper chain: walking oldest→newest must turn clockwise (Right);
+        // pop middle points that make a left/straight turn. Collinear
+        // middles are dropped — they can never host a strictly better
+        // tangent than the surviving endpoints.
+        while self.upper.len() >= 2 {
+            let a = self.upper[self.upper.len() - 2];
+            let b = self.upper[self.upper.len() - 1];
+            if cross(a, b, p) >= 0.0 {
+                self.upper.pop();
+            } else {
+                break;
+            }
+        }
+        self.upper.push(p);
+        // Lower chain: must turn counter-clockwise (Left).
+        while self.lower.len() >= 2 {
+            let a = self.lower[self.lower.len() - 2];
+            let b = self.lower[self.lower.len() - 1];
+            if cross(a, b, p) <= 0.0 {
+                self.lower.pop();
+            } else {
+                break;
+            }
+        }
+        self.lower.push(p);
+        self.len += 1;
+    }
+
+    /// The most recently inserted point, if any.
+    #[inline]
+    pub fn last(&self) -> Option<Point2> {
+        self.upper.last().copied()
+    }
+
+    /// The oldest retained point, if any.
+    #[inline]
+    pub fn first(&self) -> Option<Point2> {
+        self.upper.first().copied()
+    }
+}
+
+/// Batch convex hull (Andrew's monotone chain) used as the test oracle for
+/// [`IncrementalHull`].
+///
+/// Input must be sorted by strictly increasing `t` (which the filters
+/// guarantee). Returns `(upper, lower)` chains including both endpoints.
+pub fn batch_hull(points: &[Point2]) -> (Vec<Point2>, Vec<Point2>) {
+    let mut h = IncrementalHull::with_capacity(points.len());
+    for &p in points {
+        h.push(p);
+    }
+    (h.upper, h.lower)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts(v: &[(f64, f64)]) -> Vec<Point2> {
+        v.iter().map(|&(t, x)| Point2::new(t, x)).collect()
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let mut h = IncrementalHull::new();
+        assert_eq!(h.num_vertices(), 0);
+        h.push(Point2::new(0.0, 1.0));
+        assert_eq!(h.num_vertices(), 1);
+        assert_eq!(h.chain(Chain::Upper), h.chain(Chain::Lower));
+    }
+
+    #[test]
+    fn two_points_share_both_chains() {
+        let mut h = IncrementalHull::new();
+        h.push(Point2::new(0.0, 0.0));
+        h.push(Point2::new(1.0, 5.0));
+        assert_eq!(h.num_vertices(), 2);
+        assert_eq!(h.chain(Chain::Upper).len(), 2);
+        assert_eq!(h.chain(Chain::Lower).len(), 2);
+    }
+
+    #[test]
+    fn interior_point_is_dropped_from_both_chains() {
+        let mut h = IncrementalHull::new();
+        for p in pts(&[(0.0, 0.0), (1.0, 0.1), (2.0, 0.0)]) {
+            h.push(p);
+        }
+        // (1, 0.1) bulges up: stays on upper, leaves lower.
+        assert_eq!(h.chain(Chain::Upper).len(), 3);
+        assert_eq!(h.chain(Chain::Lower).len(), 2);
+    }
+
+    #[test]
+    fn collinear_middle_points_are_dropped() {
+        let mut h = IncrementalHull::new();
+        for p in pts(&[(0.0, 0.0), (1.0, 1.0), (2.0, 2.0), (3.0, 3.0)]) {
+            h.push(p);
+        }
+        assert_eq!(h.chain(Chain::Upper).len(), 2);
+        assert_eq!(h.chain(Chain::Lower).len(), 2);
+    }
+
+    #[test]
+    fn monotone_increasing_signal_has_two_vertex_chains_only_at_ends() {
+        let mut h = IncrementalHull::new();
+        for i in 0..100 {
+            // convex (accelerating) curve: all points on the lower hull,
+            // only the endpoints on the upper hull
+            h.push(Point2::new(i as f64, (i * i) as f64));
+        }
+        assert_eq!(h.chain(Chain::Upper).len(), 2);
+        assert_eq!(h.chain(Chain::Lower).len(), 100);
+    }
+
+    #[test]
+    fn chains_are_convex() {
+        let mut h = IncrementalHull::new();
+        let data = [
+            (0.0, 3.0),
+            (1.0, -1.0),
+            (2.0, 4.0),
+            (3.0, 0.5),
+            (4.0, 2.0),
+            (5.0, -3.0),
+            (6.0, 1.0),
+        ];
+        for p in pts(&data) {
+            h.push(p);
+        }
+        let up = h.chain(Chain::Upper);
+        for w in up.windows(3) {
+            assert!(cross(w[0], w[1], w[2]) < 0.0, "upper chain must turn right");
+        }
+        let lo = h.chain(Chain::Lower);
+        for w in lo.windows(3) {
+            assert!(cross(w[0], w[1], w[2]) > 0.0, "lower chain must turn left");
+        }
+    }
+
+    #[test]
+    fn all_points_lie_on_or_inside_hull() {
+        let data: Vec<Point2> = (0..50)
+            .map(|i| {
+                let t = i as f64;
+                Point2::new(t, (t * 0.7).sin() * 3.0 + (t * 0.13).cos())
+            })
+            .collect();
+        let (upper, lower) = batch_hull(&data);
+        for &p in &data {
+            // below every upper edge, above every lower edge
+            for w in upper.windows(2) {
+                let l = crate::Line::through(w[0], w[1]);
+                if p.t >= w[0].t && p.t <= w[1].t {
+                    assert!(l.residual(p) <= 1e-9, "point {p:?} above upper hull");
+                }
+            }
+            for w in lower.windows(2) {
+                let l = crate::Line::through(w[0], w[1]);
+                if p.t >= w[0].t && p.t <= w[1].t {
+                    assert!(l.residual(p) >= -1e-9, "point {p:?} below lower hull");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn clear_retains_capacity() {
+        let mut h = IncrementalHull::with_capacity(16);
+        for i in 0..10 {
+            h.push(Point2::new(i as f64, (i % 3) as f64));
+        }
+        h.clear();
+        assert_eq!(h.num_points(), 0);
+        assert_eq!(h.num_vertices(), 0);
+        h.push(Point2::new(0.0, 0.0));
+        assert_eq!(h.num_vertices(), 1);
+    }
+}

@@ -1,0 +1,161 @@
+//! Non-vertical lines in the `(t, x)` plane, in point–slope form.
+//!
+//! The swing and slide envelopes (`uᵢᵏ`, `lᵢᵏ` in the paper) are stored as
+//! a line anchored at a point that lies *inside* the current filtering
+//! interval. Anchoring at an in-interval point — rather than, say, the
+//! intercept at `t = 0` — keeps evaluation numerically stable even when
+//! timestamps are large (e.g. Unix epochs): the products `slope · (t − t₀)`
+//! stay small.
+
+use crate::point::Point2;
+
+/// A non-vertical line `x(t) = x₀ + slope · (t − t₀)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Line {
+    /// Anchor time.
+    pub t0: f64,
+    /// Value at the anchor time.
+    pub x0: f64,
+    /// Slope `dx/dt`.
+    pub slope: f64,
+}
+
+impl Line {
+    /// Line through `anchor` with the given slope.
+    #[inline]
+    pub const fn new(anchor: Point2, slope: f64) -> Self {
+        Self { t0: anchor.t, x0: anchor.x, slope }
+    }
+
+    /// Line through two points with distinct timestamps.
+    ///
+    /// Anchored at `a`. Returns a line with infinite slope if the
+    /// timestamps coincide; callers are expected to have rejected
+    /// non-increasing timestamps already.
+    #[inline]
+    pub fn through(a: Point2, b: Point2) -> Self {
+        Self::new(a, a.slope_to(b))
+    }
+
+    /// Value of the line at time `t`.
+    #[inline]
+    pub fn eval(&self, t: f64) -> f64 {
+        self.x0 + self.slope * (t - self.t0)
+    }
+
+    /// The anchor point.
+    #[inline]
+    pub fn anchor(&self) -> Point2 {
+        Point2::new(self.t0, self.x0)
+    }
+
+    /// Re-anchors the line at time `t` without changing its graph.
+    ///
+    /// Useful before storing a line for a long time: the anchor should sit
+    /// near the times at which the line will later be evaluated.
+    #[inline]
+    pub fn anchored_at(&self, t: f64) -> Self {
+        Self { t0: t, x0: self.eval(t), slope: self.slope }
+    }
+
+    /// Time at which `self` and `other` intersect.
+    ///
+    /// Returns `None` for (near-)parallel lines — parallel feasible
+    /// envelopes mean the connection window of Lemma 4.4 is unbounded on
+    /// one side, which the slide filter handles explicitly.
+    #[inline]
+    pub fn intersection_t(&self, other: &Line) -> Option<f64> {
+        let ds = self.slope - other.slope;
+        if ds == 0.0 || !ds.is_finite() {
+            return None;
+        }
+        // self.x0 + s1 (t - t01) = other.x0 + s2 (t - t02)
+        let t = (other.x0 - self.x0 + self.slope * self.t0 - other.slope * other.t0) / ds;
+        t.is_finite().then_some(t)
+    }
+
+    /// Point at which `self` and `other` intersect.
+    #[inline]
+    pub fn intersection(&self, other: &Line) -> Option<Point2> {
+        self.intersection_t(other).map(|t| Point2::new(t, self.eval(t)))
+    }
+
+    /// The line shifted vertically by `dx`.
+    #[inline]
+    pub fn shifted(&self, dx: f64) -> Self {
+        Self { t0: self.t0, x0: self.x0 + dx, slope: self.slope }
+    }
+
+    /// Vertical distance `x − line(t)` of a point above the line
+    /// (negative when below).
+    #[inline]
+    pub fn residual(&self, p: Point2) -> f64 {
+        p.x - self.eval(p.t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn through_two_points_interpolates() {
+        let l = Line::through(Point2::new(1.0, 1.0), Point2::new(3.0, 5.0));
+        assert_eq!(l.slope, 2.0);
+        assert_eq!(l.eval(1.0), 1.0);
+        assert_eq!(l.eval(3.0), 5.0);
+        assert_eq!(l.eval(2.0), 3.0);
+    }
+
+    #[test]
+    fn intersection_of_crossing_lines() {
+        let a = Line::new(Point2::new(0.0, 0.0), 1.0);
+        let b = Line::new(Point2::new(0.0, 4.0), -1.0);
+        let p = a.intersection(&b).unwrap();
+        assert_eq!(p, Point2::new(2.0, 2.0));
+    }
+
+    #[test]
+    fn parallel_lines_do_not_intersect() {
+        let a = Line::new(Point2::new(0.0, 0.0), 0.5);
+        let b = Line::new(Point2::new(0.0, 1.0), 0.5);
+        assert_eq!(a.intersection_t(&b), None);
+    }
+
+    #[test]
+    fn reanchoring_preserves_graph() {
+        let l = Line::new(Point2::new(1.0e9, 3.0), 1.0e-3);
+        let r = l.anchored_at(1.0e9 + 500.0);
+        for dt in [0.0, 10.0, 123.456] {
+            let t = 1.0e9 + dt;
+            assert!((l.eval(t) - r.eval(t)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn residual_sign() {
+        let l = Line::new(Point2::new(0.0, 0.0), 1.0);
+        assert!(l.residual(Point2::new(1.0, 2.0)) > 0.0);
+        assert!(l.residual(Point2::new(1.0, 0.0)) < 0.0);
+        assert_eq!(l.residual(Point2::new(1.0, 1.0)), 0.0);
+    }
+
+    #[test]
+    fn shifted_moves_value() {
+        let l = Line::new(Point2::new(0.0, 1.0), 2.0).shifted(0.5);
+        assert_eq!(l.eval(0.0), 1.5);
+        assert_eq!(l.slope, 2.0);
+    }
+
+    #[test]
+    fn intersection_with_equal_slope_after_subtraction_is_none() {
+        let a = Line::new(Point2::new(0.0, 0.0), 1.0 + 1e-18);
+        let b = Line::new(Point2::new(0.0, 1.0), 1.0);
+        // slopes differ by less than f64 epsilon at this magnitude → the
+        // subtraction underflows to a denormal/zero; either answer (None or
+        // a huge t) must not be NaN.
+        if let Some(t) = a.intersection_t(&b) {
+            assert!(t.is_finite());
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Planar points in the `(t, x)` plane and orientation predicates.
+//!
+//! Throughout the workspace the horizontal axis is *time* and the vertical
+//! axis is the signal value of one dimension, matching the paper's
+//! "t–xᵢ plane" projections.
+
+/// A point in the `(t, x)` plane.
+///
+/// `t` is a timestamp, `x` the signal value of a single dimension at that
+/// time. Coordinates are `f64`; the filters never need exact arithmetic
+/// because every accept/reject decision already tolerates the prescribed
+/// precision width (see the crate docs of `pla-core`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Point2 {
+    /// Time coordinate.
+    pub t: f64,
+    /// Value coordinate.
+    pub x: f64,
+}
+
+impl Point2 {
+    /// Creates a point from its two coordinates.
+    #[inline]
+    pub const fn new(t: f64, x: f64) -> Self {
+        Self { t, x }
+    }
+
+    /// Returns this point shifted vertically by `dx` (used for the
+    /// `(t, x ± ε)` constructions of Lemmas 4.1–4.3).
+    #[inline]
+    pub fn shifted(self, dx: f64) -> Self {
+        Self { t: self.t, x: self.x + dx }
+    }
+
+    /// Slope of the line from `self` to `other`.
+    ///
+    /// Returns `±∞` when the two points share a timestamp; the filters
+    /// reject non-increasing timestamps before ever calling this.
+    #[inline]
+    pub fn slope_to(self, other: Point2) -> f64 {
+        (other.x - self.x) / (other.t - self.t)
+    }
+}
+
+/// Orientation of the ordered triple `(o, a, b)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Turn {
+    /// `b` lies to the left of the directed line `o → a`
+    /// (counter-clockwise).
+    Left,
+    /// `b` lies to the right of the directed line `o → a` (clockwise).
+    Right,
+    /// The three points are collinear.
+    Straight,
+}
+
+/// Twice the signed area of the triangle `(o, a, b)`.
+///
+/// Positive for a counter-clockwise (left) turn, negative for clockwise
+/// (right), zero for collinear points.
+#[inline]
+pub fn cross(o: Point2, a: Point2, b: Point2) -> f64 {
+    (a.t - o.t) * (b.x - o.x) - (a.x - o.x) * (b.t - o.t)
+}
+
+/// Classifies the turn made at `a` when walking `o → a → b`.
+#[inline]
+pub fn turn(o: Point2, a: Point2, b: Point2) -> Turn {
+    let c = cross(o, a, b);
+    if c > 0.0 {
+        Turn::Left
+    } else if c < 0.0 {
+        Turn::Right
+    } else {
+        Turn::Straight
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cross_sign_matches_orientation() {
+        let o = Point2::new(0.0, 0.0);
+        let a = Point2::new(1.0, 0.0);
+        let up = Point2::new(2.0, 1.0);
+        let down = Point2::new(2.0, -1.0);
+        let ahead = Point2::new(2.0, 0.0);
+        assert!(cross(o, a, up) > 0.0);
+        assert!(cross(o, a, down) < 0.0);
+        assert_eq!(cross(o, a, ahead), 0.0);
+    }
+
+    #[test]
+    fn turn_classification() {
+        let o = Point2::new(0.0, 0.0);
+        let a = Point2::new(1.0, 1.0);
+        assert_eq!(turn(o, a, Point2::new(1.0, 2.0)), Turn::Left);
+        assert_eq!(turn(o, a, Point2::new(2.0, 0.0)), Turn::Right);
+        assert_eq!(turn(o, a, Point2::new(2.0, 2.0)), Turn::Straight);
+    }
+
+    #[test]
+    fn slope_to_is_rise_over_run() {
+        let a = Point2::new(1.0, 2.0);
+        let b = Point2::new(3.0, 8.0);
+        assert_eq!(a.slope_to(b), 3.0);
+        assert_eq!(b.slope_to(a), 3.0);
+    }
+
+    #[test]
+    fn shifted_moves_only_x() {
+        let p = Point2::new(5.0, 1.0).shifted(0.25);
+        assert_eq!(p, Point2::new(5.0, 1.25));
+    }
+
+    #[test]
+    fn slope_to_vertical_is_infinite() {
+        let a = Point2::new(1.0, 0.0);
+        let b = Point2::new(1.0, 3.0);
+        assert!(a.slope_to(b).is_infinite());
+    }
+}

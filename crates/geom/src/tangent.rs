@@ -1,0 +1,230 @@
+//! Extreme-slope queries from a new point to an ε-shifted hull chain.
+//!
+//! When the slide filter must rebuild an envelope (paper Alg. 2 lines
+//! 34–39), it looks for the line through the shifted new point
+//! `q = (t_j, x_j ∓ ε)` and some shifted earlier point that has the extreme
+//! slope:
+//!
+//! * new **lower** envelope `lᵢᵏ`: *maximum* slope over lines through
+//!   `(t_j′, x_j′ + ε)` and `q = (t_j, x_j − ε)` — the up-shifted earlier
+//!   touch lives on the **lower** hull chain;
+//! * new **upper** envelope `uᵢᵏ`: *minimum* slope over lines through
+//!   `(t_j′, x_j′ − ε)` and `q = (t_j, x_j + ε)` — the down-shifted earlier
+//!   touch lives on the **upper** hull chain.
+//!
+//! Along the correct chain the slope, viewed as a function of the vertex
+//! index, is unimodal: consecutive chord lines of a convex chain, evaluated
+//! at `q.t` (which lies to the right of the whole chain), are ordered
+//! monotonically in the index, so "is `q` above chord `i`" flips at most
+//! once. That yields the O(log n) binary searches below — the
+//! Chazelle–Dobkin-style refinement the paper alludes to ("an even more
+//! efficient algorithm can be found in [6]"). The filters default to these;
+//! the test suite cross-checks them against exhaustive scans.
+
+use crate::point::Point2;
+
+/// Result of a tangent query: the touched vertex and the tangent slope.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TangentHit {
+    /// Index of the touched vertex within the queried chain.
+    pub index: usize,
+    /// The touched vertex, already shifted by the query's `shift`.
+    pub vertex: Point2,
+    /// Slope of the line from the shifted vertex to the query point.
+    pub slope: f64,
+}
+
+#[inline]
+fn slope_from(chain: &[Point2], shift: f64, i: usize, q: Point2) -> f64 {
+    Point2::new(chain[i].t, chain[i].x + shift).slope_to(q)
+}
+
+fn hit(chain: &[Point2], shift: f64, i: usize, q: Point2) -> TangentHit {
+    let vertex = Point2::new(chain[i].t, chain[i].x + shift);
+    TangentHit { index: i, vertex, slope: vertex.slope_to(q) }
+}
+
+/// Unimodal binary search: find the index maximizing `f` when `f` rises
+/// then falls (`maximize = true`), or minimizing it when it falls then
+/// rises (`maximize = false`).
+fn unimodal_argopt(
+    chain: &[Point2],
+    shift: f64,
+    q: Point2,
+    maximize: bool,
+) -> Option<usize> {
+    if chain.is_empty() {
+        return None;
+    }
+    let (mut lo, mut hi) = (0usize, chain.len() - 1);
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        let a = slope_from(chain, shift, mid, q);
+        let b = slope_from(chain, shift, mid + 1, q);
+        let go_right = if maximize { b > a } else { b < a };
+        if go_right {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    Some(lo)
+}
+
+/// Maximum-slope line from a vertex of `chain` (each shifted vertically by
+/// `shift`) to the query point `q`.
+///
+/// `chain` must be the **lower** hull chain (counter-clockwise turns) of
+/// points whose timestamps all precede `q.t`; the slope is then unimodal
+/// (rising, then falling) in the vertex index and the search is O(log n).
+///
+/// Returns `None` on an empty chain.
+pub fn max_slope_to_chain(chain: &[Point2], shift: f64, q: Point2) -> Option<TangentHit> {
+    unimodal_argopt(chain, shift, q, true).map(|i| hit(chain, shift, i, q))
+}
+
+/// Minimum-slope line from a vertex of `chain` (each shifted vertically by
+/// `shift`) to the query point `q`.
+///
+/// `chain` must be the **upper** hull chain (clockwise turns) of points
+/// whose timestamps all precede `q.t`; the slope is then unimodal (falling,
+/// then rising) in the vertex index.
+///
+/// Returns `None` on an empty chain.
+pub fn min_slope_to_chain(chain: &[Point2], shift: f64, q: Point2) -> Option<TangentHit> {
+    unimodal_argopt(chain, shift, q, false).map(|i| hit(chain, shift, i, q))
+}
+
+/// Exhaustive-scan variants, used as test oracles and by the
+/// "non-optimized slide filter" configuration of the paper's Figure 13.
+pub mod scan {
+    use super::*;
+
+    /// Linear-scan version of [`max_slope_to_chain`](super::max_slope_to_chain);
+    /// works on arbitrary point sets, not just convex chains.
+    pub fn max_slope(points: &[Point2], shift: f64, q: Point2) -> Option<TangentHit> {
+        argopt(points, shift, q, true)
+    }
+
+    /// Linear-scan version of [`min_slope_to_chain`](super::min_slope_to_chain).
+    pub fn min_slope(points: &[Point2], shift: f64, q: Point2) -> Option<TangentHit> {
+        argopt(points, shift, q, false)
+    }
+
+    fn argopt(points: &[Point2], shift: f64, q: Point2, maximize: bool) -> Option<TangentHit> {
+        let mut best: Option<usize> = None;
+        let mut best_slope = if maximize { f64::NEG_INFINITY } else { f64::INFINITY };
+        for i in 0..points.len() {
+            let s = slope_from(points, shift, i, q);
+            let better = if maximize { s > best_slope } else { s < best_slope };
+            if better {
+                best_slope = s;
+                best = Some(i);
+            }
+        }
+        best.map(|i| hit(points, shift, i, q))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hull::batch_hull;
+
+    fn pts(v: &[(f64, f64)]) -> Vec<Point2> {
+        v.iter().map(|&(t, x)| Point2::new(t, x)).collect()
+    }
+
+    #[test]
+    fn single_vertex_chain() {
+        let chain = pts(&[(0.0, 1.0)]);
+        let q = Point2::new(2.0, 5.0);
+        let h = max_slope_to_chain(&chain, 0.0, q).unwrap();
+        assert_eq!(h.index, 0);
+        assert_eq!(h.slope, 2.0);
+    }
+
+    #[test]
+    fn empty_chain_yields_none() {
+        assert_eq!(max_slope_to_chain(&[], 0.0, Point2::new(0.0, 0.0)), None);
+        assert_eq!(min_slope_to_chain(&[], 0.0, Point2::new(0.0, 0.0)), None);
+    }
+
+    #[test]
+    fn interior_valley_hosts_max_slope_on_lower_chain() {
+        // valley at t=1 — lower chain keeps it; max slope to a low query
+        // point comes from the valley.
+        let points = pts(&[(0.0, 0.0), (1.0, -1.5), (2.0, 0.0)]);
+        let (_, lower) = batch_hull(&points);
+        let q = Point2::new(3.0, -1.5); // x_j − ε with ε=1, x_j=−0.5
+        let h = max_slope_to_chain(&lower, 1.0, q).unwrap();
+        assert_eq!(h.vertex, Point2::new(1.0, -0.5));
+        assert!((h.slope - (-0.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interior_peak_hosts_min_slope_on_upper_chain() {
+        let points = pts(&[(0.0, 0.0), (1.0, 1.5), (2.0, 0.0)]);
+        let (upper, _) = batch_hull(&points);
+        let q = Point2::new(3.0, 1.5); // x_j + ε with ε=1, x_j=0.5
+        let h = min_slope_to_chain(&upper, -1.0, q).unwrap();
+        assert_eq!(h.vertex, Point2::new(1.0, 0.5));
+        assert!((h.slope - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn binary_search_matches_scan_on_random_chains() {
+        // Deterministic pseudo-random walk; cross-check the O(log n)
+        // search against the exhaustive scan on both chains.
+        let mut x = 0.0f64;
+        let mut seed = 0x9e3779b97f4a7c15u64;
+        let mut rnd = || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((seed >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        for trial in 0..200 {
+            let n = 3 + (trial % 40);
+            let points: Vec<Point2> = (0..n)
+                .map(|i| {
+                    x += rnd();
+                    Point2::new(i as f64, x)
+                })
+                .collect();
+            let (upper, lower) = batch_hull(&points);
+            let q_low = Point2::new(n as f64 + 1.0, x + rnd() * 3.0);
+            let q_high = Point2::new(n as f64 + 1.0, x + rnd() * 3.0);
+            let fast = max_slope_to_chain(&lower, 0.5, q_low).unwrap();
+            let slow = scan::max_slope(&lower, 0.5, q_low).unwrap();
+            assert!(
+                (fast.slope - slow.slope).abs() < 1e-9,
+                "max mismatch: {fast:?} vs {slow:?}"
+            );
+            let fast = min_slope_to_chain(&upper, -0.5, q_high).unwrap();
+            let slow = scan::min_slope(&upper, -0.5, q_high).unwrap();
+            assert!(
+                (fast.slope - slow.slope).abs() < 1e-9,
+                "min mismatch: {fast:?} vs {slow:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn scan_handles_non_convex_sets() {
+        // The non-optimized slide filter scans raw point sets.
+        let points = pts(&[(0.0, 0.0), (1.0, 5.0), (2.0, -5.0), (3.0, 1.0)]);
+        let q = Point2::new(4.0, 0.0);
+        let h = scan::max_slope(&points, 0.0, q).unwrap();
+        assert_eq!(h.vertex, Point2::new(2.0, -5.0));
+        let h = scan::min_slope(&points, 0.0, q).unwrap();
+        assert_eq!(h.vertex, Point2::new(1.0, 5.0));
+    }
+
+    #[test]
+    fn shift_is_applied_before_slope() {
+        let chain = pts(&[(0.0, 0.0)]);
+        let q = Point2::new(1.0, 0.0);
+        let h = max_slope_to_chain(&chain, 2.0, q).unwrap();
+        assert_eq!(h.vertex, Point2::new(0.0, 2.0));
+        assert_eq!(h.slope, -2.0);
+    }
+}

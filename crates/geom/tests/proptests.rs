@@ -1,0 +1,133 @@
+//! Property tests for the geometry substrate: hull invariants (P2 of
+//! DESIGN.md §6) and tangent-search equivalence.
+
+use proptest::prelude::*;
+
+use pla_geom::{
+    batch_hull, cross, max_slope_to_chain, min_slope_to_chain, scan, IncrementalHull, Line,
+    Point2,
+};
+
+fn points_strategy() -> impl Strategy<Value = Vec<Point2>> {
+    prop::collection::vec(-100.0f64..100.0, 1..120).prop_map(|xs| {
+        xs.into_iter()
+            .enumerate()
+            .map(|(i, x)| Point2::new(i as f64, x))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Chains turn consistently and contain the extreme points.
+    #[test]
+    fn hull_chains_are_convex_and_extreme(points in points_strategy()) {
+        let (upper, lower) = batch_hull(&points);
+        for w in upper.windows(3) {
+            prop_assert!(cross(w[0], w[1], w[2]) < 0.0, "upper chain must turn right");
+        }
+        for w in lower.windows(3) {
+            prop_assert!(cross(w[0], w[1], w[2]) > 0.0, "lower chain must turn left");
+        }
+        // Endpoints shared.
+        prop_assert_eq!(upper.first(), lower.first());
+        prop_assert_eq!(upper.last(), lower.last());
+        // Every point lies between the chains.
+        for &p in &points {
+            for w in upper.windows(2) {
+                if p.t >= w[0].t && p.t <= w[1].t {
+                    let l = Line::through(w[0], w[1]);
+                    prop_assert!(l.residual(p) <= 1e-7, "point above upper hull");
+                }
+            }
+            for w in lower.windows(2) {
+                if p.t >= w[0].t && p.t <= w[1].t {
+                    let l = Line::through(w[0], w[1]);
+                    prop_assert!(l.residual(p) >= -1e-7, "point below lower hull");
+                }
+            }
+        }
+    }
+
+    /// Incremental insertion equals batch construction.
+    #[test]
+    fn incremental_equals_batch(points in points_strategy()) {
+        let mut inc = IncrementalHull::new();
+        for &p in &points {
+            inc.push(p);
+        }
+        let (upper, lower) = batch_hull(&points);
+        prop_assert_eq!(inc.chain(pla_geom::Chain::Upper), &upper[..]);
+        prop_assert_eq!(inc.chain(pla_geom::Chain::Lower), &lower[..]);
+        prop_assert_eq!(inc.num_points(), points.len());
+    }
+
+    /// The O(log n) tangent searches agree with exhaustive scans over the
+    /// hull chains — and, per Lemma 4.3, the chain optimum equals the
+    /// optimum over *all* points.
+    #[test]
+    fn tangent_search_matches_scan(
+        points in points_strategy(),
+        q_off in -50.0f64..50.0,
+        shift in 0.01f64..5.0,
+    ) {
+        prop_assume!(points.len() >= 2);
+        let (upper, lower) = batch_hull(&points);
+        let last = points.last().unwrap();
+        let q = Point2::new(last.t + 1.0, last.x + q_off);
+
+        // Lower chain ↔ max slope with an upward shift (lᵢ rebuild).
+        let fast = max_slope_to_chain(&lower, shift, q).unwrap();
+        let slow = scan::max_slope(&lower, shift, q).unwrap();
+        prop_assert!((fast.slope - slow.slope).abs() <= 1e-9 * slow.slope.abs().max(1.0));
+        // Lemma 4.3: scanning every raw point finds nothing better.
+        let all = scan::max_slope(&points, shift, q).unwrap();
+        prop_assert!(
+            fast.slope >= all.slope - 1e-9 * all.slope.abs().max(1.0),
+            "chain optimum {} worse than raw-point optimum {}",
+            fast.slope,
+            all.slope
+        );
+
+        // Upper chain ↔ min slope with a downward shift (uᵢ rebuild).
+        let fast = min_slope_to_chain(&upper, -shift, q).unwrap();
+        let slow = scan::min_slope(&upper, -shift, q).unwrap();
+        prop_assert!((fast.slope - slow.slope).abs() <= 1e-9 * slow.slope.abs().max(1.0));
+        let all = scan::min_slope(&points, -shift, q).unwrap();
+        prop_assert!(
+            fast.slope <= all.slope + 1e-9 * all.slope.abs().max(1.0),
+            "chain optimum {} worse than raw-point optimum {}",
+            fast.slope,
+            all.slope
+        );
+    }
+
+    /// Line intersection is symmetric and lies on both lines.
+    #[test]
+    fn intersection_lies_on_both_lines(
+        a0 in -100.0f64..100.0, s0 in -10.0f64..10.0,
+        a1 in -100.0f64..100.0, s1 in -10.0f64..10.0,
+    ) {
+        prop_assume!((s0 - s1).abs() > 1e-6);
+        let l0 = Line::new(Point2::new(0.0, a0), s0);
+        let l1 = Line::new(Point2::new(0.0, a1), s1);
+        let p = l0.intersection(&l1).unwrap();
+        prop_assert!((l0.eval(p.t) - p.x).abs() < 1e-6);
+        prop_assert!((l1.eval(p.t) - p.x).abs() < 1e-6);
+        let q = l1.intersection(&l0).unwrap();
+        prop_assert!((p.t - q.t).abs() < 1e-6);
+    }
+
+    /// Hull size never exceeds the point count and clear() resets.
+    #[test]
+    fn hull_size_bounds(points in points_strategy()) {
+        let mut h = IncrementalHull::new();
+        for &p in &points {
+            h.push(p);
+            prop_assert!(h.num_vertices() <= h.num_points());
+        }
+        h.clear();
+        prop_assert_eq!(h.num_vertices(), 0);
+    }
+}

@@ -1,0 +1,43 @@
+//! # pla-query — error-bounded queries over compressed streams
+//!
+//! The paper's motivating pipeline stores PLA recordings in a repository
+//! "for later offline analysis" (§1). This crate is that analysis layer:
+//! it answers aggregate and threshold queries **directly on the
+//! compressed representation** and returns deterministic bounds on the
+//! true answer, derived from the filters' L∞ guarantee — every original
+//! sample is within `εᵢ` of the reconstruction, so for example
+//!
+//! ```text
+//! mean(samples)  ∈  [mean(PLA at sample times) − ε, … + ε]
+//! max(samples)   ∈  [max(PLA) − ε, max(PLA) + ε]
+//! #above(θ)      ∈  [count(PLA > θ + ε), count(PLA > θ − ε)]
+//! ```
+//!
+//! Queries evaluate the [`Polyline`](pla_core::Polyline) at the sampling grid (monitoring
+//! deployments know their sampling schedule; the grid is either given
+//! explicitly or described by a [`SamplingGrid`]), never touching the
+//! original data — the whole point of the compression.
+//!
+//! ```
+//! use pla_core::filters::{run_filter, SlideFilter};
+//! use pla_core::{Polyline, Signal};
+//! use pla_query::{QueryEngine, SamplingGrid};
+//!
+//! let signal = Signal::from_values(&[1.0, 2.0, 3.0, 4.0, 3.0, 2.0]);
+//! let mut filter = SlideFilter::new(&[0.5]).unwrap();
+//! let segments = run_filter(&mut filter, &signal).unwrap();
+//! let engine = QueryEngine::new(Polyline::new(segments), &[0.5]).unwrap();
+//!
+//! let grid = SamplingGrid { t0: 0.0, dt: 1.0, n: 6 };
+//! let mean = engine.mean(&grid.times(), 0).unwrap();
+//! assert!(mean.lo <= 2.5 && 2.5 <= mean.hi); // true mean is inside
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+mod engine;
+mod types;
+
+pub use engine::QueryEngine;
+pub use types::{Bounded, BoundedCount, Crossing, CrossingKind, QueryError, SamplingGrid};

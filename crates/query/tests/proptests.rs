@@ -1,0 +1,125 @@
+//! Property tests: every query bound must contain the ground truth, for
+//! arbitrary streams, filters, and thresholds.
+
+use proptest::prelude::*;
+
+use pla_core::filters::{run_filter, SlideFilter, SwingFilter};
+use pla_core::{Polyline, Signal};
+use pla_query::QueryEngine;
+
+fn signal_strategy() -> impl Strategy<Value = Signal> {
+    (3usize..150, any::<u64>()).prop_map(|(n, seed)| {
+        let mut state = seed | 1;
+        let mut rnd = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        let mut x = 0.0;
+        Signal::from_values(
+            &(0..n)
+                .map(|_| {
+                    x += rnd() * 2.0;
+                    x
+                })
+                .collect::<Vec<_>>(),
+        )
+    })
+}
+
+fn engine(signal: &Signal, eps: f64, slide: bool) -> QueryEngine {
+    let segs = if slide {
+        let mut f = SlideFilter::new(&[eps]).unwrap();
+        run_filter(&mut f, signal).unwrap()
+    } else {
+        let mut f = SwingFilter::new(&[eps]).unwrap();
+        run_filter(&mut f, signal).unwrap()
+    };
+    QueryEngine::new(Polyline::new(segs), &[eps]).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Aggregate bounds always contain the truth.
+    #[test]
+    fn aggregate_bounds_contain_truth(
+        signal in signal_strategy(),
+        eps in 0.1f64..5.0,
+        use_slide in any::<bool>(),
+    ) {
+        let eng = engine(&signal, eps, use_slide);
+        let times = signal.times();
+        let n = signal.len() as f64;
+        let truth_mean = (0..signal.len()).map(|j| signal.value(j, 0)).sum::<f64>() / n;
+        let truth_min = (0..signal.len()).map(|j| signal.value(j, 0)).fold(f64::INFINITY, f64::min);
+        let truth_max =
+            (0..signal.len()).map(|j| signal.value(j, 0)).fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(eng.mean(times, 0).unwrap().contains(truth_mean));
+        prop_assert!(eng.min(times, 0).unwrap().contains(truth_min));
+        prop_assert!(eng.max(times, 0).unwrap().contains(truth_max));
+    }
+
+    /// Count-above brackets always contain the truth, for any threshold.
+    #[test]
+    fn count_bounds_contain_truth(
+        signal in signal_strategy(),
+        eps in 0.1f64..5.0,
+        threshold in -20.0f64..20.0,
+    ) {
+        let eng = engine(&signal, eps, true);
+        let truth = (0..signal.len())
+            .filter(|&j| signal.value(j, 0) > threshold)
+            .count();
+        let c = eng.count_above(signal.times(), 0, threshold).unwrap();
+        prop_assert!(
+            c.contains(truth),
+            "truth {truth} outside [{}, {}] (ε={eps}, θ={threshold})",
+            c.definite,
+            c.possible
+        );
+        prop_assert!(c.definite <= c.possible);
+    }
+
+    /// Certain crossings never exceed true sign changes of (value − θ)
+    /// outside the ambiguity band… every certain crossing is real.
+    #[test]
+    fn certain_crossings_are_sound(
+        signal in signal_strategy(),
+        eps in 0.1f64..2.0,
+        threshold in -10.0f64..10.0,
+    ) {
+        use pla_query::CrossingKind;
+        let eng = engine(&signal, eps, true);
+        let crossings = eng.crossings(signal.times(), 0, threshold).unwrap();
+        // Ground truth: sign changes of the original samples relative to
+        // the threshold (samples exactly at θ break ties upward).
+        let mut true_changes = 0usize;
+        let mut prev_above = signal.value(0, 0) > threshold;
+        for j in 1..signal.len() {
+            let above = signal.value(j, 0) > threshold;
+            if above != prev_above {
+                true_changes += 1;
+            }
+            prev_above = above;
+        }
+        let certain = crossings.iter().filter(|c| c.kind == CrossingKind::Certain).count();
+        prop_assert!(
+            certain <= true_changes,
+            "{certain} certain crossings but only {true_changes} true sign changes"
+        );
+    }
+
+    /// Integral bounds contain the trapezoid truth of the samples.
+    #[test]
+    fn integral_bounds_contain_truth(signal in signal_strategy(), eps in 0.1f64..3.0) {
+        let eng = engine(&signal, eps, true);
+        let mut truth = 0.0;
+        for j in 1..signal.len() {
+            let dt = signal.times()[j] - signal.times()[j - 1];
+            truth += 0.5 * (signal.value(j, 0) + signal.value(j - 1, 0)) * dt;
+        }
+        let (a, b) = (signal.times()[0], *signal.times().last().unwrap());
+        let res = eng.integral(a, b, 0).unwrap();
+        prop_assert!(res.contains(truth), "truth {truth} outside [{}, {}]", res.lo, res.hi);
+    }
+}

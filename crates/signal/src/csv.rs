@@ -1,0 +1,194 @@
+//! Minimal CSV interchange for [`Signal`]s.
+//!
+//! Format: one sample per line, `time,dim0[,dim1,…]`, optional header line
+//! (detected by a non-numeric first field), `#`-prefixed comment lines
+//! skipped. This is deliberately dependency-free — enough to round-trip
+//! experiment outputs and to load external traces such as the real TAO
+//! sea-surface file.
+
+use std::fmt::Write as _;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+use pla_core::Signal;
+
+/// Errors raised while parsing CSV input.
+#[derive(Debug)]
+pub enum CsvError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A data line could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Problem description.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "I/O error: {e}"),
+            Self::Parse { line, message } => write!(f, "line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+impl From<io::Error> for CsvError {
+    fn from(e: io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+/// Serializes a signal as CSV with a `time,x0,…` header.
+pub fn write_signal<W: Write>(signal: &Signal, mut out: W) -> io::Result<()> {
+    let mut line = String::from("time");
+    for d in 0..signal.dims() {
+        let _ = write!(line, ",x{d}");
+    }
+    line.push('\n');
+    out.write_all(line.as_bytes())?;
+    for (t, x) in signal.iter() {
+        line.clear();
+        let _ = write!(line, "{t}");
+        for v in x {
+            let _ = write!(line, ",{v}");
+        }
+        line.push('\n');
+        out.write_all(line.as_bytes())?;
+    }
+    Ok(())
+}
+
+/// Parses a signal from CSV (see module docs for the accepted format).
+pub fn read_signal<R: Read>(input: R) -> Result<Signal, CsvError> {
+    let reader = BufReader::new(input);
+    let mut signal: Option<Signal> = None;
+    for (idx, line) in reader.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = trimmed.split(',').map(str::trim).collect();
+        if fields.len() < 2 {
+            return Err(CsvError::Parse {
+                line: line_no,
+                message: format!("expected at least 2 fields, got {}", fields.len()),
+            });
+        }
+        // Header detection: first field not numeric.
+        if fields[0].parse::<f64>().is_err() {
+            if signal.is_none() {
+                continue;
+            }
+            return Err(CsvError::Parse {
+                line: line_no,
+                message: format!("non-numeric time field {:?}", fields[0]),
+            });
+        }
+        let t: f64 = fields[0].parse().expect("checked above");
+        let values: Result<Vec<f64>, _> = fields[1..].iter().map(|f| f.parse::<f64>()).collect();
+        let values = values.map_err(|e| CsvError::Parse {
+            line: line_no,
+            message: format!("bad value: {e}"),
+        })?;
+        let s = signal.get_or_insert_with(|| Signal::new(values.len()));
+        s.push(t, &values).map_err(|e| CsvError::Parse {
+            line: line_no,
+            message: e.to_string(),
+        })?;
+    }
+    Ok(signal.unwrap_or_else(|| Signal::new(1)))
+}
+
+/// Writes a signal to a file path.
+pub fn save(signal: &Signal, path: impl AsRef<Path>) -> io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    write_signal(signal, io::BufWriter::new(file))
+}
+
+/// Reads a signal from a file path.
+pub fn load(path: impl AsRef<Path>) -> Result<Signal, CsvError> {
+    let file = std::fs::File::open(path)?;
+    read_signal(file)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let mut s = Signal::new(2);
+        s.push(0.0, &[1.5, -2.0]).unwrap();
+        s.push(1.0, &[2.5, 0.0]).unwrap();
+        s.push(2.5, &[3.0, 7.25]).unwrap();
+        let mut buf = Vec::new();
+        write_signal(&s, &mut buf).unwrap();
+        let back = read_signal(&buf[..]).unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn parses_without_header() {
+        let input = "0,1.0\n1,2.0\n";
+        let s = read_signal(input.as_bytes()).unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.value(1, 0), 2.0);
+    }
+
+    #[test]
+    fn skips_comments_and_blank_lines() {
+        let input = "# a comment\ntime,x0\n\n0,1\n# mid comment\n1,2\n";
+        let s = read_signal(input.as_bytes()).unwrap();
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn rejects_garbage_values() {
+        let input = "0,abc\n";
+        assert!(matches!(
+            read_signal(input.as_bytes()),
+            Err(CsvError::Parse { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_non_monotone_times() {
+        let input = "1,0\n1,1\n";
+        let err = read_signal(input.as_bytes()).unwrap_err();
+        assert!(matches!(err, CsvError::Parse { line: 2, .. }));
+    }
+
+    #[test]
+    fn rejects_short_lines() {
+        let input = "42\n";
+        assert!(matches!(
+            read_signal(input.as_bytes()),
+            Err(CsvError::Parse { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn empty_input_gives_empty_signal() {
+        let s = read_signal("".as_bytes()).unwrap();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("pla_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sig.csv");
+        let s = crate::waveforms::ramp(10, 1.0, 0.0);
+        save(&s, &path).unwrap();
+        let back = load(&path).unwrap();
+        assert_eq!(s, back);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,163 @@
+//! A deterministic proxy for the paper's real data set.
+//!
+//! The paper evaluates on "1285 data points for the sea surface
+//! temperature sampled at a 10 minutes interval" from NOAA's Tropical
+//! Atmosphere Ocean project (Figure 6 plots it spanning roughly
+//! 20.5–24.5 °C over ~12 000 minutes). That file is not distributable
+//! here, so this module synthesizes a trace with the characteristics the
+//! paper's observations depend on:
+//!
+//! * irregular rises and falls with "no regular pattern" (multi-scale
+//!   sinusoid mix + AR(1) noise);
+//! * values "remain fixed frequently enough to give an advantage to the
+//!   cache filter" over the linear filter (Figure 7): plateau episodes
+//!   plus 0.01 °C quantization, matching a real sensor's resolution;
+//! * a fixed overall range so precision widths normalize the same way.
+//!
+//! Users with the real TAO trace can load it through [`crate::csv`] and
+//! run the same experiments.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use pla_core::Signal;
+
+/// Parameters of the sea-surface proxy generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SeaSurfaceParams {
+    /// Number of samples (paper: 1285).
+    pub n: usize,
+    /// Sample spacing in minutes (paper: 10).
+    pub interval_minutes: f64,
+    /// Mean temperature in °C.
+    pub mean_c: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SeaSurfaceParams {
+    fn default() -> Self {
+        Self { n: 1285, interval_minutes: 10.0, mean_c: 22.5, seed: 0x5EA }
+    }
+}
+
+/// The default 1285-point sea-surface-temperature proxy (Figure 6's
+/// stand-in). Deterministic: every call returns the same signal.
+pub fn sea_surface() -> Signal {
+    sea_surface_with(SeaSurfaceParams::default())
+}
+
+/// Sea-surface proxy with explicit parameters.
+pub fn sea_surface_with(params: SeaSurfaceParams) -> Signal {
+    assert!(params.n > 0, "need at least one sample");
+    assert!(params.interval_minutes > 0.0, "interval must be positive");
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut s = Signal::with_capacity(1, params.n);
+    let mut ar = 0.0f64; // AR(1) noise state
+    let mut plateau_left = 0u32; // samples remaining in the current plateau
+    let mut last_q = f64::NAN;
+    for j in 0..params.n {
+        let minutes = j as f64 * params.interval_minutes;
+        let days = minutes / (60.0 * 24.0);
+        // Multi-day irregular trend: incommensurate sinusoids.
+        let trend = 1.1 * (days * 0.9 + 0.7).sin()
+            + 0.55 * (days * 2.3 + 2.1).sin()
+            + 0.35 * (days * 5.1 + 4.0).sin();
+        // Diurnal cycle peaking mid-afternoon.
+        let diurnal = 0.35 * ((days.fract() - 0.6) * std::f64::consts::TAU).cos();
+        // AR(1) sensor noise.
+        ar = 0.92 * ar + 0.035 * (rng.gen::<f64>() * 2.0 - 1.0);
+        let raw = params.mean_c + trend + diurnal + ar;
+        // Sensor resolution + plateau episodes: hold the previous reading.
+        let value = if plateau_left > 0 && last_q.is_finite() {
+            plateau_left -= 1;
+            last_q
+        } else {
+            if rng.gen::<f64>() < 0.12 {
+                plateau_left = rng.gen_range(1..6);
+            }
+            (raw * 100.0).round() / 100.0
+        };
+        last_q = value;
+        s.push(minutes, &[value]).expect("generator output is valid");
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_shape() {
+        let s = sea_surface();
+        assert_eq!(s.len(), 1285);
+        let (lo, hi) = s.range(0).unwrap();
+        // Paper's Figure 6 spans roughly 20.5–24.5 °C.
+        assert!(lo > 19.0 && lo < 22.0, "low end {lo}");
+        assert!(hi > 23.0 && hi < 26.0, "high end {hi}");
+        assert!(hi - lo > 2.0, "range too narrow: {}", hi - lo);
+        // 10-minute sampling.
+        assert_eq!(s.times()[1] - s.times()[0], 10.0);
+        assert_eq!(*s.times().last().unwrap(), (1285.0 - 1.0) * 10.0);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(sea_surface(), sea_surface());
+    }
+
+    #[test]
+    fn has_repeated_values_for_cache_advantage() {
+        let s = sea_surface();
+        let repeats = (1..s.len())
+            .filter(|&j| s.value(j, 0) == s.value(j - 1, 0))
+            .count();
+        // The paper notes the temperature "remains fixed frequently
+        // enough" — demand a non-trivial share of exact repeats.
+        assert!(
+            repeats as f64 / s.len() as f64 > 0.15,
+            "only {repeats} repeats in {} samples",
+            s.len()
+        );
+    }
+
+    #[test]
+    fn oscillates_with_no_monotone_trend() {
+        let s = sea_surface();
+        let mut ups = 0usize;
+        let mut downs = 0usize;
+        for j in 1..s.len() {
+            let d = s.value(j, 0) - s.value(j - 1, 0);
+            if d > 0.0 {
+                ups += 1;
+            } else if d < 0.0 {
+                downs += 1;
+            }
+        }
+        assert!(ups > 100 && downs > 100, "ups {ups}, downs {downs}");
+    }
+
+    #[test]
+    fn values_are_quantized_to_hundredths() {
+        let s = sea_surface();
+        for (_, x) in s.iter() {
+            let scaled = x[0] * 100.0;
+            assert!((scaled - scaled.round()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn custom_params_are_respected() {
+        let s = sea_surface_with(SeaSurfaceParams {
+            n: 50,
+            interval_minutes: 5.0,
+            mean_c: 10.0,
+            seed: 1,
+        });
+        assert_eq!(s.len(), 50);
+        assert_eq!(s.times()[1], 5.0);
+        let (lo, hi) = s.range(0).unwrap();
+        assert!(lo > 5.0 && hi < 15.0);
+    }
+}

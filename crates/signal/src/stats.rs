@@ -1,0 +1,99 @@
+//! Small statistics helpers used by generators, tests, and experiments.
+
+use pla_core::Signal;
+
+/// Pearson correlation coefficient of two equal-length slices.
+///
+/// Returns 0 when either series has zero variance (constant series carry
+/// no correlation information).
+pub fn pearson(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "series must have equal length");
+    let n = a.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let nf = n as f64;
+    let ma = a.iter().sum::<f64>() / nf;
+    let mb = b.iter().sum::<f64>() / nf;
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for i in 0..n {
+        let da = a[i] - ma;
+        let db = b[i] - mb;
+        cov += da * db;
+        va += da * da;
+        vb += db * db;
+    }
+    if va <= 0.0 || vb <= 0.0 {
+        return 0.0;
+    }
+    cov / (va.sqrt() * vb.sqrt())
+}
+
+/// Pearson correlation of the per-step *increments* of two dimensions of
+/// a signal — the quantity the §5.4 correlated generator controls.
+pub fn increment_correlation(signal: &Signal, dim_a: usize, dim_b: usize) -> f64 {
+    let n = signal.len();
+    if n < 3 {
+        return 0.0;
+    }
+    let mut da = Vec::with_capacity(n - 1);
+    let mut db = Vec::with_capacity(n - 1);
+    for j in 1..n {
+        da.push(signal.value(j, dim_a) - signal.value(j - 1, dim_a));
+        db.push(signal.value(j, dim_b) - signal.value(j - 1, dim_b));
+    }
+    pearson(&da, &db)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_correlation() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_anticorrelation() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [3.0, 2.0, 1.0];
+        assert!((pearson(&a, &b) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_series_yield_zero() {
+        let a = [1.0, 1.0, 1.0];
+        let b = [1.0, 2.0, 3.0];
+        assert_eq!(pearson(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn orthogonal_series() {
+        let a = [1.0, -1.0, 1.0, -1.0];
+        let b = [1.0, 1.0, -1.0, -1.0];
+        assert!(pearson(&a, &b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn increment_correlation_of_identical_dims_is_one() {
+        let mut s = Signal::new(2);
+        for j in 0..50 {
+            let v = ((j * j) % 13) as f64;
+            s.push(j as f64, &[v, v]).unwrap();
+        }
+        assert!((increment_correlation(&s, 0, 1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn short_series_degenerate() {
+        let mut s = Signal::new(2);
+        s.push(0.0, &[1.0, 2.0]).unwrap();
+        assert_eq!(increment_correlation(&s, 0, 1), 0.0);
+        assert_eq!(pearson(&[1.0], &[2.0]), 0.0);
+    }
+}

@@ -1,0 +1,221 @@
+//! The paper's §5.3/§5.4 synthetic workloads: random-walk-like signals.
+//!
+//! > "We generated the synthetic signals such that they follow a
+//! > random-walk-like model. The value for each data point can be lower
+//! > than or higher than that of the previous data point according to the
+//! > probabilities p and (1−p) respectively. The magnitude of
+//! > increase/decrease in the value is given by a uniform distribution
+//! > U(0,x), where x is a configurable parameter."
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use pla_core::Signal;
+
+use crate::gauss::standard_normal;
+
+/// Parameters of the §5.3 random-walk model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WalkParams {
+    /// Number of data points `n`.
+    pub n: usize,
+    /// Probability that a step *decreases* the value (the paper's `p`,
+    /// swept in Figure 9). `0` ⇒ monotonically increasing,
+    /// `0.5` ⇒ balanced oscillation.
+    pub p_decrease: f64,
+    /// Maximum step magnitude `x` of `U(0, x)` (swept in Figure 10,
+    /// expressed there as a percentage of the precision width).
+    pub max_delta: f64,
+    /// RNG seed; equal seeds give equal signals.
+    pub seed: u64,
+}
+
+impl Default for WalkParams {
+    fn default() -> Self {
+        Self { n: 10_000, p_decrease: 0.5, max_delta: 1.0, seed: 0x5EED }
+    }
+}
+
+/// Generates the 1-D random walk of §5.3.
+///
+/// # Panics
+///
+/// Panics if `p_decrease ∉ [0, 1]`, `max_delta < 0`, or `n == 0`.
+pub fn random_walk(params: WalkParams) -> Signal {
+    validate(&params);
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut s = Signal::with_capacity(1, params.n);
+    let mut x = 0.0f64;
+    for j in 0..params.n {
+        s.push(j as f64, &[x]).expect("walk output is valid");
+        x += step(&mut rng, params.p_decrease, params.max_delta);
+    }
+    s
+}
+
+/// Generates a `d`-dimensional signal whose dimensions are *independent*
+/// random walks with the given parameters (Figure 11's workload).
+pub fn multi_walk(dims: usize, params: WalkParams) -> Signal {
+    validate(&params);
+    assert!(dims > 0, "need at least one dimension");
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut s = Signal::with_capacity(dims, params.n);
+    let mut vals = vec![0.0f64; dims];
+    for j in 0..params.n {
+        s.push(j as f64, &vals).expect("walk output is valid");
+        for v in vals.iter_mut() {
+            *v += step(&mut rng, params.p_decrease, params.max_delta);
+        }
+    }
+    s
+}
+
+/// Generates a `d`-dimensional signal whose per-step increments have
+/// pairwise correlation ≈ `rho` (Figure 12's workload).
+///
+/// A single-factor Gaussian model drives the correlation: each dimension's
+/// increment is `√ρ · common + √(1−ρ) · own`, scaled so the marginal step
+/// distribution matches the 1-D walk's variance. `rho = 0` reduces to
+/// independent Gaussian walks; `rho = 1` makes all dimensions identical.
+///
+/// # Panics
+///
+/// Panics if `rho ∉ [0, 1]` or the walk parameters are invalid.
+pub fn correlated_walk(dims: usize, rho: f64, params: WalkParams) -> Signal {
+    validate(&params);
+    assert!(dims > 0, "need at least one dimension");
+    assert!((0.0..=1.0).contains(&rho), "correlation must be in [0, 1]");
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    // Match the 1-D walk's step standard deviation: a step is
+    // ±U(0, x) with sign bias p; for p = 0.5 the std is x/√3.
+    let sigma = params.max_delta / 3.0f64.sqrt();
+    let drift = (1.0 - 2.0 * params.p_decrease) * params.max_delta / 2.0;
+    let w_common = rho.sqrt();
+    let w_own = (1.0 - rho).sqrt();
+    let mut s = Signal::with_capacity(dims, params.n);
+    let mut vals = vec![0.0f64; dims];
+    for j in 0..params.n {
+        s.push(j as f64, &vals).expect("walk output is valid");
+        let common = standard_normal(&mut rng);
+        for v in vals.iter_mut() {
+            let own = standard_normal(&mut rng);
+            *v += drift + sigma * (w_common * common + w_own * own);
+        }
+    }
+    s
+}
+
+fn validate(params: &WalkParams) {
+    assert!(params.n > 0, "need at least one point");
+    assert!(
+        (0.0..=1.0).contains(&params.p_decrease),
+        "p_decrease must be a probability"
+    );
+    assert!(params.max_delta >= 0.0, "max_delta must be non-negative");
+}
+
+fn step<R: Rng + ?Sized>(rng: &mut R, p_decrease: f64, max_delta: f64) -> f64 {
+    let magnitude: f64 = rng.gen::<f64>() * max_delta;
+    if rng.gen::<f64>() < p_decrease {
+        -magnitude
+    } else {
+        magnitude
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::increment_correlation;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = random_walk(WalkParams { n: 100, seed: 9, ..Default::default() });
+        let b = random_walk(WalkParams { n: 100, seed: 9, ..Default::default() });
+        let c = random_walk(WalkParams { n: 100, seed: 10, ..Default::default() });
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn monotone_when_p_zero() {
+        let s = random_walk(WalkParams { n: 500, p_decrease: 0.0, ..Default::default() });
+        for j in 1..s.len() {
+            assert!(s.value(j, 0) >= s.value(j - 1, 0));
+        }
+    }
+
+    #[test]
+    fn monotone_decreasing_when_p_one() {
+        let s = random_walk(WalkParams { n: 500, p_decrease: 1.0, ..Default::default() });
+        for j in 1..s.len() {
+            assert!(s.value(j, 0) <= s.value(j - 1, 0));
+        }
+    }
+
+    #[test]
+    fn steps_bounded_by_max_delta() {
+        let s = random_walk(WalkParams { n: 1000, max_delta: 0.25, ..Default::default() });
+        for j in 1..s.len() {
+            assert!((s.value(j, 0) - s.value(j - 1, 0)).abs() <= 0.25);
+        }
+    }
+
+    #[test]
+    fn multi_walk_dimensions_are_independent() {
+        let s = multi_walk(3, WalkParams { n: 20_000, ..Default::default() });
+        assert_eq!(s.dims(), 3);
+        for a in 0..3 {
+            for b in (a + 1)..3 {
+                let r = increment_correlation(&s, a, b);
+                assert!(r.abs() < 0.05, "dims {a},{b} correlated: {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn correlated_walk_hits_target_correlation() {
+        for &rho in &[0.0, 0.3, 0.7, 1.0] {
+            let s = correlated_walk(4, rho, WalkParams { n: 30_000, ..Default::default() });
+            for a in 0..4 {
+                for b in (a + 1)..4 {
+                    let r = increment_correlation(&s, a, b);
+                    assert!(
+                        (r - rho).abs() < 0.05,
+                        "target ρ={rho}, measured {r} for dims {a},{b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn correlated_walk_marginal_scale_matches_uniform_walk() {
+        let p = WalkParams { n: 50_000, max_delta: 2.0, ..Default::default() };
+        let g = correlated_walk(1, 0.5, p);
+        // std of increments should be ≈ 2/√3 ≈ 1.1547
+        let mut sum = 0.0;
+        let mut sum_sq = 0.0;
+        let n = g.len() - 1;
+        for j in 1..g.len() {
+            let d = g.value(j, 0) - g.value(j - 1, 0);
+            sum += d;
+            sum_sq += d * d;
+        }
+        let mean = sum / n as f64;
+        let std = (sum_sq / n as f64 - mean * mean).sqrt();
+        assert!((std - 2.0 / 3.0f64.sqrt()).abs() < 0.05, "std {std}");
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn rejects_bad_probability() {
+        random_walk(WalkParams { p_decrease: 1.5, ..Default::default() });
+    }
+
+    #[test]
+    #[should_panic(expected = "correlation")]
+    fn rejects_bad_correlation() {
+        correlated_walk(2, 1.5, WalkParams::default());
+    }
+}

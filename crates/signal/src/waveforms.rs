@@ -1,0 +1,95 @@
+//! Deterministic waveform generators for tests, examples, and ablations.
+
+use pla_core::Signal;
+
+/// A straight ramp `x(t) = intercept + slope · t` over `n` unit-spaced
+/// samples — the best case for every linear filter.
+pub fn ramp(n: usize, slope: f64, intercept: f64) -> Signal {
+    Signal::from_values(&(0..n).map(|j| intercept + slope * j as f64).collect::<Vec<_>>())
+}
+
+/// A sine wave with the given amplitude and period (in samples).
+pub fn sine(n: usize, amplitude: f64, period: f64) -> Signal {
+    assert!(period > 0.0, "period must be positive");
+    Signal::from_values(
+        &(0..n)
+            .map(|j| amplitude * (j as f64 / period * std::f64::consts::TAU).sin())
+            .collect::<Vec<_>>(),
+    )
+}
+
+/// A sawtooth: rises linearly for `period` samples then drops back to 0.
+pub fn sawtooth(n: usize, amplitude: f64, period: usize) -> Signal {
+    assert!(period > 0, "period must be positive");
+    Signal::from_values(
+        &(0..n)
+            .map(|j| amplitude * (j % period) as f64 / period as f64)
+            .collect::<Vec<_>>(),
+    )
+}
+
+/// A square step function alternating between `low` and `high` every
+/// `half_period` samples — the best case for the cache filter.
+pub fn steps(n: usize, low: f64, high: f64, half_period: usize) -> Signal {
+    assert!(half_period > 0, "half_period must be positive");
+    Signal::from_values(
+        &(0..n)
+            .map(|j| if (j / half_period).is_multiple_of(2) { low } else { high })
+            .collect::<Vec<_>>(),
+    )
+}
+
+/// A "staircase": piece-wise constant with increasing levels, mimicking a
+/// counter that advances in bursts (cluster-monitoring workloads from the
+/// paper's introduction).
+pub fn staircase(n: usize, step_height: f64, dwell: usize) -> Signal {
+    assert!(dwell > 0, "dwell must be positive");
+    Signal::from_values(
+        &(0..n)
+            .map(|j| step_height * (j / dwell) as f64)
+            .collect::<Vec<_>>(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ramp_is_linear() {
+        let s = ramp(10, 2.0, 1.0);
+        assert_eq!(s.value(0, 0), 1.0);
+        assert_eq!(s.value(9, 0), 19.0);
+    }
+
+    #[test]
+    fn sine_oscillates_within_amplitude() {
+        let s = sine(100, 3.0, 25.0);
+        let (lo, hi) = s.range(0).unwrap();
+        assert!(lo >= -3.0 && hi <= 3.0);
+        assert!(hi > 2.5 && lo < -2.5);
+    }
+
+    #[test]
+    fn sawtooth_wraps() {
+        let s = sawtooth(20, 1.0, 5);
+        assert_eq!(s.value(0, 0), 0.0);
+        assert_eq!(s.value(4, 0), 0.8);
+        assert_eq!(s.value(5, 0), 0.0);
+    }
+
+    #[test]
+    fn steps_alternate() {
+        let s = steps(8, 0.0, 1.0, 2);
+        let vals: Vec<f64> = (0..8).map(|j| s.value(j, 0)).collect();
+        assert_eq!(vals, vec![0.0, 0.0, 1.0, 1.0, 0.0, 0.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn staircase_holds_then_jumps() {
+        let s = staircase(9, 2.0, 3);
+        assert_eq!(s.value(2, 0), 0.0);
+        assert_eq!(s.value(3, 0), 2.0);
+        assert_eq!(s.value(8, 0), 4.0);
+    }
+}

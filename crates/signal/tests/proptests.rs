@@ -1,0 +1,92 @@
+//! Property tests for the workload generators: every generator output
+//! must be a valid filter input and honour its declared statistics.
+
+use proptest::prelude::*;
+
+use pla_signal::{
+    correlated_walk, increment_correlation, multi_walk, random_walk, sea_surface_with,
+    SeaSurfaceParams, WalkParams,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Walks are valid signals with bounded steps and correct direction
+    /// statistics.
+    #[test]
+    fn random_walk_obeys_parameters(
+        n in 2usize..2000,
+        p in 0.0f64..=1.0,
+        delta in 0.01f64..10.0,
+        seed in any::<u64>(),
+    ) {
+        let s = random_walk(WalkParams { n, p_decrease: p, max_delta: delta, seed });
+        prop_assert_eq!(s.len(), n);
+        let mut downs = 0usize;
+        let mut moves = 0usize;
+        for j in 1..n {
+            let step = s.value(j, 0) - s.value(j - 1, 0);
+            prop_assert!(step.abs() <= delta + 1e-12, "step {step} exceeds {delta}");
+            if step != 0.0 {
+                moves += 1;
+                if step < 0.0 {
+                    downs += 1;
+                }
+            }
+        }
+        // Direction statistics within a loose binomial envelope.
+        if moves > 200 {
+            let rate = downs as f64 / moves as f64;
+            prop_assert!(
+                (rate - p).abs() < 0.15,
+                "decrease rate {rate} far from p = {p}"
+            );
+        }
+    }
+
+    /// Determinism: the same parameters always give the same signal.
+    #[test]
+    fn generators_are_deterministic(seed in any::<u64>(), n in 2usize..200) {
+        let p = WalkParams { n, seed, ..Default::default() };
+        prop_assert_eq!(random_walk(p), random_walk(p));
+        prop_assert_eq!(multi_walk(3, p), multi_walk(3, p));
+        prop_assert_eq!(correlated_walk(3, 0.5, p), correlated_walk(3, 0.5, p));
+    }
+
+    /// Correlated walks hit their target increment correlation.
+    #[test]
+    fn correlated_walk_hits_rho(rho in 0.0f64..=1.0, seed in any::<u64>()) {
+        let s = correlated_walk(
+            2,
+            rho,
+            WalkParams { n: 8000, seed, ..Default::default() },
+        );
+        let measured = increment_correlation(&s, 0, 1);
+        prop_assert!(
+            (measured - rho).abs() < 0.08,
+            "target ρ = {rho}, measured {measured}"
+        );
+    }
+
+    /// The sea-surface proxy respects its size/spacing parameters and
+    /// stays within a plausible temperature band.
+    #[test]
+    fn sea_surface_parameters(
+        n in 10usize..3000,
+        interval in 1.0f64..60.0,
+        seed in any::<u64>(),
+    ) {
+        let s = sea_surface_with(SeaSurfaceParams {
+            n,
+            interval_minutes: interval,
+            mean_c: 22.5,
+            seed,
+        });
+        prop_assert_eq!(s.len(), n);
+        if n >= 2 {
+            prop_assert!((s.times()[1] - s.times()[0] - interval).abs() < 1e-9);
+        }
+        let (lo, hi) = s.range(0).unwrap();
+        prop_assert!(lo > 15.0 && hi < 30.0, "implausible range {lo}–{hi}");
+    }
+}

@@ -1,0 +1,317 @@
+//! Offline bottom-up segmentation under an L∞ bound.
+//!
+//! Start from the finest segmentation (adjacent point pairs), compute the
+//! cost of merging each neighbouring pair of segments, and repeatedly
+//! apply the cheapest merge whose result still fits — i.e. whose
+//! least-squares line keeps every covered point within `εᵢ` in every
+//! dimension. Merge costs are kept in a lazy max-heap keyed by the
+//! *normalized* worst residual (residual / εᵢ), and stale heap entries
+//! are skipped by version counting.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use pla_core::{validate_epsilons, FilterError, Segment, Signal};
+
+/// Least-squares line fit of `signal[lo..hi]` (half-open, `hi − lo ≥ 1`)
+/// for every dimension, returning the fitted segment over that range and
+/// the worst ε-normalized residual.
+///
+/// A single-point range yields a degenerate (point) segment with zero
+/// residual.
+pub fn fit_segment(signal: &Signal, lo: usize, hi: usize, eps: &[f64]) -> (Segment, f64) {
+    debug_assert!(lo < hi && hi <= signal.len());
+    let d = signal.dims();
+    let n = (hi - lo) as f64;
+    let t0 = signal.times()[lo];
+    let t1 = signal.times()[hi - 1];
+    if hi - lo == 1 {
+        let (_, x) = signal.sample(lo);
+        return (
+            Segment {
+                t_start: t0,
+                x_start: x.to_vec().into_boxed_slice(),
+                t_end: t0,
+                x_end: x.to_vec().into_boxed_slice(),
+                connected: false,
+                n_points: 1,
+                new_recordings: 1,
+            },
+            0.0,
+        );
+    }
+    // Per-dimension least squares x ≈ a + b·(t − t0).
+    let mut su = 0.0;
+    let mut suu = 0.0;
+    for j in lo..hi {
+        let u = signal.times()[j] - t0;
+        su += u;
+        suu += u * u;
+    }
+    let mut x_start = Vec::with_capacity(d);
+    let mut x_end = Vec::with_capacity(d);
+    let mut worst = 0.0f64;
+    for (dim, &eps_d) in eps.iter().enumerate().take(d) {
+        let mut sv = 0.0;
+        let mut suv = 0.0;
+        for j in lo..hi {
+            let u = signal.times()[j] - t0;
+            let v = signal.value(j, dim);
+            sv += v;
+            suv += u * v;
+        }
+        let denom = n * suu - su * su;
+        let (a, b) = if denom.abs() < 1e-300 {
+            (sv / n, 0.0)
+        } else {
+            let b = (n * suv - su * sv) / denom;
+            let a = (sv - b * su) / n;
+            (a, b)
+        };
+        for j in lo..hi {
+            let u = signal.times()[j] - t0;
+            let r = (signal.value(j, dim) - (a + b * u)).abs();
+            worst = worst.max(r / eps_d);
+        }
+        x_start.push(a);
+        x_end.push(a + b * (t1 - t0));
+    }
+    (
+        Segment {
+            t_start: t0,
+            x_start: x_start.into_boxed_slice(),
+            t_end: t1,
+            x_end: x_end.into_boxed_slice(),
+            connected: false,
+            n_points: (hi - lo) as u32,
+            new_recordings: 2,
+        },
+        worst,
+    )
+}
+
+/// A segment under construction: a point range plus linked-list
+/// neighbours.
+#[derive(Debug, Clone, Copy)]
+struct Piece {
+    lo: usize,
+    hi: usize,
+    prev: Option<usize>,
+    next: Option<usize>,
+    version: u64,
+    alive: bool,
+}
+
+/// Bottom-up segmentation of `signal` under per-dimension bounds `eps`.
+///
+/// Returns time-ordered disconnected segments, each holding every covered
+/// point within `εᵢ` (least-squares fit, max-residual acceptance).
+pub fn bottom_up(signal: &Signal, eps: &[f64]) -> Result<Vec<Segment>, FilterError> {
+    validate_epsilons(eps)?;
+    if eps.len() != signal.dims() {
+        return Err(FilterError::DimensionMismatch {
+            expected: signal.dims(),
+            got: eps.len(),
+        });
+    }
+    let n = signal.len();
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    // Finest segmentation: pairs, with a possible trailing singleton.
+    let mut pieces: Vec<Piece> = Vec::with_capacity(n / 2 + 1);
+    let mut j = 0;
+    while j < n {
+        let hi = (j + 2).min(n);
+        pieces.push(Piece { lo: j, hi, prev: None, next: None, version: 0, alive: true });
+        j = hi;
+    }
+    let count = pieces.len();
+    for (i, piece) in pieces.iter_mut().enumerate() {
+        piece.prev = i.checked_sub(1);
+        piece.next = (i + 1 < count).then_some(i + 1);
+    }
+    // Lazy min-heap of merge candidates (cost, left piece, version sum).
+    let mut heap: BinaryHeap<Reverse<(OrderedF64, usize, u64)>> = BinaryHeap::new();
+    let push_candidate =
+        |heap: &mut BinaryHeap<Reverse<(OrderedF64, usize, u64)>>, pieces: &[Piece], i: usize| {
+            let Some(k) = pieces[i].next else { return };
+            let (_, cost) = fit_segment(signal, pieces[i].lo, pieces[k].hi, &eps_vec(eps));
+            if cost <= 1.0 {
+                let ver = pieces[i].version + pieces[k].version;
+                heap.push(Reverse((OrderedF64(cost), i, ver)));
+            }
+        };
+    for i in 0..count {
+        push_candidate(&mut heap, &pieces, i);
+    }
+    while let Some(Reverse((_, i, ver))) = heap.pop() {
+        if !pieces[i].alive {
+            continue;
+        }
+        let Some(k) = pieces[i].next else { continue };
+        if pieces[i].version + pieces[k].version != ver {
+            continue; // stale entry
+        }
+        // Merge k into i.
+        pieces[i].hi = pieces[k].hi;
+        pieces[i].version += pieces[k].version + 1;
+        pieces[k].alive = false;
+        let after = pieces[k].next;
+        pieces[i].next = after;
+        if let Some(a) = after {
+            pieces[a].prev = Some(i);
+        }
+        // Refresh the two affected candidates.
+        if let Some(p) = pieces[i].prev {
+            push_candidate(&mut heap, &pieces, p);
+        }
+        push_candidate(&mut heap, &pieces, i);
+    }
+    // Walk the list and emit fitted segments.
+    let mut out = Vec::new();
+    let mut cur = Some(0usize);
+    // Piece 0 always survives (merges fold rightward into the left index).
+    while let Some(i) = cur {
+        let p = pieces[i];
+        debug_assert!(p.alive);
+        let (seg, cost) = fit_segment(signal, p.lo, p.hi, eps);
+        debug_assert!(cost <= 1.0 + 1e-9, "emitted segment violates ε: {cost}");
+        out.push(seg);
+        cur = p.next;
+    }
+    Ok(out)
+}
+
+fn eps_vec(eps: &[f64]) -> Vec<f64> {
+    eps.to_vec()
+}
+
+/// Total-order wrapper for finite f64 costs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct OrderedF64(f64);
+
+impl Eq for OrderedF64 {}
+
+impl PartialOrd for OrderedF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrderedF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_guarantee(signal: &Signal, segs: &[Segment], eps: &[f64]) {
+        for (t, x) in signal.iter() {
+            let seg = segs
+                .iter()
+                .find(|s| s.covers(t))
+                .unwrap_or_else(|| panic!("t={t} uncovered"));
+            for (d, (&v, &e)) in x.iter().zip(eps.iter()).enumerate() {
+                assert!(
+                    (seg.eval(t, d) - v).abs() <= e * (1.0 + 1e-9),
+                    "dim {d} at t={t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn straight_line_merges_to_one_segment() {
+        let s = Signal::from_values(&(0..64).map(|i| 3.0 * i as f64).collect::<Vec<_>>());
+        let segs = bottom_up(&s, &[0.1]).unwrap();
+        assert_eq!(segs.len(), 1);
+        assert_eq!(segs[0].n_points, 64);
+        assert!((segs[0].slope(0) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_trends_stay_two_segments() {
+        let mut vals: Vec<f64> = (0..30).map(|i| i as f64).collect();
+        vals.extend((0..30).map(|i| 29.0 - i as f64));
+        let s = Signal::from_values(&vals);
+        let segs = bottom_up(&s, &[0.5]).unwrap();
+        assert!(segs.len() >= 2, "V-shape cannot fit one line");
+        check_guarantee(&s, &segs, &[0.5]);
+    }
+
+    #[test]
+    fn guarantee_on_noisy_walk() {
+        let mut seed = 17u64;
+        let mut rnd = || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((seed >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        let mut x = 0.0;
+        let s = Signal::from_values(
+            &(0..800)
+                .map(|_| {
+                    x += rnd();
+                    x
+                })
+                .collect::<Vec<_>>(),
+        );
+        for eps in [0.3, 1.0, 4.0] {
+            let segs = bottom_up(&s, &[eps]).unwrap();
+            check_guarantee(&s, &segs, &[eps]);
+            let total: u32 = segs.iter().map(|sg| sg.n_points).sum();
+            assert_eq!(total as usize, s.len());
+        }
+    }
+
+    #[test]
+    fn odd_length_leaves_consistent_tail() {
+        let s = Signal::from_values(&[0.0, 10.0, 0.0, 10.0, 0.0]);
+        let segs = bottom_up(&s, &[0.5]).unwrap();
+        let total: u32 = segs.iter().map(|sg| sg.n_points).sum();
+        assert_eq!(total, 5);
+        check_guarantee(&s, &segs, &[0.5]);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let s = Signal::new(1);
+        assert!(bottom_up(&s, &[1.0]).unwrap().is_empty());
+        let s = Signal::from_values(&[7.0]);
+        let segs = bottom_up(&s, &[1.0]).unwrap();
+        assert_eq!(segs.len(), 1);
+        assert_eq!(segs[0].n_points, 1);
+    }
+
+    #[test]
+    fn multi_dim_merge_respects_every_dimension() {
+        let mut s = Signal::new(2);
+        for jj in 0..40 {
+            let t = jj as f64;
+            let x1 = if jj < 20 { 0.0 } else { 10.0 };
+            s.push(t, &[t * 0.5, x1]).unwrap();
+        }
+        let segs = bottom_up(&s, &[0.5, 0.5]).unwrap();
+        assert!(segs.len() >= 2);
+        check_guarantee(&s, &segs, &[0.5, 0.5]);
+    }
+
+    #[test]
+    fn fit_segment_residual_is_normalized() {
+        let s = Signal::from_values(&[0.0, 1.0, 0.0]);
+        // LSQ through these: flat-ish; worst residual ~2/3.
+        let (_, cost_tight) = fit_segment(&s, 0, 3, &[0.1]);
+        let (_, cost_loose) = fit_segment(&s, 0, 3, &[10.0]);
+        assert!(cost_tight > 1.0);
+        assert!(cost_loose < 1.0);
+    }
+
+    #[test]
+    fn rejects_dimension_mismatch() {
+        let s = Signal::from_values(&[1.0, 2.0]);
+        assert!(bottom_up(&s, &[1.0, 1.0]).is_err());
+    }
+}

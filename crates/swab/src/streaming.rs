@@ -1,0 +1,284 @@
+//! Streaming SWAB: a bounded buffer, re-segmented bottom-up, drained one
+//! leftmost segment at a time, paced by a pluggable online lookahead.
+//!
+//! Keogh's original uses a linear-filter scan ("Best_Line") to decide how
+//! much fresh data enters the buffer before the next bottom-up pass. Per
+//! the VLDB 2009 paper's §6 remark, any of the online filters can take
+//! that role; [`Lookahead`] selects which.
+
+use pla_core::filters::{
+    LinearFilter, SlideFilter, StreamFilter, SwingFilter,
+};
+use pla_core::{validate_epsilons, FilterError, Segment, SegmentSink, Signal};
+
+use crate::bottom_up::bottom_up;
+
+/// Which online filter paces the buffer refills.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Lookahead {
+    /// Keogh's original choice: the linear filter.
+    Linear,
+    /// The paper's swing filter.
+    Swing,
+    /// The paper's slide filter (longest feasible chunks).
+    #[default]
+    Slide,
+}
+
+impl Lookahead {
+    fn build(self, eps: &[f64]) -> Box<dyn StreamFilter> {
+        match self {
+            Self::Linear => Box::new(LinearFilter::new(eps).expect("validated ε")),
+            Self::Swing => Box::new(SwingFilter::new(eps).expect("validated ε")),
+            Self::Slide => Box::new(SlideFilter::new(eps).expect("validated ε")),
+        }
+    }
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Linear => "swab(linear)",
+            Self::Swing => "swab(swing)",
+            Self::Slide => "swab(slide)",
+        }
+    }
+}
+
+/// Sink that only remembers whether the lookahead closed a segment.
+#[derive(Default)]
+struct TriggerSink {
+    fired: bool,
+}
+
+impl SegmentSink for TriggerSink {
+    fn segment(&mut self, _seg: Segment) {
+        self.fired = true;
+    }
+}
+
+/// Streaming SWAB segmenter. Implements
+/// [`StreamFilter`], so it plugs into the same metrics, transport, and
+/// experiment machinery as the paper's filters.
+///
+/// The buffer capacity bounds both memory and the emission lag (a point
+/// is emitted after at most `capacity` further points arrive).
+///
+/// ```
+/// use pla_core::filters::run_filter;
+/// use pla_core::Signal;
+/// use pla_swab::{Lookahead, Swab};
+///
+/// let signal = Signal::from_values(
+///     &(0..200).map(|j| (j as f64 * 0.1).sin()).collect::<Vec<_>>(),
+/// );
+/// let mut swab = Swab::new(&[0.05], 64, Lookahead::Slide).unwrap();
+/// let segments = run_filter(&mut swab, &signal).unwrap();
+/// // Bottom-up refinement keeps every sample within ε of its segment.
+/// for (t, x) in signal.iter() {
+///     let seg = segments.iter().find(|s| s.covers(t)).unwrap();
+///     assert!((seg.eval(t, 0) - x[0]).abs() <= 0.05 * (1.0 + 1e-9));
+/// }
+/// ```
+pub struct Swab {
+    eps: Vec<f64>,
+    capacity: usize,
+    kind: Lookahead,
+    lookahead: Box<dyn StreamFilter>,
+    buffer: Signal,
+}
+
+impl Swab {
+    /// Creates a SWAB segmenter.
+    ///
+    /// `capacity` is the maximum number of buffered points (≥ 4).
+    pub fn new(eps: &[f64], capacity: usize, kind: Lookahead) -> Result<Self, FilterError> {
+        validate_epsilons(eps)?;
+        if capacity < 4 {
+            return Err(FilterError::InvalidMaxLag { value: capacity });
+        }
+        Ok(Self {
+            eps: eps.to_vec(),
+            capacity,
+            kind,
+            lookahead: kind.build(eps),
+            buffer: Signal::new(eps.len()),
+        })
+    }
+
+    /// The configured lookahead.
+    pub fn lookahead(&self) -> Lookahead {
+        self.kind
+    }
+
+    /// The configured buffer capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Re-segments the buffer and emits its leftmost segment, retaining
+    /// the remaining points.
+    fn emit_leftmost(&mut self, sink: &mut dyn SegmentSink) -> Result<(), FilterError> {
+        let segs = bottom_up(&self.buffer, &self.eps)?;
+        let Some(first) = segs.into_iter().next() else {
+            return Ok(());
+        };
+        let covered = first.n_points as usize;
+        sink.segment(first);
+        let mut rest = Signal::with_capacity(self.eps.len(), self.buffer.len() - covered);
+        for j in covered..self.buffer.len() {
+            let (t, x) = self.buffer.sample(j);
+            rest.push(t, x).expect("suffix of a valid signal is valid");
+        }
+        self.buffer = rest;
+        Ok(())
+    }
+}
+
+impl StreamFilter for Swab {
+    fn dims(&self) -> usize {
+        self.eps.len()
+    }
+
+    fn epsilons(&self) -> &[f64] {
+        &self.eps
+    }
+
+    fn push(&mut self, t: f64, x: &[f64], sink: &mut dyn SegmentSink) -> Result<(), FilterError> {
+        self.buffer.push(t, x)?;
+        let mut trigger = TriggerSink::default();
+        self.lookahead.push(t, x, &mut trigger)?;
+        // Drain when the lookahead closed one of its intervals (a natural
+        // segment boundary passed) or the buffer hit its bound. Keep at
+        // least a pair buffered so bottom-up always has context.
+        if (trigger.fired && self.buffer.len() > 2) || self.buffer.len() >= self.capacity {
+            self.emit_leftmost(sink)?;
+        }
+        Ok(())
+    }
+
+    fn finish(&mut self, sink: &mut dyn SegmentSink) -> Result<(), FilterError> {
+        let segs = bottom_up(&self.buffer, &self.eps)?;
+        for s in segs {
+            sink.segment(s);
+        }
+        self.buffer = Signal::new(self.eps.len());
+        let mut scratch = TriggerSink::default();
+        self.lookahead.finish(&mut scratch)?;
+        Ok(())
+    }
+
+    fn pending_points(&self) -> usize {
+        self.buffer.len()
+    }
+
+    fn name(&self) -> &'static str {
+        "swab"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pla_core::filters::run_filter;
+    use pla_core::metrics;
+
+    fn noisy_trend(n: usize, seed: u64) -> Signal {
+        let mut state = seed | 1;
+        let mut rnd = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        Signal::from_values(
+            &(0..n)
+                .map(|j| {
+                    let t = j as f64;
+                    (t * 0.02).sin() * 10.0 + rnd() * 0.3
+                })
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    #[test]
+    fn guarantee_holds_for_all_lookaheads() {
+        let signal = noisy_trend(1200, 3);
+        for kind in [Lookahead::Linear, Lookahead::Swing, Lookahead::Slide] {
+            let mut swab = Swab::new(&[0.5], 128, kind).unwrap();
+            let report = metrics::evaluate(&mut swab, &signal).unwrap();
+            assert!(
+                report.error.max_abs_overall() <= 0.5 * (1.0 + 1e-6),
+                "{}: max err {}",
+                kind.label(),
+                report.error.max_abs_overall()
+            );
+            assert_eq!(report.n_points, signal.len());
+        }
+    }
+
+    #[test]
+    fn buffer_bounds_pending_points() {
+        let signal = noisy_trend(600, 4);
+        let mut swab = Swab::new(&[10.0], 64, Lookahead::Slide).unwrap();
+        let mut out: Vec<Segment> = Vec::new();
+        for (t, x) in signal.iter() {
+            swab.push(t, x, &mut out).unwrap();
+            assert!(swab.pending_points() <= 64);
+        }
+        swab.finish(&mut out).unwrap();
+        assert_eq!(swab.pending_points(), 0);
+    }
+
+    #[test]
+    fn straight_line_is_few_segments() {
+        let signal = Signal::from_values(&(0..256).map(|i| i as f64).collect::<Vec<_>>());
+        let mut swab = Swab::new(&[0.1], 64, Lookahead::Slide).unwrap();
+        let segs = run_filter(&mut swab, &signal).unwrap();
+        // Bounded buffering caps segment length at the capacity, so a
+        // perfect line still yields ~n/capacity segments, each exact.
+        assert!(segs.len() <= 256 / 32, "{} segments", segs.len());
+        for s in &segs {
+            assert!((s.slope(0) - 1.0).abs() < 1e-6 || s.n_points == 1);
+        }
+    }
+
+    #[test]
+    fn slide_lookahead_is_at_least_as_good_as_linear() {
+        // The §6 complementarity claim: a better online component gives
+        // SWAB better (or equal) segment boundaries.
+        let signal = noisy_trend(2000, 5);
+        let eps = 0.6;
+        let count = |kind: Lookahead| -> usize {
+            let mut swab = Swab::new(&[eps], 256, kind).unwrap();
+            run_filter(&mut swab, &signal).unwrap().len()
+        };
+        let slide = count(Lookahead::Slide);
+        let linear = count(Lookahead::Linear);
+        assert!(
+            slide <= linear + 2,
+            "swab(slide) {slide} segments should not trail swab(linear) {linear}"
+        );
+    }
+
+    #[test]
+    fn n_points_accounting_totals() {
+        let signal = noisy_trend(777, 6);
+        let mut swab = Swab::new(&[0.4], 100, Lookahead::Swing).unwrap();
+        let segs = run_filter(&mut swab, &signal).unwrap();
+        let total: u32 = segs.iter().map(|s| s.n_points).sum();
+        assert_eq!(total as usize, signal.len());
+    }
+
+    #[test]
+    fn reusable_after_finish() {
+        let signal = noisy_trend(300, 7);
+        let mut swab = Swab::new(&[0.5], 64, Lookahead::Slide).unwrap();
+        let a = run_filter(&mut swab, &signal).unwrap();
+        let b = run_filter(&mut swab, &signal).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rejects_tiny_capacity() {
+        assert!(Swab::new(&[1.0], 3, Lookahead::Linear).is_err());
+        assert!(Swab::new(&[], 64, Lookahead::Linear).is_err());
+    }
+}

@@ -1,0 +1,87 @@
+//! Property tests: SWAB output honours the same L∞ guarantee as the
+//! online filters, for arbitrary streams, buffers, and lookaheads.
+
+use proptest::prelude::*;
+
+use pla_core::filters::{run_filter, StreamFilter};
+use pla_core::{GapPolicy, Polyline, Signal};
+use pla_swab::{bottom_up, Lookahead, Swab};
+
+fn signal_strategy() -> impl Strategy<Value = Signal> {
+    (2usize..150, any::<u64>()).prop_map(|(n, seed)| {
+        let mut state = seed | 1;
+        let mut rnd = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        let mut x = 0.0;
+        Signal::from_values(
+            &(0..n)
+                .map(|_| {
+                    x += rnd() * 2.0;
+                    x
+                })
+                .collect::<Vec<_>>(),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Offline bottom-up: guarantee + exact point accounting.
+    #[test]
+    fn bottom_up_guarantee(signal in signal_strategy(), eps in 0.05f64..5.0) {
+        let segs = bottom_up(&signal, &[eps]).unwrap();
+        let total: u32 = segs.iter().map(|s| s.n_points).sum();
+        prop_assert_eq!(total as usize, signal.len());
+        let poly = Polyline::new(segs);
+        for (t, x) in signal.iter() {
+            let v = poly.eval(t, 0, GapPolicy::Strict);
+            prop_assert!(v.is_some(), "t={t} uncovered");
+            prop_assert!(
+                (v.unwrap() - x[0]).abs() <= eps * (1.0 + 1e-6),
+                "bottom-up broke ε at t={t}"
+            );
+        }
+    }
+
+    /// Streaming SWAB: guarantee for every lookahead, buffer bound held.
+    #[test]
+    fn swab_guarantee(
+        signal in signal_strategy(),
+        eps in 0.05f64..5.0,
+        cap in 8usize..128,
+    ) {
+        for kind in [Lookahead::Linear, Lookahead::Swing, Lookahead::Slide] {
+            let mut swab = Swab::new(&[eps], cap, kind).unwrap();
+            let mut out = Vec::new();
+            for (t, x) in signal.iter() {
+                swab.push(t, x, &mut out).unwrap();
+                prop_assert!(swab.pending_points() <= cap);
+            }
+            swab.finish(&mut out).unwrap();
+            let total: u32 = out.iter().map(|s| s.n_points).sum();
+            prop_assert_eq!(total as usize, signal.len());
+            let poly = Polyline::new(out);
+            for (t, x) in signal.iter() {
+                let v = poly.eval(t, 0, GapPolicy::Strict);
+                prop_assert!(v.is_some(), "{}: t={t} uncovered", kind.label());
+                prop_assert!(
+                    (v.unwrap() - x[0]).abs() <= eps * (1.0 + 1e-6),
+                    "{} broke ε at t={t}",
+                    kind.label()
+                );
+            }
+        }
+    }
+
+    /// SWAB is deterministic and reusable.
+    #[test]
+    fn swab_deterministic(signal in signal_strategy(), eps in 0.1f64..3.0) {
+        let mut swab = Swab::new(&[eps], 64, Lookahead::Slide).unwrap();
+        let a = run_filter(&mut swab, &signal).unwrap();
+        let b = run_filter(&mut swab, &signal).unwrap();
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,142 @@
+//! End-to-end pipeline simulation: transmitter → channel → receiver,
+//! measuring the receiver lag the paper bounds with `m_max_lag` (§2.1).
+
+use pla_core::filters::StreamFilter;
+use pla_core::{FilterError, Signal};
+
+use crate::receiver::Receiver;
+use crate::transmitter::{Transmitter, TransmitterStats};
+use crate::wire::Codec;
+
+/// Result of a lag simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LagReport {
+    /// Maximum over time of "samples observed by the transmitter that the
+    /// receiver could not yet represent".
+    pub max_lag: usize,
+    /// Final transmitter counters.
+    pub stats: TransmitterStats,
+    /// Messages seen by the receiver.
+    pub messages_received: u64,
+}
+
+/// Streams `signal` through `filter` and a lossless channel, measuring
+/// the receiver lag after every sample.
+///
+/// The lag at step `j` counts samples whose timestamp exceeds the
+/// receiver's [`covered_through`](Receiver::covered_through) — exactly the
+/// "number of data points the receiver is lagging behind the transmitter"
+/// of §2.1.
+pub fn simulate_lag<F, C>(
+    filter: F,
+    codec_tx: C,
+    codec_rx: C,
+    signal: &Signal,
+) -> Result<LagReport, FilterError>
+where
+    F: StreamFilter,
+    C: Codec,
+{
+    let dims = signal.dims();
+    let mut tx = Transmitter::new(filter, codec_tx);
+    let mut rx = Receiver::new(codec_rx, dims);
+    let mut max_lag = 0usize;
+    let times = signal.times();
+    for (j, (t, x)) in signal.iter().enumerate() {
+        tx.push(t, x).expect("signal samples are valid");
+        rx.consume(tx.take_bytes()).expect("lossless channel");
+        let covered = rx.covered_through();
+        // Samples up to index j, newest first, that outrun the receiver.
+        let lag = times[..=j]
+            .iter()
+            .rev()
+            .take_while(|&&tt| tt > covered)
+            .count();
+        max_lag = max_lag.max(lag);
+    }
+    tx.finish()?;
+    rx.consume(tx.take_bytes()).expect("lossless channel");
+    Ok(LagReport {
+        max_lag,
+        stats: tx.stats(),
+        messages_received: rx.messages(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::FixedCodec;
+    use pla_core::filters::{CacheFilter, SlideFilter, SwingFilter};
+
+    fn smooth_signal(n: usize) -> Signal {
+        Signal::from_values(
+            &(0..n)
+                .map(|i| (i as f64 * 0.01).sin() * 3.0)
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    #[test]
+    fn unbounded_swing_lag_grows_with_interval_length() {
+        let report = simulate_lag(
+            SwingFilter::new(&[5.0]).unwrap(),
+            FixedCodec,
+            FixedCodec,
+            &smooth_signal(500),
+        )
+        .unwrap();
+        // A wide ε keeps one interval open for a long time: lag is large.
+        assert!(report.max_lag > 50, "lag {}", report.max_lag);
+    }
+
+    #[test]
+    fn max_lag_bound_is_enforced_end_to_end() {
+        for m in [2usize, 5, 16] {
+            let report = simulate_lag(
+                SwingFilter::builder(&[5.0]).max_lag(m).build().unwrap(),
+                FixedCodec,
+                FixedCodec,
+                &smooth_signal(400),
+            )
+            .unwrap();
+            assert!(
+                report.max_lag <= m,
+                "swing lag {} exceeds bound {m}",
+                report.max_lag
+            );
+            let report = simulate_lag(
+                SlideFilter::builder(&[5.0]).max_lag(m).build().unwrap(),
+                FixedCodec,
+                FixedCodec,
+                &smooth_signal(400),
+            )
+            .unwrap();
+            assert!(
+                report.max_lag <= m,
+                "slide lag {} exceeds bound {m}",
+                report.max_lag
+            );
+        }
+    }
+
+    #[test]
+    fn cache_lag_is_bounded_by_run_length() {
+        // This segment-based transport ships a cache run's Hold message
+        // when the run *ends* (the segment is only final then), so the
+        // wire-level lag tracks the run length. A deployment wanting the
+        // paper's zero-lag cache behaviour transmits the recorded value at
+        // run start instead — which is what
+        // `CacheFilter::pending_points()` models.
+        let signal = smooth_signal(300);
+        let report = simulate_lag(
+            CacheFilter::new(&[0.5]).unwrap(),
+            FixedCodec,
+            FixedCodec,
+            &signal,
+        )
+        .unwrap();
+        assert!(report.max_lag <= signal.len(), "cache lag {}", report.max_lag);
+        assert!(report.stats.recordings > 1);
+    }
+}

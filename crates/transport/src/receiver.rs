@@ -1,0 +1,313 @@
+//! The receiver: byte stream → reconstructed segments + lag tracking.
+
+use bytes::{Buf, Bytes};
+
+use pla_core::Segment;
+
+use crate::wire::{Codec, Message, WireError};
+
+/// Errors raised by the receiver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReceiveError {
+    /// Decoding failed.
+    Wire(WireError),
+    /// Messages arrived in an order no transmitter produces (e.g. an
+    /// `End` with no open segment).
+    Protocol(&'static str),
+}
+
+impl std::fmt::Display for ReceiveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Wire(e) => write!(f, "wire error: {e}"),
+            Self::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ReceiveError {}
+
+impl From<WireError> for ReceiveError {
+    fn from(e: WireError) -> Self {
+        Self::Wire(e)
+    }
+}
+
+/// Reconstructs segments from the transmitter's byte stream.
+///
+/// The receiver is *online*: [`consume`](Self::consume) may be called with
+/// arbitrary byte chunks as they arrive (chunks must split on message
+/// boundaries, which the paired [`Transmitter`](crate::Transmitter)
+/// guarantees per drained batch). Reconstructed segments accumulate in
+/// [`segments`](Self::segments); [`covered_through`](Self::covered_through)
+/// reports how far the reconstruction currently reaches.
+pub struct Receiver<C> {
+    codec: C,
+    dims: usize,
+    segments: Vec<Segment>,
+    /// Open piece-wise-linear segment start, with its "came from an End"
+    /// connectedness flag.
+    open: Option<(f64, Vec<f64>, bool)>,
+    /// Active piece-wise-constant hold.
+    hold: Option<(f64, Vec<f64>)>,
+    /// Highest time the reconstruction covers; `f64::INFINITY` while a
+    /// hold or provisional line allows forward extrapolation.
+    covered: f64,
+    provisionals: u64,
+    messages: u64,
+}
+
+impl<C: Codec> Receiver<C> {
+    /// Creates a receiver for `dims`-dimensional streams.
+    pub fn new(codec: C, dims: usize) -> Self {
+        Self {
+            codec,
+            dims,
+            segments: Vec::new(),
+            open: None,
+            hold: None,
+            covered: f64::NEG_INFINITY,
+            provisionals: 0,
+            messages: 0,
+        }
+    }
+
+    /// Segments reconstructed so far.
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// Takes ownership of the reconstructed segments.
+    pub fn into_segments(mut self) -> Vec<Segment> {
+        self.flush();
+        self.segments
+    }
+
+    /// Highest timestamp the receiver can currently represent.
+    pub fn covered_through(&self) -> f64 {
+        self.covered
+    }
+
+    /// Provisional updates received.
+    pub fn provisionals(&self) -> u64 {
+        self.provisionals
+    }
+
+    /// Messages received.
+    pub fn messages(&self) -> u64 {
+        self.messages
+    }
+
+    /// Decodes and applies every message in `bytes`.
+    pub fn consume(&mut self, mut bytes: Bytes) -> Result<(), ReceiveError> {
+        while bytes.remaining() > 0 {
+            let msg = self.codec.decode(&mut bytes, self.dims)?;
+            self.apply(msg)?;
+        }
+        Ok(())
+    }
+
+    /// Closes any active hold at the end of the stream.
+    pub fn flush(&mut self) {
+        if let Some((t0, x)) = self.hold.take() {
+            self.push_segment(constant_segment(t0, t0.max(self.covered_finite()), &x));
+        }
+    }
+
+    fn covered_finite(&self) -> f64 {
+        if self.covered.is_finite() {
+            self.covered
+        } else {
+            f64::NEG_INFINITY
+        }
+    }
+
+    fn close_hold(&mut self, at: f64) {
+        if let Some((t0, x)) = self.hold.take() {
+            self.push_segment(constant_segment(t0, at, &x));
+        }
+    }
+
+    fn push_segment(&mut self, seg: Segment) {
+        self.segments.push(seg);
+    }
+
+    fn apply(&mut self, msg: Message) -> Result<(), ReceiveError> {
+        self.messages += 1;
+        match msg {
+            Message::Hold { t, x } => {
+                self.close_hold(t);
+                self.open = None;
+                self.hold = Some((t, x));
+                self.covered = f64::INFINITY;
+            }
+            Message::Start { t, x } => {
+                self.close_hold(t);
+                if self.covered < t {
+                    self.covered = t;
+                }
+                self.open = Some((t, x, false));
+            }
+            Message::End { t, x } => {
+                let (t0, x0, connected) = self
+                    .open
+                    .take()
+                    .ok_or(ReceiveError::Protocol("End without an open segment"))?;
+                if t < t0 {
+                    return Err(ReceiveError::Protocol("segment runs backwards"));
+                }
+                self.push_segment(Segment {
+                    t_start: t0,
+                    x_start: x0.into_boxed_slice(),
+                    t_end: t,
+                    x_end: x.clone().into_boxed_slice(),
+                    connected,
+                    n_points: 0,
+                    new_recordings: if connected { 1 } else { 2 },
+                });
+                self.covered = t;
+                // A connected successor may begin at this endpoint.
+                self.open = Some((t, x, true));
+            }
+            Message::Point { t, x } => {
+                self.close_hold(t);
+                self.open = None;
+                self.push_segment(Segment {
+                    t_start: t,
+                    x_start: x.clone().into_boxed_slice(),
+                    t_end: t,
+                    x_end: x.into_boxed_slice(),
+                    connected: false,
+                    n_points: 1,
+                    new_recordings: 1,
+                });
+                self.covered = t;
+            }
+            Message::Provisional { .. } => {
+                // The committed line lets the receiver extrapolate until
+                // the segment's end recording arrives.
+                self.provisionals += 1;
+                self.covered = f64::INFINITY;
+            }
+        }
+        Ok(())
+    }
+}
+
+fn constant_segment(t0: f64, t1: f64, x: &[f64]) -> Segment {
+    Segment {
+        t_start: t0,
+        x_start: x.to_vec().into_boxed_slice(),
+        t_end: t1.max(t0),
+        x_end: x.to_vec().into_boxed_slice(),
+        connected: false,
+        n_points: 0,
+        new_recordings: 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::FixedCodec;
+    use bytes::BytesMut;
+
+    fn encode(msgs: &[Message], dims: usize) -> Bytes {
+        let mut codec = FixedCodec;
+        let mut buf = BytesMut::new();
+        for m in msgs {
+            codec.encode(m, dims, &mut buf);
+        }
+        buf.freeze()
+    }
+
+    #[test]
+    fn start_end_chain_reconstructs_connected_flags() {
+        let bytes = encode(
+            &[
+                Message::Start { t: 0.0, x: vec![0.0] },
+                Message::End { t: 5.0, x: vec![5.0] },
+                Message::End { t: 9.0, x: vec![1.0] }, // connected
+                Message::Start { t: 10.0, x: vec![7.0] },
+                Message::End { t: 12.0, x: vec![8.0] },
+            ],
+            1,
+        );
+        let mut rx = Receiver::new(FixedCodec, 1);
+        rx.consume(bytes).unwrap();
+        let segs = rx.segments();
+        assert_eq!(segs.len(), 3);
+        assert!(!segs[0].connected);
+        assert!(segs[1].connected);
+        assert_eq!(segs[1].t_start, 5.0);
+        assert!(!segs[2].connected);
+        assert_eq!(rx.covered_through(), 12.0);
+    }
+
+    #[test]
+    fn holds_close_on_next_message() {
+        let bytes = encode(
+            &[
+                Message::Hold { t: 0.0, x: vec![1.0] },
+                Message::Hold { t: 10.0, x: vec![2.0] },
+            ],
+            1,
+        );
+        let mut rx = Receiver::new(FixedCodec, 1);
+        rx.consume(bytes).unwrap();
+        assert_eq!(rx.covered_through(), f64::INFINITY);
+        let segs = rx.into_segments();
+        assert_eq!(segs.len(), 2);
+        assert_eq!(segs[0].t_start, 0.0);
+        assert_eq!(segs[0].t_end, 10.0);
+        assert_eq!(segs[0].x_start[0], 1.0);
+    }
+
+    #[test]
+    fn end_without_start_is_protocol_error() {
+        let bytes = encode(&[Message::End { t: 1.0, x: vec![0.0] }], 1);
+        let mut rx = Receiver::new(FixedCodec, 1);
+        assert!(matches!(
+            rx.consume(bytes),
+            Err(ReceiveError::Protocol(_))
+        ));
+    }
+
+    #[test]
+    fn provisional_extends_coverage() {
+        let bytes = encode(
+            &[
+                Message::Start { t: 0.0, x: vec![0.0] },
+                Message::Provisional {
+                    t_anchor: 0.0,
+                    x_anchor: vec![0.0],
+                    slopes: vec![1.0],
+                    covers_through: 9.0,
+                },
+            ],
+            1,
+        );
+        let mut rx = Receiver::new(FixedCodec, 1);
+        rx.consume(bytes).unwrap();
+        assert_eq!(rx.covered_through(), f64::INFINITY);
+        assert_eq!(rx.provisionals(), 1);
+    }
+
+    #[test]
+    fn incremental_chunks_reassemble() {
+        let all = encode(
+            &[
+                Message::Start { t: 0.0, x: vec![0.0] },
+                Message::End { t: 4.0, x: vec![4.0] },
+            ],
+            1,
+        );
+        let mut rx = Receiver::new(FixedCodec, 1);
+        // one message per chunk (17 bytes each for 1-D fixed codec)
+        let mid = all.len() / 2;
+        rx.consume(all.slice(0..mid)).unwrap();
+        assert_eq!(rx.segments().len(), 0);
+        rx.consume(all.slice(mid..)).unwrap();
+        assert_eq!(rx.segments().len(), 1);
+    }
+}

@@ -1,0 +1,217 @@
+//! The transmitter: filter + codec + outbound byte stream.
+
+use bytes::BytesMut;
+
+use pla_core::filters::StreamFilter;
+use pla_core::{FilterError, ProvisionalUpdate, Segment, SegmentSink};
+
+use crate::wire::{Codec, Message};
+
+/// Counters describing what a transmitter has sent so far.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TransmitterStats {
+    /// Samples pushed into the filter.
+    pub samples_in: u64,
+    /// Wire messages emitted.
+    pub messages: u64,
+    /// Bytes emitted.
+    pub bytes: u64,
+    /// Recording count (the paper's §5.1 unit: one per Hold/Start/End/
+    /// Point message and one per provisional update).
+    pub recordings: u64,
+    /// Scalars shipped (times + values + slopes), the unit of the §5.4
+    /// size analysis.
+    pub scalars: u64,
+}
+
+/// Adapts a [`StreamFilter`] into a byte-emitting transmitter.
+///
+/// Push samples with [`push`](Self::push); encoded messages accumulate in
+/// an internal buffer drained with [`take_bytes`](Self::take_bytes).
+///
+/// ```
+/// use pla_core::filters::SlideFilter;
+/// use pla_transport::wire::FixedCodec;
+/// use pla_transport::{Receiver, Transmitter};
+///
+/// let filter = SlideFilter::new(&[0.5]).unwrap();
+/// let mut tx = Transmitter::new(filter, FixedCodec);
+/// let mut rx = Receiver::new(FixedCodec, 1);
+/// for j in 0..100 {
+///     tx.push(j as f64, &[0.1 * j as f64]).unwrap();
+///     rx.consume(tx.take_bytes()).unwrap();
+/// }
+/// tx.finish().unwrap();
+/// rx.consume(tx.take_bytes()).unwrap();
+/// // A straight line costs two recordings on the wire.
+/// assert_eq!(tx.stats().recordings, 2);
+/// assert_eq!(rx.segments().len(), 1);
+/// ```
+pub struct Transmitter<F, C> {
+    filter: F,
+    codec: C,
+    dims: usize,
+    buf: BytesMut,
+    stats: TransmitterStats,
+}
+
+/// Internal sink translating segments into wire messages.
+struct WireSink<'a, C: Codec> {
+    codec: &'a mut C,
+    dims: usize,
+    buf: &'a mut BytesMut,
+    stats: &'a mut TransmitterStats,
+    /// End point of the last emitted segment, to recognize connected
+    /// starts.
+    last_end: Option<(f64, Vec<f64>)>,
+}
+
+impl<C: Codec> WireSink<'_, C> {
+    fn send(&mut self, msg: &Message) {
+        let n = self.codec.encode(msg, self.dims, self.buf);
+        self.stats.messages += 1;
+        self.stats.bytes += n as u64;
+        self.stats.recordings += 1;
+        self.stats.scalars += msg.scalar_count() as u64;
+    }
+}
+
+impl<C: Codec> SegmentSink for WireSink<'_, C> {
+    fn segment(&mut self, seg: Segment) {
+        let degenerate = seg.t_start == seg.t_end;
+        let constant = seg.x_start == seg.x_end && !seg.connected && seg.new_recordings == 1;
+        if degenerate {
+            self.send(&Message::Point { t: seg.t_start, x: seg.x_start.to_vec() });
+        } else if constant && !seg.connected {
+            // Piece-wise constant (cache) segment: one Hold message.
+            self.send(&Message::Hold { t: seg.t_start, x: seg.x_start.to_vec() });
+        } else {
+            if !seg.connected {
+                self.send(&Message::Start { t: seg.t_start, x: seg.x_start.to_vec() });
+            }
+            self.send(&Message::End { t: seg.t_end, x: seg.x_end.to_vec() });
+        }
+        self.last_end = Some((seg.t_end, seg.x_end.to_vec()));
+    }
+
+    fn provisional(&mut self, update: ProvisionalUpdate) {
+        self.send(&Message::Provisional {
+            t_anchor: update.t_anchor,
+            x_anchor: update.x_anchor.to_vec(),
+            slopes: update.slopes.to_vec(),
+            covers_through: update.covers_through,
+        });
+    }
+}
+
+impl<F: StreamFilter, C: Codec> Transmitter<F, C> {
+    /// Wraps `filter` and `codec` into a transmitter.
+    pub fn new(filter: F, codec: C) -> Self {
+        let dims = filter.dims();
+        Self { filter, codec, dims, buf: BytesMut::new(), stats: TransmitterStats::default() }
+    }
+
+    /// Pushes one sample through the filter, encoding any finalized
+    /// output.
+    pub fn push(&mut self, t: f64, x: &[f64]) -> Result<(), FilterError> {
+        let mut sink = WireSink {
+            codec: &mut self.codec,
+            dims: self.dims,
+            buf: &mut self.buf,
+            stats: &mut self.stats,
+            last_end: None,
+        };
+        self.filter.push(t, x, &mut sink)?;
+        self.stats.samples_in += 1;
+        Ok(())
+    }
+
+    /// Ends the stream, flushing all pending filter state.
+    pub fn finish(&mut self) -> Result<(), FilterError> {
+        let mut sink = WireSink {
+            codec: &mut self.codec,
+            dims: self.dims,
+            buf: &mut self.buf,
+            stats: &mut self.stats,
+            last_end: None,
+        };
+        self.filter.finish(&mut sink)
+    }
+
+    /// Drains the bytes encoded since the last call.
+    pub fn take_bytes(&mut self) -> bytes::Bytes {
+        self.buf.split().freeze()
+    }
+
+    /// Cumulative transmission statistics.
+    pub fn stats(&self) -> TransmitterStats {
+        self.stats
+    }
+
+    /// Samples pushed but not yet represented in any sent message — the
+    /// transmitter-side lag (paper §2.1).
+    pub fn pending_points(&self) -> usize {
+        self.filter.pending_points()
+    }
+
+    /// Access to the wrapped filter.
+    pub fn filter(&self) -> &F {
+        &self.filter
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::FixedCodec;
+    use pla_core::filters::{CacheFilter, SlideFilter, SwingFilter};
+
+    #[test]
+    fn cache_run_emits_hold_messages() {
+        let f = CacheFilter::new(&[0.1]).unwrap();
+        let mut tx = Transmitter::new(f, FixedCodec);
+        for (j, v) in [1.0, 1.0, 1.0, 5.0, 5.0].iter().enumerate() {
+            tx.push(j as f64, &[*v]).unwrap();
+        }
+        tx.finish().unwrap();
+        let stats = tx.stats();
+        assert_eq!(stats.recordings, 2); // two Hold messages
+        assert_eq!(stats.samples_in, 5);
+        assert!(stats.bytes > 0);
+    }
+
+    #[test]
+    fn swing_connected_chain_costs_one_recording_per_segment() {
+        let f = SwingFilter::new(&[0.4]).unwrap();
+        let mut tx = Transmitter::new(f, FixedCodec);
+        let values: Vec<f64> = (0..100)
+            .map(|i| ((i as f64) * 0.45).sin() * 4.0)
+            .collect();
+        for (j, v) in values.iter().enumerate() {
+            tx.push(j as f64, &[*v]).unwrap();
+        }
+        tx.finish().unwrap();
+        let stats = tx.stats();
+        // First segment: Start + End; each later connected segment: End.
+        assert!(stats.recordings >= 2);
+        assert!(stats.messages == stats.recordings);
+    }
+
+    #[test]
+    fn bytes_accumulate_and_drain() {
+        let f = SlideFilter::new(&[0.1]).unwrap();
+        let mut tx = Transmitter::new(f, FixedCodec);
+        for j in 0..10 {
+            tx.push(j as f64, &[if j < 5 { 0.0 } else { 10.0 }]).unwrap();
+        }
+        let first = tx.take_bytes();
+        tx.finish().unwrap();
+        let rest = tx.take_bytes();
+        assert_eq!(
+            (first.len() + rest.len()) as u64,
+            tx.stats().bytes,
+            "drained bytes must equal counted bytes"
+        );
+        assert!(tx.take_bytes().is_empty());
+    }
+}

@@ -1,0 +1,503 @@
+//! Wire protocol between transmitter and receiver.
+//!
+//! A segment stream maps onto five message kinds:
+//!
+//! | Message | Meaning | Recordings |
+//! |---|---|---|
+//! | `Hold(t, X)` | piece-wise constant value from `t` until superseded | 1 |
+//! | `Start(t, X)` | a disconnected segment begins at `(t, X)` | 1 |
+//! | `End(t, X)` | the open segment ends at `(t, X)`; a connected successor may begin here | 1 |
+//! | `Point(t, X)` | degenerate single-point segment | 1 |
+//! | `Provisional(anchor, slopes, through)` | lag-bound line commitment (paper §3.3) | 1 |
+//!
+//! Two codecs serialize messages: [`FixedCodec`] (8-byte IEEE doubles,
+//! lossless) and [`CompactCodec`] (per-dimension quantization plus
+//! zig-zag varint deltas — the kind of encoding a bandwidth-starved sensor
+//! deployment would actually ship; quantization error is bounded by half a
+//! quantum per value and must be budgeted inside ε by the caller).
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// One protocol message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Constant value holds from `t` until the next message.
+    Hold {
+        /// Recording time.
+        t: f64,
+        /// Held value per dimension.
+        x: Vec<f64>,
+    },
+    /// A disconnected segment starts here.
+    Start {
+        /// Recording time.
+        t: f64,
+        /// Segment start value per dimension.
+        x: Vec<f64>,
+    },
+    /// The open segment ends here (and a connected successor may begin).
+    End {
+        /// Recording time.
+        t: f64,
+        /// Segment end value per dimension.
+        x: Vec<f64>,
+    },
+    /// Degenerate single-point segment.
+    Point {
+        /// Recording time.
+        t: f64,
+        /// Value per dimension.
+        x: Vec<f64>,
+    },
+    /// Lag-bound provisional line (paper §3.3).
+    Provisional {
+        /// Anchor time of the committed line.
+        t_anchor: f64,
+        /// Anchor values per dimension.
+        x_anchor: Vec<f64>,
+        /// Slopes per dimension.
+        slopes: Vec<f64>,
+        /// Newest covered sample time at commit.
+        covers_through: f64,
+    },
+}
+
+impl Message {
+    fn tag(&self) -> u8 {
+        match self {
+            Self::Hold { .. } => 0,
+            Self::Start { .. } => 1,
+            Self::End { .. } => 2,
+            Self::Point { .. } => 3,
+            Self::Provisional { .. } => 4,
+        }
+    }
+
+    /// Scalar payload count (times + values) — the "recording units" a
+    /// size analysis like the paper's §5.4 would assign.
+    pub fn scalar_count(&self) -> usize {
+        match self {
+            Self::Hold { x, .. } | Self::Start { x, .. } | Self::End { x, .. }
+            | Self::Point { x, .. } => 1 + x.len(),
+            Self::Provisional { x_anchor, slopes, .. } => 2 + x_anchor.len() + slopes.len(),
+        }
+    }
+}
+
+/// Errors raised while decoding a byte stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ended mid-message.
+    Truncated,
+    /// Unknown message tag byte.
+    BadTag(u8),
+    /// A varint ran past its maximum length.
+    BadVarint,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Truncated => write!(f, "byte stream truncated mid-message"),
+            Self::BadTag(t) => write!(f, "unknown message tag {t}"),
+            Self::BadVarint => write!(f, "malformed varint"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// A message serializer/deserializer.
+pub trait Codec {
+    /// Appends `msg` to `out`, returning the encoded length in bytes.
+    fn encode(&mut self, msg: &Message, dims: usize, out: &mut BytesMut) -> usize;
+    /// Decodes one message, advancing `buf`.
+    fn decode(&mut self, buf: &mut Bytes, dims: usize) -> Result<Message, WireError>;
+    /// Resets any cross-message state (delta predictors).
+    fn reset(&mut self);
+}
+
+// ---------------------------------------------------------------------------
+
+/// Lossless fixed-width codec: tag byte + 8-byte little-endian doubles.
+#[derive(Debug, Clone, Default)]
+pub struct FixedCodec;
+
+impl FixedCodec {
+    fn put_vec(out: &mut BytesMut, v: &[f64]) {
+        for &f in v {
+            out.put_f64_le(f);
+        }
+    }
+
+    fn get_vec(buf: &mut Bytes, n: usize) -> Result<Vec<f64>, WireError> {
+        if buf.remaining() < 8 * n {
+            return Err(WireError::Truncated);
+        }
+        Ok((0..n).map(|_| buf.get_f64_le()).collect())
+    }
+}
+
+impl Codec for FixedCodec {
+    fn encode(&mut self, msg: &Message, _dims: usize, out: &mut BytesMut) -> usize {
+        let before = out.len();
+        out.put_u8(msg.tag());
+        match msg {
+            Message::Hold { t, x }
+            | Message::Start { t, x }
+            | Message::End { t, x }
+            | Message::Point { t, x } => {
+                out.put_f64_le(*t);
+                Self::put_vec(out, x);
+            }
+            Message::Provisional { t_anchor, x_anchor, slopes, covers_through } => {
+                out.put_f64_le(*t_anchor);
+                Self::put_vec(out, x_anchor);
+                Self::put_vec(out, slopes);
+                out.put_f64_le(*covers_through);
+            }
+        }
+        out.len() - before
+    }
+
+    fn decode(&mut self, buf: &mut Bytes, dims: usize) -> Result<Message, WireError> {
+        if buf.remaining() < 1 {
+            return Err(WireError::Truncated);
+        }
+        let tag = buf.get_u8();
+        let need = |n: usize, buf: &Bytes| {
+            if buf.remaining() < 8 * n {
+                Err(WireError::Truncated)
+            } else {
+                Ok(())
+            }
+        };
+        match tag {
+            0..=3 => {
+                need(1 + dims, buf)?;
+                let t = buf.get_f64_le();
+                let x = Self::get_vec(buf, dims)?;
+                Ok(match tag {
+                    0 => Message::Hold { t, x },
+                    1 => Message::Start { t, x },
+                    2 => Message::End { t, x },
+                    _ => Message::Point { t, x },
+                })
+            }
+            4 => {
+                need(2 + 2 * dims, buf)?;
+                let t_anchor = buf.get_f64_le();
+                let x_anchor = Self::get_vec(buf, dims)?;
+                let slopes = Self::get_vec(buf, dims)?;
+                let covers_through = buf.get_f64_le();
+                Ok(Message::Provisional { t_anchor, x_anchor, slopes, covers_through })
+            }
+            other => Err(WireError::BadTag(other)),
+        }
+    }
+
+    fn reset(&mut self) {}
+}
+
+// ---------------------------------------------------------------------------
+
+/// Lossy compact codec: values quantized to per-dimension quanta, encoded
+/// as zig-zag varint deltas against the previous message.
+///
+/// The time axis uses its own quantum. Quantization error is at most half
+/// a quantum per scalar; callers keeping `quantum ≤ ε/8` (say) retain an
+/// end-to-end guarantee of `ε + quantum/2`.
+#[derive(Debug, Clone)]
+pub struct CompactCodec {
+    /// Quantum for the time axis.
+    pub t_quantum: f64,
+    /// Quantum per value dimension.
+    pub x_quanta: Vec<f64>,
+    prev: Vec<i64>,
+}
+
+impl CompactCodec {
+    /// Creates a compact codec with the given quanta.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any quantum is not finite and positive.
+    pub fn new(t_quantum: f64, x_quanta: &[f64]) -> Self {
+        assert!(t_quantum.is_finite() && t_quantum > 0.0, "bad time quantum");
+        for &q in x_quanta {
+            assert!(q.is_finite() && q > 0.0, "bad value quantum");
+        }
+        Self { t_quantum, x_quanta: x_quanta.to_vec(), prev: Vec::new() }
+    }
+
+    fn quantize(v: f64, q: f64) -> i64 {
+        (v / q).round() as i64
+    }
+
+    fn put_varint(out: &mut BytesMut, v: i64) {
+        // zig-zag then LEB128
+        let mut z = ((v << 1) ^ (v >> 63)) as u64;
+        loop {
+            let byte = (z & 0x7f) as u8;
+            z >>= 7;
+            if z == 0 {
+                out.put_u8(byte);
+                break;
+            }
+            out.put_u8(byte | 0x80);
+        }
+    }
+
+    fn get_varint(buf: &mut Bytes) -> Result<i64, WireError> {
+        let mut z: u64 = 0;
+        let mut shift = 0u32;
+        loop {
+            if buf.remaining() < 1 {
+                return Err(WireError::Truncated);
+            }
+            let byte = buf.get_u8();
+            z |= u64::from(byte & 0x7f) << shift;
+            if byte & 0x80 == 0 {
+                break;
+            }
+            shift += 7;
+            if shift >= 64 {
+                return Err(WireError::BadVarint);
+            }
+        }
+        Ok(((z >> 1) as i64) ^ -((z & 1) as i64))
+    }
+
+    /// Quantized scalars of a message, in encoding order.
+    fn scalars(&self, msg: &Message) -> Vec<i64> {
+        let qx = |x: &[f64]| -> Vec<i64> {
+            x.iter()
+                .zip(self.x_quanta.iter())
+                .map(|(&v, &q)| Self::quantize(v, q))
+                .collect()
+        };
+        match msg {
+            Message::Hold { t, x }
+            | Message::Start { t, x }
+            | Message::End { t, x }
+            | Message::Point { t, x } => {
+                let mut out = vec![Self::quantize(*t, self.t_quantum)];
+                out.extend(qx(x));
+                out
+            }
+            Message::Provisional { t_anchor, x_anchor, slopes, covers_through } => {
+                let mut out = vec![Self::quantize(*t_anchor, self.t_quantum)];
+                out.extend(qx(x_anchor));
+                // Slopes use the x/t quantum ratio for consistent scale.
+                out.extend(slopes.iter().zip(self.x_quanta.iter()).map(|(&s, &q)| {
+                    Self::quantize(s, q / self.t_quantum.max(f64::MIN_POSITIVE))
+                }));
+                out.push(Self::quantize(*covers_through, self.t_quantum));
+                out
+            }
+        }
+    }
+
+    fn rebuild(
+        &self,
+        tag: u8,
+        scalars: &[i64],
+        dims: usize,
+    ) -> Result<Message, WireError> {
+        let t = scalars[0] as f64 * self.t_quantum;
+        let dx = |offset: usize| -> Vec<f64> {
+            (0..dims)
+                .map(|d| scalars[offset + d] as f64 * self.x_quanta[d])
+                .collect()
+        };
+        Ok(match tag {
+            0 => Message::Hold { t, x: dx(1) },
+            1 => Message::Start { t, x: dx(1) },
+            2 => Message::End { t, x: dx(1) },
+            3 => Message::Point { t, x: dx(1) },
+            4 => {
+                let slopes = (0..dims)
+                    .map(|d| {
+                        scalars[1 + dims + d] as f64
+                            * (self.x_quanta[d] / self.t_quantum.max(f64::MIN_POSITIVE))
+                    })
+                    .collect();
+                Message::Provisional {
+                    t_anchor: t,
+                    x_anchor: dx(1),
+                    slopes,
+                    covers_through: scalars[1 + 2 * dims] as f64 * self.t_quantum,
+                }
+            }
+            other => return Err(WireError::BadTag(other)),
+        })
+    }
+}
+
+impl Codec for CompactCodec {
+    fn encode(&mut self, msg: &Message, _dims: usize, out: &mut BytesMut) -> usize {
+        let before = out.len();
+        out.put_u8(msg.tag());
+        let scalars = self.scalars(msg);
+        for (i, &s) in scalars.iter().enumerate() {
+            let pred = self.prev.get(i).copied().unwrap_or(0);
+            Self::put_varint(out, s.wrapping_sub(pred));
+        }
+        self.prev = scalars;
+        out.len() - before
+    }
+
+    fn decode(&mut self, buf: &mut Bytes, dims: usize) -> Result<Message, WireError> {
+        if buf.remaining() < 1 {
+            return Err(WireError::Truncated);
+        }
+        let tag = buf.get_u8();
+        let count = match tag {
+            0..=3 => 1 + dims,
+            4 => 2 + 2 * dims,
+            other => return Err(WireError::BadTag(other)),
+        };
+        let mut scalars = Vec::with_capacity(count);
+        for i in 0..count {
+            let pred = self.prev.get(i).copied().unwrap_or(0);
+            scalars.push(pred.wrapping_add(Self::get_varint(buf)?));
+        }
+        let msg = self.rebuild(tag, &scalars, dims)?;
+        self.prev = scalars;
+        Ok(msg)
+    }
+
+    fn reset(&mut self) {
+        self.prev.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_messages() -> Vec<Message> {
+        vec![
+            Message::Start { t: 0.0, x: vec![1.5, -2.0] },
+            Message::End { t: 10.0, x: vec![2.5, -1.0] },
+            Message::End { t: 20.0, x: vec![3.5, 0.5] },
+            Message::Hold { t: 30.0, x: vec![3.5, 0.5] },
+            Message::Point { t: 41.0, x: vec![9.0, 9.0] },
+            Message::Provisional {
+                t_anchor: 41.0,
+                x_anchor: vec![9.0, 9.0],
+                slopes: vec![0.5, -0.25],
+                covers_through: 50.0,
+            },
+        ]
+    }
+
+    #[test]
+    fn fixed_codec_round_trip() {
+        let mut codec = FixedCodec;
+        let mut buf = BytesMut::new();
+        let msgs = sample_messages();
+        for m in &msgs {
+            codec.encode(m, 2, &mut buf);
+        }
+        let mut bytes = buf.freeze();
+        for m in &msgs {
+            let got = codec.decode(&mut bytes, 2).unwrap();
+            assert_eq!(&got, m);
+        }
+        assert_eq!(bytes.remaining(), 0);
+    }
+
+    #[test]
+    fn compact_codec_round_trip_within_quantum() {
+        let mut enc = CompactCodec::new(0.5, &[0.01, 0.01]);
+        let mut dec = enc.clone();
+        let mut buf = BytesMut::new();
+        let msgs = sample_messages();
+        for m in &msgs {
+            enc.encode(m, 2, &mut buf);
+        }
+        let mut bytes = buf.freeze();
+        for m in &msgs {
+            let got = dec.decode(&mut bytes, 2).unwrap();
+            match (&got, m) {
+                (Message::End { t: gt, x: gx }, Message::End { t, x })
+                | (Message::Start { t: gt, x: gx }, Message::Start { t, x })
+                | (Message::Hold { t: gt, x: gx }, Message::Hold { t, x })
+                | (Message::Point { t: gt, x: gx }, Message::Point { t, x }) => {
+                    assert!((gt - t).abs() <= 0.25 + 1e-12);
+                    for (a, b) in gx.iter().zip(x.iter()) {
+                        assert!((a - b).abs() <= 0.005 + 1e-12);
+                    }
+                }
+                (Message::Provisional { covers_through: g, .. },
+                 Message::Provisional { covers_through: w, .. }) => {
+                    assert!((g - w).abs() <= 0.25 + 1e-12);
+                }
+                _ => panic!("kind mismatch: {got:?} vs {m:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn compact_is_smaller_than_fixed_on_smooth_streams() {
+        let msgs: Vec<Message> = (0..100)
+            .map(|i| Message::End { t: i as f64, x: vec![20.0 + (i % 5) as f64 * 0.01] })
+            .collect();
+        let mut fixed = FixedCodec;
+        let mut compact = CompactCodec::new(0.001, &[0.001]);
+        let mut fb = BytesMut::new();
+        let mut cb = BytesMut::new();
+        for m in &msgs {
+            fixed.encode(m, 1, &mut fb);
+            compact.encode(m, 1, &mut cb);
+        }
+        assert!(
+            cb.len() * 3 < fb.len(),
+            "compact {} should be well under fixed {}",
+            cb.len(),
+            fb.len()
+        );
+    }
+
+    #[test]
+    fn varint_extremes_round_trip() {
+        for v in [0i64, 1, -1, 63, -64, i64::MAX / 2, i64::MIN / 2] {
+            let mut buf = BytesMut::new();
+            CompactCodec::put_varint(&mut buf, v);
+            let mut b = buf.freeze();
+            assert_eq!(CompactCodec::get_varint(&mut b).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn truncated_input_is_reported() {
+        let mut codec = FixedCodec;
+        let mut buf = BytesMut::new();
+        codec.encode(&Message::End { t: 1.0, x: vec![2.0] }, 1, &mut buf);
+        let mut short = buf.freeze().slice(0..5);
+        assert_eq!(codec.decode(&mut short, 1), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn bad_tag_is_reported() {
+        let mut codec = FixedCodec;
+        let mut bytes = Bytes::from_static(&[9u8, 0, 0, 0, 0, 0, 0, 0, 0]);
+        assert_eq!(codec.decode(&mut bytes, 0), Err(WireError::BadTag(9)));
+    }
+
+    #[test]
+    fn scalar_count_matches_payload() {
+        assert_eq!(Message::End { t: 0.0, x: vec![0.0; 3] }.scalar_count(), 4);
+        assert_eq!(
+            Message::Provisional {
+                t_anchor: 0.0,
+                x_anchor: vec![0.0; 3],
+                slopes: vec![0.0; 3],
+                covers_through: 0.0
+            }
+            .scalar_count(),
+            8
+        );
+    }
+}

@@ -1,0 +1,66 @@
+//! Quickstart: compress a temperature trace with every filter and compare.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Walks through the library's core loop: build a signal, pick a
+//! precision width, stream it through a filter, inspect the compression
+//! ratio, and verify the reconstruction honours the L∞ guarantee.
+
+use pla::core::filters::{
+    CacheFilter, LinearFilter, SlideFilter, StreamFilter, SwingFilter,
+};
+use pla::core::metrics;
+use pla::core::{GapPolicy, Polyline};
+use pla::signal::sea_surface;
+
+fn main() {
+    // 1. A signal: 1285 sea-surface temperature readings, 10 min apart
+    //    (the proxy for the paper's Figure 6 trace).
+    let signal = sea_surface();
+    let (lo, hi) = signal.range(0).expect("non-empty signal");
+    println!("signal: {} points, range {lo:.2}–{hi:.2} °C", signal.len());
+
+    // 2. A precision width: the receiver tolerates ±1% of the range.
+    let eps = signal.epsilons_from_range_percent(1.0);
+    println!("precision: ±{:.4} °C\n", eps[0]);
+
+    // 3. Stream through each filter and report.
+    println!(
+        "{:<8} {:>10} {:>12} {:>12} {:>12}",
+        "filter", "segments", "recordings", "compression", "avg err (°C)"
+    );
+    let mut filters: Vec<Box<dyn StreamFilter>> = vec![
+        Box::new(CacheFilter::new(&eps).expect("valid ε")),
+        Box::new(LinearFilter::new(&eps).expect("valid ε")),
+        Box::new(SwingFilter::new(&eps).expect("valid ε")),
+        Box::new(SlideFilter::new(&eps).expect("valid ε")),
+    ];
+    for filter in filters.iter_mut() {
+        let report = metrics::evaluate(filter.as_mut(), &signal).expect("valid signal");
+        println!(
+            "{:<8} {:>10} {:>12} {:>12.2} {:>12.4}",
+            filter.name(),
+            report.n_segments,
+            report.n_recordings,
+            report.compression_ratio,
+            report.error.mean_abs_overall(),
+        );
+        // The headline guarantee (Theorems 3.1/4.1): no point strays more
+        // than ε from the approximation.
+        assert!(report.error.max_abs_overall() <= eps[0] * (1.0 + 1e-9));
+    }
+
+    // 4. Reconstruct from the slide filter's segments and query anywhere.
+    let mut slide = SlideFilter::new(&eps).expect("valid ε");
+    let segments = pla::core::filters::run_filter(&mut slide, &signal).expect("valid signal");
+    let polyline = Polyline::new(segments);
+    let t_mid = signal.times()[signal.len() / 2];
+    let approx = polyline.eval(t_mid, 0, GapPolicy::Strict).expect("covered");
+    let (_, actual) = signal.sample(signal.len() / 2);
+    println!(
+        "\nreconstruction at t={t_mid} min: {approx:.3} °C (actual {:.3}, ε {:.3})",
+        actual[0], eps[0]
+    );
+}

@@ -1,0 +1,73 @@
+//! Stock-ticker scenario: error-bounded quote archiving.
+//!
+//! ```text
+//! cargo run --release --example stock_ticker
+//! ```
+//!
+//! The paper's introduction notes that "online stock quotes … are usually
+//! lagging a few minutes behind the actual market data" — exactly the
+//! tolerance the swing/slide filters trade for compression. This example
+//! archives a volatile price series with every filter at tick-level,
+//! cent-level and dime-level precision, showing how the compression ratio
+//! scales with the tolerated error, and prints which filter a quote
+//! archive should pick at each operating point.
+
+use pla::core::filters::{
+    CacheFilter, LinearFilter, SlideFilter, StreamFilter, SwingFilter,
+};
+use pla::core::metrics;
+use pla::core::Signal;
+use pla::signal::{random_walk, WalkParams};
+
+fn main() {
+    // A day of per-second prices: geometric-ish walk around $100 with
+    // bursts. Built from the paper's random-walk model plus a re-scale.
+    let base = random_walk(WalkParams {
+        n: 6 * 60 * 60,
+        p_decrease: 0.5,
+        max_delta: 0.03,
+        seed: 0x570C4,
+    });
+    let mut prices = Signal::new(1);
+    for (t, x) in base.iter() {
+        prices
+            .push(t, &[100.0 + x[0]])
+            .expect("walk output is monotone in time");
+    }
+    let (lo, hi) = prices.range(0).expect("non-empty");
+    println!(
+        "price series: {} ticks, ${lo:.2}–${hi:.2}\n",
+        prices.len()
+    );
+
+    for (label, eps) in [("±1¢", 0.01), ("±10¢", 0.10), ("±$1", 1.00)] {
+        println!("tolerance {label}:");
+        println!(
+            "  {:<8} {:>12} {:>14} {:>16}",
+            "filter", "recordings", "compression", "avg err ($)"
+        );
+        let mut best: Option<(String, f64)> = None;
+        let mut filters: Vec<Box<dyn StreamFilter>> = vec![
+            Box::new(CacheFilter::new(&[eps]).expect("valid ε")),
+            Box::new(LinearFilter::new(&[eps]).expect("valid ε")),
+            Box::new(SwingFilter::new(&[eps]).expect("valid ε")),
+            Box::new(SlideFilter::new(&[eps]).expect("valid ε")),
+        ];
+        for f in filters.iter_mut() {
+            let report = metrics::evaluate(f.as_mut(), &prices).expect("valid signal");
+            println!(
+                "  {:<8} {:>12} {:>14.2} {:>16.5}",
+                f.name(),
+                report.n_recordings,
+                report.compression_ratio,
+                report.error.mean_abs_overall()
+            );
+            assert!(report.error.max_abs_overall() <= eps * (1.0 + 1e-9));
+            if best.as_ref().is_none_or(|(_, cr)| report.compression_ratio > *cr) {
+                best = Some((f.name().to_string(), report.compression_ratio));
+            }
+        }
+        let (name, cr) = best.expect("at least one filter ran");
+        println!("  → best: {name} at {cr:.1}× \n");
+    }
+}

@@ -1,0 +1,179 @@
+//! End-to-end integration: generator → filter → wire → receiver →
+//! reconstruction → verification, across all workspace crates.
+
+use pla::core::filters::{
+    CacheFilter, LinearFilter, SlideFilter, StreamFilter, SwingFilter,
+};
+use pla::core::{GapPolicy, Polyline};
+use pla::signal::{correlated_walk, multi_walk, random_walk, sea_surface, WalkParams};
+use pla::transport::wire::{CompactCodec, FixedCodec};
+use pla::transport::{simulate_lag, Receiver, Transmitter};
+
+fn filters(eps: &[f64]) -> Vec<Box<dyn StreamFilter>> {
+    vec![
+        Box::new(CacheFilter::new(eps).unwrap()),
+        Box::new(LinearFilter::new(eps).unwrap()),
+        Box::new(SwingFilter::new(eps).unwrap()),
+        Box::new(SlideFilter::new(eps).unwrap()),
+    ]
+}
+
+/// Pipe a signal through transmitter + fixed codec + receiver and verify
+/// the reconstruction against the original within ε.
+fn verify_pipeline(
+    filter: Box<dyn StreamFilter>,
+    signal: &pla::core::Signal,
+    eps: &[f64],
+    slack: f64,
+) {
+    struct BoxedFilter(Box<dyn StreamFilter>);
+    impl StreamFilter for BoxedFilter {
+        fn dims(&self) -> usize {
+            self.0.dims()
+        }
+        fn epsilons(&self) -> &[f64] {
+            self.0.epsilons()
+        }
+        fn push(
+            &mut self,
+            t: f64,
+            x: &[f64],
+            sink: &mut dyn pla::core::SegmentSink,
+        ) -> Result<(), pla::core::FilterError> {
+            self.0.push(t, x, sink)
+        }
+        fn finish(
+            &mut self,
+            sink: &mut dyn pla::core::SegmentSink,
+        ) -> Result<(), pla::core::FilterError> {
+            self.0.finish(sink)
+        }
+        fn pending_points(&self) -> usize {
+            self.0.pending_points()
+        }
+        fn name(&self) -> &'static str {
+            self.0.name()
+        }
+    }
+
+    let name = filter.name();
+    let mut tx = Transmitter::new(BoxedFilter(filter), FixedCodec);
+    let mut rx = Receiver::new(FixedCodec, signal.dims());
+    for (t, x) in signal.iter() {
+        tx.push(t, x).unwrap();
+        rx.consume(tx.take_bytes()).unwrap();
+    }
+    tx.finish().unwrap();
+    rx.consume(tx.take_bytes()).unwrap();
+    let polyline = Polyline::new(rx.into_segments());
+    for (t, x) in signal.iter() {
+        for d in 0..signal.dims() {
+            let v = polyline
+                .eval(t, d, GapPolicy::Hold)
+                .unwrap_or_else(|| panic!("{name}: t={t} uncovered"));
+            assert!(
+                (v - x[d]).abs() <= eps[d] * (1.0 + 1e-6) + slack,
+                "{name}: dim {d} error {} > ε {} at t={t}",
+                (v - x[d]).abs(),
+                eps[d]
+            );
+        }
+    }
+}
+
+#[test]
+fn full_pipeline_sea_surface_all_filters() {
+    let signal = sea_surface();
+    let eps = signal.epsilons_from_range_percent(1.0);
+    for f in filters(&eps) {
+        verify_pipeline(f, &signal, &eps, 0.0);
+    }
+}
+
+#[test]
+fn full_pipeline_random_walk_all_filters() {
+    let signal = random_walk(WalkParams { n: 3000, ..Default::default() });
+    for f in filters(&[0.7]) {
+        verify_pipeline(f, &signal, &[0.7], 0.0);
+    }
+}
+
+#[test]
+fn full_pipeline_multidim() {
+    let signal = multi_walk(3, WalkParams { n: 2000, seed: 11, ..Default::default() });
+    let eps = [0.5, 1.0, 2.0];
+    for f in filters(&eps) {
+        verify_pipeline(f, &signal, &eps, 0.0);
+    }
+}
+
+#[test]
+fn compact_codec_pipeline_respects_error_budget() {
+    // Quantization adds at most half a quantum per value; keep quanta at
+    // ε/32 and verify the combined bound.
+    let signal = correlated_walk(2, 0.6, WalkParams { n: 2500, seed: 12, ..Default::default() });
+    let eps = [0.8, 0.8];
+    let quanta: Vec<f64> = eps.iter().map(|e| e / 32.0).collect();
+    let filter = SlideFilter::new(&eps).unwrap();
+    let mut tx = Transmitter::new(filter, CompactCodec::new(1.0 / 32.0, &quanta));
+    let mut rx = Receiver::new(CompactCodec::new(1.0 / 32.0, &quanta), 2);
+    for (t, x) in signal.iter() {
+        tx.push(t, x).unwrap();
+        rx.consume(tx.take_bytes()).unwrap();
+    }
+    tx.finish().unwrap();
+    rx.consume(tx.take_bytes()).unwrap();
+    let polyline = Polyline::new(rx.into_segments());
+    for (t, x) in signal.iter() {
+        for d in 0..2 {
+            let v = polyline.eval(t, d, GapPolicy::Hold).expect("covered");
+            assert!(
+                (v - x[d]).abs() <= eps[d] + quanta[d],
+                "error {} over combined budget at t={t}",
+                (v - x[d]).abs()
+            );
+        }
+    }
+    // And the wire really is smaller than raw.
+    let raw = (signal.len() * 3 * 8) as u64;
+    assert!(tx.stats().bytes < raw / 4, "bytes {} vs raw {raw}", tx.stats().bytes);
+}
+
+#[test]
+fn lag_bound_holds_across_the_whole_stack() {
+    let signal = sea_surface();
+    let eps = signal.epsilons_from_range_percent(3.16);
+    for m in [4usize, 16, 64] {
+        let report = simulate_lag(
+            SwingFilter::builder(&eps).max_lag(m).build().unwrap(),
+            FixedCodec,
+            FixedCodec,
+            &signal,
+        )
+        .unwrap();
+        assert!(report.max_lag <= m, "swing: lag {} > {m}", report.max_lag);
+        let report = simulate_lag(
+            SlideFilter::builder(&eps).max_lag(m).build().unwrap(),
+            FixedCodec,
+            FixedCodec,
+            &signal,
+        )
+        .unwrap();
+        assert!(report.max_lag <= m, "slide: lag {} > {m}", report.max_lag);
+    }
+}
+
+#[test]
+fn csv_round_trip_preserves_filter_output() {
+    // Persist a signal as CSV, load it back, and check both copies
+    // compress identically (byte-level determinism of the whole stack).
+    let signal = random_walk(WalkParams { n: 800, seed: 13, ..Default::default() });
+    let mut buf = Vec::new();
+    pla::signal::csv::write_signal(&signal, &mut buf).unwrap();
+    let reloaded = pla::signal::csv::read_signal(&buf[..]).unwrap();
+    let mut f1 = SlideFilter::new(&[0.5]).unwrap();
+    let mut f2 = SlideFilter::new(&[0.5]).unwrap();
+    let a = pla::core::filters::run_filter(&mut f1, &signal).unwrap();
+    let b = pla::core::filters::run_filter(&mut f2, &reloaded).unwrap();
+    assert_eq!(a, b);
+}

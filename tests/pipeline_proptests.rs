@@ -1,0 +1,162 @@
+//! Cross-crate property tests: the ε guarantee must survive the entire
+//! transmitter → wire → receiver pipeline for arbitrary streams.
+
+use proptest::prelude::*;
+
+use pla::core::filters::{SlideFilter, StreamFilter, SwingFilter};
+use pla::core::{GapPolicy, Polyline, Signal};
+use pla::transport::wire::{Codec, CompactCodec, FixedCodec};
+use pla::transport::{Receiver, Transmitter};
+
+fn arbitrary_signal() -> impl Strategy<Value = Signal> {
+    (1usize..=3, 2usize..150, any::<u64>()).prop_map(|(d, n, seed)| {
+        let mut s = Signal::new(d);
+        let mut state = seed | 1;
+        let mut rnd = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        let mut vals = vec![0.0f64; d];
+        let mut t = 0.0;
+        for _ in 0..n {
+            t += 0.25 + rnd().abs() * 2.0;
+            for v in vals.iter_mut() {
+                *v += rnd() * 3.0;
+            }
+            s.push(t, &vals).expect("valid");
+        }
+        s
+    })
+}
+
+fn pipe<C: Codec>(
+    filter: Box<dyn StreamFilter>,
+    codec_tx: C,
+    codec_rx: C,
+    signal: &Signal,
+) -> Vec<pla::core::Segment> {
+    struct Wrap(Box<dyn StreamFilter>);
+    impl StreamFilter for Wrap {
+        fn dims(&self) -> usize {
+            self.0.dims()
+        }
+        fn epsilons(&self) -> &[f64] {
+            self.0.epsilons()
+        }
+        fn push(
+            &mut self,
+            t: f64,
+            x: &[f64],
+            sink: &mut dyn pla::core::SegmentSink,
+        ) -> Result<(), pla::core::FilterError> {
+            self.0.push(t, x, sink)
+        }
+        fn finish(
+            &mut self,
+            sink: &mut dyn pla::core::SegmentSink,
+        ) -> Result<(), pla::core::FilterError> {
+            self.0.finish(sink)
+        }
+        fn pending_points(&self) -> usize {
+            self.0.pending_points()
+        }
+        fn name(&self) -> &'static str {
+            self.0.name()
+        }
+    }
+    let _ = filter.name();
+    let mut tx = Transmitter::new(Wrap(filter), codec_tx);
+    let mut rx = Receiver::new(codec_rx, signal.dims());
+    for (t, x) in signal.iter() {
+        tx.push(t, x).unwrap();
+        rx.consume(tx.take_bytes()).unwrap();
+    }
+    tx.finish().unwrap();
+    rx.consume(tx.take_bytes()).unwrap();
+    rx.into_segments()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Fixed codec: lossless pipeline, full ε guarantee.
+    #[test]
+    fn fixed_codec_pipeline_keeps_guarantee(signal in arbitrary_signal(), eps in 0.1f64..5.0) {
+        let eps_vec = vec![eps; signal.dims()];
+        let filters: Vec<Box<dyn StreamFilter>> = vec![
+            Box::new(SwingFilter::new(&eps_vec).unwrap()),
+            Box::new(SlideFilter::new(&eps_vec).unwrap()),
+        ];
+        for f in filters {
+            let segs = pipe(f, FixedCodec, FixedCodec, &signal);
+            let poly = Polyline::new(segs);
+            for (t, x) in signal.iter() {
+                for (d, &actual) in x.iter().enumerate() {
+                    let v = poly.eval(t, d, GapPolicy::Hold);
+                    prop_assert!(v.is_some(), "t={t} uncovered");
+                    let err = (v.unwrap() - actual).abs();
+                    prop_assert!(
+                        err <= eps * (1.0 + 1e-6),
+                        "err {err} > ε {eps} at t={t} dim {d}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Compact codec: guarantee degrades by at most the quantization
+    /// budget. Time quantization can nudge a disconnected segment's
+    /// boundary past a sample, so gap samples are evaluated by
+    /// interpolating between the surrounding endpoints (both of which are
+    /// within ε + quantum of the true boundary values).
+    #[test]
+    fn compact_codec_pipeline_keeps_budget(signal in arbitrary_signal(), eps in 0.2f64..5.0) {
+        let d = signal.dims();
+        let eps_vec = vec![eps; d];
+        let quanta = vec![eps / 32.0; d];
+        // Time quantum ≪ the minimum sample spacing (0.25).
+        let t_quantum = 1.0 / 1024.0;
+        let filter: Box<dyn StreamFilter> = Box::new(SlideFilter::new(&eps_vec).unwrap());
+        let segs = pipe(
+            filter,
+            CompactCodec::new(t_quantum, &quanta),
+            CompactCodec::new(t_quantum, &quanta),
+            &signal,
+        );
+        let poly = Polyline::new(segs);
+        // Max per-sample value change is 3.0 over ≥ 0.25 time units: a
+        // half-quantum endpoint shift perturbs interpolation by at most
+        // slope · t_quantum ≤ 12 · t_quantum.
+        let budget = eps + eps / 32.0 + 12.0 * t_quantum;
+        for (t, x) in signal.iter() {
+            for (dim, &actual) in x.iter().enumerate() {
+                let v = poly
+                    .eval(t, dim, GapPolicy::Interpolate)
+                    .or_else(|| poly.eval(t, dim, GapPolicy::Hold));
+                if let Some(v) = v {
+                    let err = (v - actual).abs();
+                    prop_assert!(err <= budget, "err {err} > budget {budget}");
+                }
+            }
+        }
+    }
+
+    /// Wire determinism: same filter, same signal, same bytes.
+    #[test]
+    fn wire_stream_is_deterministic(signal in arbitrary_signal(), eps in 0.1f64..5.0) {
+        let eps_vec = vec![eps; signal.dims()];
+        let run = || {
+            let f = SlideFilter::new(&eps_vec).unwrap();
+            let mut tx = Transmitter::new(f, FixedCodec);
+            let mut all = Vec::new();
+            for (t, x) in signal.iter() {
+                tx.push(t, x).unwrap();
+                all.extend_from_slice(&tx.take_bytes());
+            }
+            tx.finish().unwrap();
+            all.extend_from_slice(&tx.take_bytes());
+            all
+        };
+        prop_assert_eq!(run(), run());
+    }
+}
