@@ -28,10 +28,7 @@ fn throughput_1d(c: &mut Criterion) {
 fn throughput_8d(c: &mut Criterion) {
     const N: usize = 20_000;
     const D: usize = 8;
-    let signal = multi_walk(
-        D,
-        WalkParams { n: N, p_decrease: 0.5, max_delta: 2.0, seed: 0xE2 },
-    );
+    let signal = multi_walk(D, WalkParams { n: N, p_decrease: 0.5, max_delta: 2.0, seed: 0xE2 });
     let eps = vec![1.0; D];
     let mut group = c.benchmark_group("throughput/8d");
     group

@@ -90,13 +90,7 @@ mod tests {
 
     #[test]
     fn errors_are_comparable() {
-        assert_eq!(
-            FilterError::ZeroDimensions,
-            FilterError::ZeroDimensions
-        );
-        assert_ne!(
-            FilterError::ZeroDimensions,
-            FilterError::InvalidMaxLag { value: 1 }
-        );
+        assert_eq!(FilterError::ZeroDimensions, FilterError::ZeroDimensions);
+        assert_ne!(FilterError::ZeroDimensions, FilterError::InvalidMaxLag { value: 1 });
     }
 }

@@ -142,8 +142,7 @@ impl CacheFilter {
     }
 
     fn emit(&self, run: &Run, sink: &mut dyn SegmentSink) {
-        let value: Box<[f64]> =
-            (0..self.eps.len()).map(|d| self.representative(run, d)).collect();
+        let value: Box<[f64]> = (0..self.eps.len()).map(|d| self.representative(run, d)).collect();
         sink.segment(Segment {
             t_start: run.t_first,
             x_start: value.clone(),

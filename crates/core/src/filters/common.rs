@@ -39,9 +39,7 @@ pub(crate) fn point_segment(t: f64, x: &[f64], connected: bool) -> Segment {
 /// `ε` (the shared violation test of cache and linear filters).
 #[inline]
 pub(crate) fn violates(eps: &[f64], x: &[f64], pred: impl Fn(usize) -> f64) -> bool {
-    x.iter()
-        .enumerate()
-        .any(|(dim, &v)| (v - pred(dim)).abs() > eps[dim])
+    x.iter().enumerate().any(|(dim, &v)| (v - pred(dim)).abs() > eps[dim])
 }
 
 #[cfg(test)]

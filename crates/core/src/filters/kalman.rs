@@ -193,9 +193,9 @@ impl KalmanFilter {
 
     fn fits(&self, iv: &Interval, t: f64, x: &[f64]) -> bool {
         let dt = t - iv.anchor_t;
-        x.iter().enumerate().all(|(d, &v)| {
-            (v - (iv.anchor_x[d] + iv.slopes[d] * dt)).abs() <= self.eps[d]
-        })
+        x.iter()
+            .enumerate()
+            .all(|(d, &v)| (v - (iv.anchor_x[d] + iv.slopes[d] * dt)).abs() <= self.eps[d])
     }
 
     fn close(&self, iv: &Interval, sink: &mut dyn SegmentSink) -> (f64, Vec<f64>) {
@@ -331,7 +331,7 @@ mod tests {
         let mut seed = 5u64;
         let mut rnd = || {
             seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            ((seed >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+            ((seed >> 32) as f64 / (1u64 << 31) as f64) - 1.0
         };
         for j in 1..500 {
             k.predict(1.0);
@@ -345,7 +345,7 @@ mod tests {
         let mut seed = 77u64;
         let mut rnd = || {
             seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            ((seed >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+            ((seed >> 32) as f64 / (1u64 << 31) as f64) - 1.0
         };
         let mut x = 0.0;
         let values: Vec<f64> = (0..2000)
@@ -377,11 +377,9 @@ mod tests {
         let mut seed = 99u64;
         let mut rnd = || {
             seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            ((seed >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+            ((seed >> 32) as f64 / (1u64 << 31) as f64) - 1.0
         };
-        let values: Vec<f64> = (0..3000)
-            .map(|j| 0.5 * j as f64 + rnd() * 0.45)
-            .collect();
+        let values: Vec<f64> = (0..3000).map(|j| 0.5 * j as f64 + rnd() * 0.45).collect();
         let signal = Signal::from_values(&values);
         let eps = 0.5;
         let mut kalman = KalmanFilter::with_noise(&[eps], 1e-4, 0.2).unwrap();
@@ -390,17 +388,12 @@ mod tests {
         let l_segs = run_filter(&mut linear, &signal).unwrap();
         let k_recs: u64 = k_segs.iter().map(|s| s.new_recordings as u64).sum();
         let l_recs: u64 = l_segs.iter().map(|s| s.new_recordings as u64).sum();
-        assert!(
-            k_recs < l_recs,
-            "kalman {k_recs} recordings should beat linear {l_recs}"
-        );
+        assert!(k_recs < l_recs, "kalman {k_recs} recordings should beat linear {l_recs}");
     }
 
     #[test]
     fn connected_chain_structure() {
-        let values: Vec<f64> = (0..200)
-            .map(|i| ((i as f64) * 0.3).sin() * 5.0)
-            .collect();
+        let values: Vec<f64> = (0..200).map(|i| ((i as f64) * 0.3).sin() * 5.0).collect();
         let signal = Signal::from_values(&values);
         let mut f = KalmanFilter::new(&[0.4]).unwrap();
         let segs = run_filter(&mut f, &signal).unwrap();

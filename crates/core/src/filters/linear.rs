@@ -49,7 +49,11 @@ struct Interval {
 enum State {
     Empty,
     /// One pending point that will anchor the next interval.
-    One { t: f64, x: Vec<f64>, connected: bool },
+    One {
+        t: f64,
+        x: Vec<f64>,
+        connected: bool,
+    },
     Active(Interval),
 }
 
@@ -94,7 +98,14 @@ impl LinearFilter {
         self.mode
     }
 
-    fn start_interval(&self, t0: f64, x0: &[f64], t1: f64, x1: &[f64], connected: bool) -> Interval {
+    fn start_interval(
+        &self,
+        t0: f64,
+        x0: &[f64],
+        t1: f64,
+        x1: &[f64],
+        connected: bool,
+    ) -> Interval {
         let lines = (0..self.dims())
             .map(|d| Line::through(Point2::new(t0, x0[d]), Point2::new(t1, x1[d])))
             .collect();
@@ -274,7 +285,15 @@ mod tests {
     #[test]
     fn connected_endpoints_chain() {
         let values: Vec<f64> = (0..60)
-            .map(|i| if i < 20 { i as f64 } else if i < 40 { 40.0 - i as f64 } else { i as f64 - 40.0 })
+            .map(|i| {
+                if i < 20 {
+                    i as f64
+                } else if i < 40 {
+                    40.0 - i as f64
+                } else {
+                    i as f64 - 40.0
+                }
+            })
             .collect();
         let segs = compress(&values, 0.25, LinearMode::Connected);
         assert!(segs.len() >= 3);

@@ -43,7 +43,9 @@
 //!   choice does not pin down a single intersection time in more than one
 //!   dimension.
 
-use pla_geom::{scan, max_slope_to_chain, min_slope_to_chain, Chain, IncrementalHull, Line, Point2};
+use pla_geom::{
+    max_slope_to_chain, min_slope_to_chain, scan, Chain, IncrementalHull, Line, Point2,
+};
 
 use crate::error::FilterError;
 use crate::mse::RegressionSums;
@@ -282,38 +284,24 @@ impl SlideFilter {
                 }
             }
             HullMode::Exhaustive => {
-                raw = (0..d)
-                    .map(|i| vec![Point2::new(t0, x0[i]), Point2::new(t1, x1[i])])
-                    .collect();
+                raw =
+                    (0..d).map(|i| vec![Point2::new(t0, x0[i]), Point2::new(t1, x1[i])]).collect();
             }
         }
         let mut sums = RegressionSums::new(t0, x0);
         sums.push(t0, x0);
         sums.push(t1, x1);
-        Interval {
-            first_t: t0,
-            u,
-            l,
-            hulls,
-            raw,
-            last_t: t1,
-            sums,
-            n_pts: 2,
-            frozen: None,
-        }
+        Interval { first_t: t0, u, l, hulls, raw, last_t: t1, sums, n_pts: 2, frozen: None }
     }
 
     /// Lemma 4.2 acceptance test: within `εᵢ` of the band `[lᵢᵏ, uᵢᵏ]`.
     fn fits(&self, iv: &Interval, t: f64, x: &[f64]) -> bool {
         if let Some(f) = &iv.frozen {
-            return x
-                .iter()
-                .enumerate()
-                .all(|(i, &v)| (v - f.g[i].eval(t)).abs() <= self.eps[i]);
+            return x.iter().enumerate().all(|(i, &v)| (v - f.g[i].eval(t)).abs() <= self.eps[i]);
         }
-        x.iter().enumerate().all(|(i, &v)| {
-            v <= iv.u[i].eval(t) + self.eps[i] && v >= iv.l[i].eval(t) - self.eps[i]
-        })
+        x.iter()
+            .enumerate()
+            .all(|(i, &v)| v <= iv.u[i].eval(t) + self.eps[i] && v >= iv.l[i].eval(t) - self.eps[i])
     }
 
     /// Algorithm 2 lines 32–39: hull update plus envelope rebuilds through
@@ -392,8 +380,7 @@ impl SlideFilter {
                     // convex combination of two feasible lines, hence
                     // feasible.
                     let mid = 0.5 * (iv.u[i].eval(iv.last_t) + iv.l[i].eval(iv.last_t));
-                    Line::new(Point2::new(iv.last_t, mid), iv.l[i].slope)
-                        .anchored_at(iv.first_t)
+                    Line::new(Point2::new(iv.last_t, mid), iv.l[i].slope).anchored_at(iv.first_t)
                 }
             })
             .collect()
@@ -413,12 +400,8 @@ impl SlideFilter {
 
     fn note_stats(&mut self, iv: &Interval) {
         let verts = match self.hull_mode {
-            HullMode::Optimized => {
-                iv.hulls.iter().map(|h| h.num_vertices()).max().unwrap_or(0)
-            }
-            HullMode::Exhaustive => {
-                iv.raw.iter().map(|r| r.len()).max().unwrap_or(0)
-            }
+            HullMode::Optimized => iv.hulls.iter().map(|h| h.num_vertices()).max().unwrap_or(0),
+            HullMode::Exhaustive => iv.raw.iter().map(|r| r.len()).max().unwrap_or(0),
         };
         self.stats.max_vertices = self.stats.max_vertices.max(verts);
         self.stats.total_vertices += verts as u64;
@@ -907,13 +890,8 @@ mod tests {
     /// because envelopes slide instead of pivoting around the origin.
     #[test]
     fn slide_outlives_swing_on_paper_pattern() {
-        let signal = Signal::from_pairs(&[
-            (1.0, 0.0),
-            (2.0, 1.0),
-            (3.0, 2.5),
-            (4.0, 4.5),
-            (5.0, 3.6),
-        ]);
+        let signal =
+            Signal::from_pairs(&[(1.0, 0.0), (2.0, 1.0), (3.0, 2.5), (4.0, 4.5), (5.0, 3.6)]);
         let mut swing = SwingFilter::new(&[1.0]).unwrap();
         let swing_segs = run_filter(&mut swing, &signal).unwrap();
         let slide_segs = compress(&signal, 1.0);
@@ -1012,19 +990,14 @@ mod tests {
     #[test]
     fn slide_compresses_at_least_as_well_as_swing_on_oscillation() {
         // Figure 10 discussion: sharp oscillation favours the slide filter.
-        let values: Vec<f64> = (0..500)
-            .map(|i| if i % 2 == 0 { 0.0 } else { 4.0 })
-            .collect();
+        let values: Vec<f64> = (0..500).map(|i| if i % 2 == 0 { 0.0 } else { 4.0 }).collect();
         let signal = Signal::from_values(&values);
         let slide = compress(&signal, 0.5);
         let mut swing = SwingFilter::new(&[0.5]).unwrap();
         let swing_segs = run_filter(&mut swing, &signal).unwrap();
         let slide_recs: u32 = slide.iter().map(|s| s.new_recordings as u32).sum();
         let swing_recs: u32 = swing_segs.iter().map(|s| s.new_recordings as u32).sum();
-        assert!(
-            slide_recs <= swing_recs,
-            "slide {slide_recs} recordings vs swing {swing_recs}"
-        );
+        assert!(slide_recs <= swing_recs, "slide {slide_recs} recordings vs swing {swing_recs}");
         check_guarantee(&signal, &slide, &[0.5]);
     }
 
@@ -1113,19 +1086,13 @@ mod tests {
 
     #[test]
     fn max_lag_bounds_pending_points() {
-        let values: Vec<f64> = (0..300)
-            .map(|i| (i as f64 * 0.05).sin() * 2.0)
-            .collect();
+        let values: Vec<f64> = (0..300).map(|i| (i as f64 * 0.05).sin() * 2.0).collect();
         let signal = Signal::from_values(&values);
         let mut f = SlideFilter::builder(&[0.8]).max_lag(10).build().unwrap();
         let mut sink = CollectingSink::default();
         for (t, x) in signal.iter() {
             f.push(t, x, &mut sink).unwrap();
-            assert!(
-                f.pending_points() <= 10,
-                "lag {} exceeded bound at t={t}",
-                f.pending_points()
-            );
+            assert!(f.pending_points() <= 10, "lag {} exceeded bound at t={t}", f.pending_points());
         }
         f.finish(&mut sink).unwrap();
         assert!(!sink.provisionals.is_empty());
@@ -1216,7 +1183,8 @@ mod tests {
         // Envelopes crossing inside (t_c, e): a line inside at both ends
         // but outside at the crossing must be rejected.
         let l_env = Line::new(Point2::new(0.0, 0.0), 1.0); // x = t
-        let u_env = Line::new(Point2::new(0.0, 4.0), -1.0); // x = 4 − t, cross at t=2
+                                                           // x = 4 − t, crossing the lower envelope at t = 2.
+        let u_env = Line::new(Point2::new(0.0, 4.0), -1.0);
         // Constant line at 2.2: at t=0 inside [0,4]; at t=4 inside [4,0];
         // at the crossing t=2 the band is the single value 2.0 → outside.
         let line = Line::new(Point2::new(0.0, 2.2), 0.0);
@@ -1235,9 +1203,7 @@ mod tests {
 
     #[test]
     fn segments_are_time_ordered_and_non_overlapping() {
-        let values: Vec<f64> = (0..600)
-            .map(|i| ((i as f64) * 0.9).sin() * 4.0)
-            .collect();
+        let values: Vec<f64> = (0..600).map(|i| ((i as f64) * 0.9).sin() * 4.0).collect();
         let signal = Signal::from_values(&values);
         let segs = compress(&signal, 0.6);
         for pair in segs.windows(2) {

@@ -152,11 +152,7 @@ impl SwingFilter {
 
     /// Starts configuring a swing filter.
     pub fn builder(eps: &[f64]) -> SwingBuilder {
-        SwingBuilder {
-            eps: eps.to_vec(),
-            max_lag: None,
-            recording: RecordingStrategy::default(),
-        }
+        SwingBuilder { eps: eps.to_vec(), max_lag: None, recording: RecordingStrategy::default() }
     }
 
     /// The configured lag bound, if any.
@@ -179,12 +175,8 @@ impl SwingFilter {
         n_pts: u32,
     ) -> Interval {
         let dt = t - origin_t;
-        let u_slope = (0..self.dims())
-            .map(|d| (x[d] + self.eps[d] - origin_x[d]) / dt)
-            .collect();
-        let l_slope = (0..self.dims())
-            .map(|d| (x[d] - self.eps[d] - origin_x[d]) / dt)
-            .collect();
+        let u_slope = (0..self.dims()).map(|d| (x[d] + self.eps[d] - origin_x[d]) / dt).collect();
+        let l_slope = (0..self.dims()).map(|d| (x[d] - self.eps[d] - origin_x[d]) / dt).collect();
         let mut sums = RegressionSums::new(origin_t, &origin_x);
         if self.recording == RecordingStrategy::MseOptimal {
             sums.push(t, x);
@@ -208,9 +200,10 @@ impl SwingFilter {
     fn fits(&self, iv: &Interval, t: f64, x: &[f64]) -> bool {
         let dt = t - iv.origin_t;
         if let Some(slopes) = &iv.frozen {
-            return x.iter().enumerate().all(|(d, &v)| {
-                (v - (iv.origin_x[d] + slopes[d] * dt)).abs() <= self.eps[d]
-            });
+            return x
+                .iter()
+                .enumerate()
+                .all(|(d, &v)| (v - (iv.origin_x[d] + slopes[d] * dt)).abs() <= self.eps[d]);
         }
         x.iter().enumerate().all(|(d, &v)| {
             let hi = iv.origin_x[d] + iv.u_slope[d] * dt + self.eps[d];
@@ -261,11 +254,8 @@ impl SwingFilter {
                 let dt = iv.last_t - iv.origin_t;
                 (0..self.dims())
                     .map(|d| {
-                        let toward_last = if dt > 0.0 {
-                            (iv.last_x[d] - iv.origin_x[d]) / dt
-                        } else {
-                            0.0
-                        };
+                        let toward_last =
+                            if dt > 0.0 { (iv.last_x[d] - iv.origin_x[d]) / dt } else { 0.0 };
                         toward_last.clamp(iv.l_slope[d], iv.u_slope[d])
                     })
                     .collect()
@@ -278,9 +268,8 @@ impl SwingFilter {
     fn close_interval(&self, iv: &Interval, sink: &mut dyn SegmentSink) -> (f64, Vec<f64>) {
         let slopes = self.final_slopes(iv);
         let t_k = iv.last_t;
-        let x_k: Vec<f64> = (0..self.dims())
-            .map(|d| iv.origin_x[d] + slopes[d] * (t_k - iv.origin_t))
-            .collect();
+        let x_k: Vec<f64> =
+            (0..self.dims()).map(|d| iv.origin_x[d] + slopes[d] * (t_k - iv.origin_t)).collect();
         sink.segment(Segment {
             t_start: iv.origin_t,
             x_start: iv.origin_x.clone().into_boxed_slice(),
@@ -414,13 +403,8 @@ mod tests {
     /// swinging and accepts it.
     #[test]
     fn swing_outlives_linear_on_paper_pattern() {
-        let signal = Signal::from_pairs(&[
-            (1.0, 0.0),
-            (2.0, 1.0),
-            (3.0, 2.5),
-            (4.0, 4.5),
-            (5.0, 8.1),
-        ]);
+        let signal =
+            Signal::from_pairs(&[(1.0, 0.0), (2.0, 1.0), (3.0, 2.5), (4.0, 4.5), (5.0, 8.1)]);
         let mut linear = LinearFilter::new(&[1.0]).unwrap();
         let linear_segs = run_filter(&mut linear, &signal).unwrap();
         assert!(linear_segs.len() >= 2, "linear must split at the 4th point");
@@ -442,9 +426,7 @@ mod tests {
 
     #[test]
     fn segments_are_connected() {
-        let values: Vec<f64> = (0..200)
-            .map(|i| ((i as f64) * 0.25).sin() * 4.0)
-            .collect();
+        let values: Vec<f64> = (0..200).map(|i| ((i as f64) * 0.25).sin() * 4.0).collect();
         let segs = compress(&Signal::from_values(&values), 0.2);
         assert!(segs.len() > 2);
         assert!(!segs[0].connected);
@@ -489,9 +471,8 @@ mod tests {
     fn recording_is_mse_optimal_within_cone() {
         // Symmetric oscillation around a trend: the optimal slope is the
         // trend slope, strictly inside the cone.
-        let values: Vec<f64> = (0..20)
-            .map(|i| i as f64 + if i % 2 == 0 { 0.3 } else { -0.3 })
-            .collect();
+        let values: Vec<f64> =
+            (0..20).map(|i| i as f64 + if i % 2 == 0 { 0.3 } else { -0.3 }).collect();
         let signal = Signal::from_values(&values);
         let segs = compress(&signal, 1.0);
         assert_eq!(segs.len(), 1);
@@ -630,8 +611,7 @@ mod tests {
         // The MSE-optimal recording should not have *higher* average error
         // (the paper's secondary objective).
         assert!(
-            report_mse.error.mean_abs_overall()
-                <= report_last.error.mean_abs_overall() * 1.05,
+            report_mse.error.mean_abs_overall() <= report_last.error.mean_abs_overall() * 1.05,
             "mse {} vs last-point {}",
             report_mse.error.mean_abs_overall(),
             report_last.error.mean_abs_overall()
@@ -663,10 +643,7 @@ mod tests {
         let mut f = SwingFilter::new(&[1.0]).unwrap();
         let mut out: Vec<Segment> = Vec::new();
         f.push(1.0, &[0.0], &mut out).unwrap();
-        assert!(matches!(
-            f.push(1.0, &[0.0], &mut out),
-            Err(FilterError::NonMonotonicTime { .. })
-        ));
+        assert!(matches!(f.push(1.0, &[0.0], &mut out), Err(FilterError::NonMonotonicTime { .. })));
     }
 
     #[test]
@@ -680,9 +657,7 @@ mod tests {
 
     #[test]
     fn n_points_accounting_totals_stream_length() {
-        let values: Vec<f64> = (0..777)
-            .map(|i| ((i as f64) * 0.37).sin() * 5.0)
-            .collect();
+        let values: Vec<f64> = (0..777).map(|i| ((i as f64) * 0.37).sin() * 5.0).collect();
         let signal = Signal::from_values(&values);
         let segs = compress(&signal, 0.4);
         let total: u32 = segs.iter().map(|s| s.n_points).sum();

@@ -65,6 +65,4 @@ pub use error::FilterError;
 pub use mse::RegressionSums;
 pub use reconstruct::{GapPolicy, Polyline};
 pub use sample::Signal;
-pub use segment::{
-    validate_epsilons, CollectingSink, ProvisionalUpdate, Segment, SegmentSink,
-};
+pub use segment::{validate_epsilons, CollectingSink, ProvisionalUpdate, Segment, SegmentSink};

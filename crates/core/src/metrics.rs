@@ -116,11 +116,8 @@ pub fn report_from(
 ) -> CompressionReport {
     let seg_recordings: u64 = segments.iter().map(|s| s.new_recordings as u64).sum();
     let n_recordings = seg_recordings + n_provisionals;
-    let compression_ratio = if n_recordings == 0 {
-        0.0
-    } else {
-        signal.len() as f64 / n_recordings as f64
-    };
+    let compression_ratio =
+        if n_recordings == 0 { 0.0 } else { signal.len() as f64 / n_recordings as f64 };
     CompressionReport {
         n_points: signal.len(),
         n_segments: segments.len(),
@@ -252,10 +249,7 @@ mod tests {
         }
         f2.finish(&mut counter).unwrap();
         assert_eq!(counter.segments as usize, segs.len());
-        assert_eq!(
-            counter.recordings,
-            segs.iter().map(|s| s.new_recordings as u64).sum::<u64>()
-        );
+        assert_eq!(counter.recordings, segs.iter().map(|s| s.new_recordings as u64).sum::<u64>());
         assert_eq!(counter.points as usize, signal.len());
     }
 

@@ -119,7 +119,18 @@ impl RegressionSums {
         lo: f64,
         hi: f64,
     ) -> f64 {
-        debug_assert!(lo <= hi, "feasible cone must be non-empty: {lo} > {hi}");
+        // Callers guarantee lo <= hi only up to rounding (the slide filter
+        // tracks its envelope cone with the same relative tolerance); a
+        // numerically inverted cone is a single slope — its midpoint. A
+        // grossly inverted cone is a caller bug and must fail in release
+        // too, or segments could silently violate the ε guarantee.
+        assert!(
+            lo <= hi + 1e-9 * hi.abs().max(1.0),
+            "feasible cone must be non-empty: {lo} > {hi}"
+        );
+        if lo > hi {
+            return 0.5 * (lo + hi);
+        }
         match self.optimal_slope(t_anchor, x_anchor_dim, dim) {
             Some(a) => a.clamp(lo, hi),
             None => 0.5 * (lo + hi),
@@ -142,10 +153,13 @@ mod tests {
     /// Brute-force reference: minimize Σ (x − (x_a + a(t−t_a)))² over a.
     fn brute_slope(pts: &[(f64, f64)], t_a: f64, x_a: f64) -> f64 {
         let num: f64 = pts.iter().map(|&(t, x)| (x - x_a) * (t - t_a)).sum();
-        let den: f64 = pts.iter().map(|&(t, x_)| {
-            let _ = x_;
-            (t - t_a) * (t - t_a)
-        }).sum();
+        let den: f64 = pts
+            .iter()
+            .map(|&(t, x_)| {
+                let _ = x_;
+                (t - t_a) * (t - t_a)
+            })
+            .sum();
         num / den
     }
 
@@ -220,6 +234,20 @@ mod tests {
         // degenerate optimum → midpoint
         let empty = RegressionSums::new(0.0, &[0.0]);
         assert_eq!(empty.clamped_slope(0.0, 0.0, 0, 1.0, 3.0), 2.0);
+    }
+
+    #[test]
+    fn tolerates_cone_inverted_by_rounding() {
+        let mut s = RegressionSums::new(0.0, &[0.0]);
+        for j in 1..=4 {
+            s.push(j as f64, &[5.0 * j as f64]);
+        }
+        // lo exceeds hi by one ulp-scale error, as the slide filter's
+        // envelope intersection can produce; must not panic.
+        let lo = 0.0034000000000000102;
+        let hi = 0.0033999999999999807;
+        let a = s.clamped_slope(0.0, 0.0, 0, lo, hi);
+        assert!((a - 0.5 * (lo + hi)).abs() < 1e-15);
     }
 
     #[test]

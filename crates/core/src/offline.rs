@@ -40,11 +40,7 @@ impl EnvelopeState {
     fn new(p0: (f64, f64), p1: (f64, f64), eps: f64) -> Self {
         let u_slope = (p1.1 + eps - (p0.1 - eps)) / (p1.0 - p0.0);
         let l_slope = (p1.1 - eps - (p0.1 + eps)) / (p1.0 - p0.0);
-        Self {
-            pts: vec![p0, p1],
-            u: (p0.0, p0.1 - eps, u_slope),
-            l: (p0.0, p0.1 + eps, l_slope),
-        }
+        Self { pts: vec![p0, p1], u: (p0.0, p0.1 - eps, u_slope), l: (p0.0, p0.1 + eps, l_slope) }
     }
 
     fn eval(env: (f64, f64, f64), t: f64) -> f64 {
@@ -96,10 +92,7 @@ impl EnvelopeState {
 pub fn min_segments(signal: &Signal, eps: &[f64]) -> Result<usize, FilterError> {
     validate_epsilons(eps)?;
     if eps.len() != signal.dims() {
-        return Err(FilterError::DimensionMismatch {
-            expected: signal.dims(),
-            got: eps.len(),
-        });
+        return Err(FilterError::DimensionMismatch { expected: signal.dims(), got: eps.len() });
     }
     let n = signal.len();
     if n == 0 {
@@ -115,9 +108,8 @@ pub fn min_segments(signal: &Signal, eps: &[f64]) -> Result<usize, FilterError> 
         }
         let (t0, x0) = signal.sample(j);
         let (t1, x1) = signal.sample(j + 1);
-        let mut envs: Vec<EnvelopeState> = (0..d)
-            .map(|i| EnvelopeState::new((t0, x0[i]), (t1, x1[i]), eps[i]))
-            .collect();
+        let mut envs: Vec<EnvelopeState> =
+            (0..d).map(|i| EnvelopeState::new((t0, x0[i]), (t1, x1[i]), eps[i])).collect();
         let mut k = j + 2;
         while k < n {
             let (t, x) = signal.sample(k);

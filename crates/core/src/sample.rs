@@ -31,11 +31,7 @@ impl Signal {
     /// Creates an empty signal with capacity reserved for `n` samples.
     pub fn with_capacity(dims: usize, n: usize) -> Self {
         assert!(dims > 0, "a signal needs at least one dimension");
-        Self {
-            dims,
-            times: Vec::with_capacity(n),
-            values: Vec::with_capacity(n * dims),
-        }
+        Self { dims, times: Vec::with_capacity(n), values: Vec::with_capacity(n * dims) }
     }
 
     /// Builds a 1-D signal from `(t, x)` pairs.
@@ -194,14 +190,8 @@ mod tests {
     fn rejects_non_monotone_time() {
         let mut s = Signal::new(1);
         s.push(5.0, &[0.0]).unwrap();
-        assert!(matches!(
-            s.push(5.0, &[1.0]),
-            Err(FilterError::NonMonotonicTime { .. })
-        ));
-        assert!(matches!(
-            s.push(4.0, &[1.0]),
-            Err(FilterError::NonMonotonicTime { .. })
-        ));
+        assert!(matches!(s.push(5.0, &[1.0]), Err(FilterError::NonMonotonicTime { .. })));
+        assert!(matches!(s.push(4.0, &[1.0]), Err(FilterError::NonMonotonicTime { .. })));
     }
 
     #[test]

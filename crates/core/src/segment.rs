@@ -228,10 +228,7 @@ mod tests {
     #[test]
     fn epsilon_validation() {
         assert!(validate_epsilons(&[0.1, 2.0]).is_ok());
-        assert!(matches!(
-            validate_epsilons(&[]),
-            Err(FilterError::ZeroDimensions)
-        ));
+        assert!(matches!(validate_epsilons(&[]), Err(FilterError::ZeroDimensions)));
         assert!(matches!(
             validate_epsilons(&[0.1, 0.0]),
             Err(FilterError::InvalidEpsilon { dim: 1, .. })

@@ -84,9 +84,7 @@ where
             match self.samples.next() {
                 Some(sample) => {
                     let mut sink: Vec<Segment> = Vec::new();
-                    if let Err(e) =
-                        self.filter.push(sample.time(), sample.values(), &mut sink)
-                    {
+                    if let Err(e) = self.filter.push(sample.time(), sample.values(), &mut sink) {
                         self.errored = true;
                         return Some(Err(e));
                     }
@@ -166,9 +164,7 @@ mod tests {
     #[test]
     fn error_fuses_the_iterator() {
         let samples = vec![(0.0, 1.0), (1.0, 2.0), (1.0, 3.0), (2.0, 4.0)];
-        let mut iter = samples
-            .into_iter()
-            .pla_segments(SwingFilter::new(&[0.5]).unwrap());
+        let mut iter = samples.into_iter().pla_segments(SwingFilter::new(&[0.5]).unwrap());
         let mut saw_error = false;
         for item in iter.by_ref() {
             if item.is_err() {

@@ -19,20 +19,16 @@ use pla_core::{GapPolicy, Polyline, Segment, Signal};
 /// like, the paper's §5.3 workload family), plus occasional plateaus and
 /// jumps to hit the filters' edge paths.
 fn signal_1d() -> impl Strategy<Value = Signal> {
-    (
-        2usize..200,
-        prop::collection::vec((-10.0f64..10.0, 0u8..4), 1..200),
-        -1000.0f64..1000.0,
-    )
+    (2usize..200, prop::collection::vec((-10.0f64..10.0, 0u8..4), 1..200), -1000.0f64..1000.0)
         .prop_map(|(_, steps, start)| {
             let mut x = start;
             let mut values = Vec::with_capacity(steps.len());
             for (step, kind) in steps {
                 match kind {
-                    0 => x += step,          // walk
-                    1 => {}                  // plateau
-                    2 => x += step * 50.0,   // jump
-                    _ => x += step * 0.01,   // micro-noise
+                    0 => x += step,        // walk
+                    1 => {}                // plateau
+                    2 => x += step * 50.0, // jump
+                    _ => x += step * 0.01, // micro-noise
                 }
                 values.push(x);
             }
@@ -84,10 +80,7 @@ fn check_all_invariants(
 ) -> proptest::test_runner::TestCaseResult {
     // Segments are time-ordered and non-overlapping.
     for pair in segs.windows(2) {
-        prop_assert!(
-            pair[1].t_start >= pair[0].t_end - 1e-9,
-            "{name}: segments overlap"
-        );
+        prop_assert!(pair[1].t_start >= pair[0].t_end - 1e-9, "{name}: segments overlap");
         if pair[1].connected {
             prop_assert!(
                 (pair[1].t_start - pair[0].t_end).abs() < 1e-9,
@@ -122,10 +115,7 @@ fn check_all_invariants(
     for (t, x) in signal.iter() {
         for d in 0..signal.dims() {
             let approx = poly.eval(t, d, GapPolicy::Strict);
-            prop_assert!(
-                approx.is_some(),
-                "{name}: sample at t={t} not covered by any segment"
-            );
+            prop_assert!(approx.is_some(), "{name}: sample at t={t} not covered by any segment");
             let err = (approx.unwrap() - x[d]).abs();
             prop_assert!(
                 err <= eps[d] * (1.0 + 1e-6) + 1e-12,

@@ -99,9 +99,8 @@ fn huge_timestamps_stay_numerically_sane() {
     let base = 1.7e18; // ~ns epoch
     for mut f in all_filters(&[0.5]) {
         let mut out: Vec<Segment> = Vec::new();
-        let samples: Vec<(f64, f64)> = (0..200)
-            .map(|j| (base + j as f64 * 1e9, (j as f64 * 0.37).sin() * 3.0))
-            .collect();
+        let samples: Vec<(f64, f64)> =
+            (0..200).map(|j| (base + j as f64 * 1e9, (j as f64 * 0.37).sin() * 3.0)).collect();
         for &(t, x) in &samples {
             f.push(t, &[x], &mut out).unwrap();
         }
@@ -112,11 +111,7 @@ fn huge_timestamps_stay_numerically_sane() {
                 .find(|s| s.covers(t))
                 .unwrap_or_else(|| panic!("{}: t={t} uncovered", f.name()));
             let err = (seg.eval(t, 0) - x).abs();
-            assert!(
-                err <= 0.5 + 1e-6,
-                "{}: error {err} at huge timestamps",
-                f.name()
-            );
+            assert!(err <= 0.5 + 1e-6, "{}: error {err} at huge timestamps", f.name());
         }
     }
 }

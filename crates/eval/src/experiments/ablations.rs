@@ -95,11 +95,7 @@ pub fn connect_ablation(cfg: &Config) -> Table {
         let mut f = SlideFilter::new(&[1.0]).unwrap();
         let segs = pla_core::filters::run_filter(&mut f, &signal).unwrap();
         let connected = segs.iter().filter(|s| s.connected).count();
-        let frac = if segs.len() > 1 {
-            connected as f64 / (segs.len() - 1) as f64
-        } else {
-            0.0
-        };
+        let frac = if segs.len() > 1 { connected as f64 / (segs.len() - 1) as f64 } else { 0.0 };
         let report = metrics::report_from(&signal, &segs, 0);
         table.push_row(pct, vec![frac, report.compression_ratio]);
     }
@@ -114,11 +110,7 @@ pub fn bytes_ablation(_cfg: &Config) -> Table {
     let mut table = Table::new(
         "Ablation: wire bytes per point (slide filter, sea surface)",
         "precision (% of range)",
-        vec![
-            "raw (no filter)".to_string(),
-            "fixed codec".to_string(),
-            "compact codec".to_string(),
-        ],
+        vec!["raw (no filter)".to_string(), "fixed codec".to_string(), "compact codec".to_string()],
     );
     for &pct in &PRECISION_GRID {
         let eps = signal.epsilons_from_range_percent(pct);
@@ -248,10 +240,7 @@ mod tests {
         for (row, (_, values)) in t.rows.iter().enumerate() {
             let (raw, fixed, compact) = (values[0], values[1], values[2]);
             assert!(fixed < raw, "row {row}: fixed {fixed} not below raw {raw}");
-            assert!(
-                compact < fixed,
-                "row {row}: compact {compact} not below fixed {fixed}"
-            );
+            assert!(compact < fixed, "row {row}: compact {compact} not below fixed {fixed}");
         }
     }
 

@@ -77,12 +77,7 @@ pub fn kalman_experiment(cfg: &Config) -> Table {
     let mut table = Table::new(
         "Extension: Kalman-slope baseline, CR vs noise amplitude (noisy ramp)",
         "noise amplitude (× ε)",
-        vec![
-            "linear".to_string(),
-            "kalman".to_string(),
-            "swing".to_string(),
-            "slide".to_string(),
-        ],
+        vec!["linear".to_string(), "kalman".to_string(), "swing".to_string(), "slide".to_string()],
     );
     let eps = 1.0;
     for (i, &amp) in [0.5, 1.0, 2.0, 4.0, 8.0].iter().enumerate() {
@@ -100,12 +95,7 @@ pub fn kalman_experiment(cfg: &Config) -> Table {
 /// A linear trend with uniform noise of the given amplitude — the
 /// workload where a smoothed slope estimate shines.
 fn noisy_ramp(n: usize, amplitude: f64, seed: u64) -> Signal {
-    let jitter = random_walk(WalkParams {
-        n,
-        p_decrease: 0.5,
-        max_delta: amplitude,
-        seed,
-    });
+    let jitter = random_walk(WalkParams { n, p_decrease: 0.5, max_delta: amplitude, seed });
     let mut out = Signal::with_capacity(1, n);
     let mut prev = 0.0;
     for (j, (t, x)) in jitter.iter().enumerate() {

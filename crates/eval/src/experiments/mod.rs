@@ -65,8 +65,7 @@ pub(crate) fn cr(kind: FilterKind, eps: &[f64], signal: &Signal) -> f64 {
 pub(crate) const PRECISION_GRID: [f64; 6] = [0.0316, 0.1, 0.316, 1.0, 3.16, 10.0];
 
 /// Extended grid for the overhead figure.
-pub(crate) const PRECISION_GRID_WIDE: [f64; 8] =
-    [0.0316, 0.1, 0.316, 1.0, 3.16, 10.0, 31.6, 100.0];
+pub(crate) const PRECISION_GRID_WIDE: [f64; 8] = [0.0316, 0.1, 0.316, 1.0, 3.16, 10.0, 31.6, 100.0];
 
 #[cfg(test)]
 mod tests {

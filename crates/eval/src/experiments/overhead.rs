@@ -111,12 +111,8 @@ mod tests {
         let signal = sea_surface();
         let eps = signal.epsilons_from_range_percent(1.0);
         for kind in FilterKind::PAPER_SET {
-            let us = time_per_point_us(
-                kind,
-                &eps,
-                &signal,
-                Duration::from_millis(cfg.timing_min_ms),
-            );
+            let us =
+                time_per_point_us(kind, &eps, &signal, Duration::from_millis(cfg.timing_min_ms));
             assert!(
                 us < 50.0,
                 "{} took {us} µs per point — far above the paper's regime",

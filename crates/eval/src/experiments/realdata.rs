@@ -28,10 +28,7 @@ pub fn fig7_compression(_cfg: &Config) -> Table {
     );
     for &pct in &PRECISION_GRID {
         let eps = signal.epsilons_from_range_percent(pct);
-        let values = FilterKind::PAPER_SET
-            .iter()
-            .map(|&kind| cr(kind, &eps, &signal))
-            .collect();
+        let values = FilterKind::PAPER_SET.iter().map(|&kind| cr(kind, &eps, &signal)).collect();
         table.push_row(pct, values);
     }
     table
@@ -85,10 +82,7 @@ mod tests {
                 swing[i]
             );
             assert!(slide[i] >= 1.0, "compression ratio below 1 at row {i}");
-            assert!(
-                slide[i] >= linear[i],
-                "row {i}: slide must dominate the linear filter"
-            );
+            assert!(slide[i] >= linear[i], "row {i}: slide must dominate the linear filter");
             // Cache can nose ahead at precisions finer than the sensor's
             // 0.01 °C quantization (constant runs cost it one recording);
             // from 0.316% up, slide must dominate as in the paper.
@@ -120,10 +114,7 @@ mod tests {
         let t = fig8_error(&Config::quick());
         for (row, (pct, values)) in t.rows.iter().enumerate() {
             for (s, v) in t.series.iter().zip(values.iter()) {
-                assert!(
-                    v <= pct,
-                    "row {row}: {s} average error {v}% exceeds precision {pct}%"
-                );
+                assert!(v <= pct, "row {row}: {s} average error {v}% exceeds precision {pct}%");
             }
         }
     }

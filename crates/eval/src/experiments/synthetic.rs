@@ -32,10 +32,7 @@ pub fn fig9_monotonicity(cfg: &Config) -> Table {
             max_delta: 4.0 * EPS,
             seed: cfg.seed ^ (step as u64),
         });
-        let values = FilterKind::PAPER_SET
-            .iter()
-            .map(|&kind| cr(kind, &[EPS], &signal))
-            .collect();
+        let values = FilterKind::PAPER_SET.iter().map(|&kind| cr(kind, &[EPS], &signal)).collect();
         table.push_row(p, values);
     }
     table
@@ -61,10 +58,7 @@ pub fn fig10_delta(cfg: &Config) -> Table {
             max_delta: pct / 100.0 * EPS,
             seed: cfg.seed ^ (0x10 + i as u64),
         });
-        let values = FilterKind::PAPER_SET
-            .iter()
-            .map(|&kind| cr(kind, &[EPS], &signal))
-            .collect();
+        let values = FilterKind::PAPER_SET.iter().map(|&kind| cr(kind, &[EPS], &signal)).collect();
         table.push_row(pct, values);
     }
     table
@@ -92,10 +86,7 @@ pub fn fig11_dims(cfg: &Config) -> Table {
             },
         );
         let eps = vec![EPS; d];
-        let values = FilterKind::PAPER_SET
-            .iter()
-            .map(|&kind| cr(kind, &eps, &signal))
-            .collect();
+        let values = FilterKind::PAPER_SET.iter().map(|&kind| cr(kind, &eps, &signal)).collect();
         table.push_row(d as f64, values);
     }
     table
@@ -125,10 +116,7 @@ pub fn fig12_correlation(cfg: &Config) -> Table {
             },
         );
         let eps = vec![EPS; 5];
-        let values = FilterKind::PAPER_SET
-            .iter()
-            .map(|&kind| cr(kind, &eps, &signal))
-            .collect();
+        let values = FilterKind::PAPER_SET.iter().map(|&kind| cr(kind, &eps, &signal)).collect();
         table.push_row(rho, values);
     }
     table
@@ -168,10 +156,7 @@ pub fn joint_vs_independent(cfg: &Config) -> Table {
             Box::new(SlideFilter::new(e).unwrap()) as Box<dyn StreamFilter>
         })
         .expect("valid signal");
-        table.push_row(
-            rho,
-            vec![cmp.joint_cr, cmp.independent_cr, cmp.independent_cr_model],
-        );
+        table.push_row(rho, vec![cmp.joint_cr, cmp.independent_cr, cmp.independent_cr_model]);
     }
     table
 }
@@ -224,10 +209,7 @@ mod tests {
         // Ratios drop from the first to the last row for every filter.
         for name in ["cache", "linear", "swing", "slide"] {
             let v = t.series_values(name);
-            assert!(
-                v[0] > *v.last().unwrap(),
-                "{name}: CR should fall as delta grows"
-            );
+            assert!(v[0] > *v.last().unwrap(), "{name}: CR should fall as delta grows");
         }
         // Slide dominates at both extremes.
         assert!(slide[0] >= linear[0] && slide[0] >= cache[0]);
@@ -240,10 +222,7 @@ mod tests {
         let t = fig11_dims(&quick());
         for name in ["swing", "slide"] {
             let v = t.series_values(name);
-            assert!(
-                v[0] > *v.last().unwrap(),
-                "{name}: CR should fall from d=1 to d=10"
-            );
+            assert!(v[0] > *v.last().unwrap(), "{name}: CR should fall from d=1 to d=10");
         }
         let slide = t.series_values("slide");
         let cache = t.series_values("cache");

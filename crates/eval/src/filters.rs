@@ -53,14 +53,12 @@ impl FilterKind {
             Self::Cache => {
                 Box::new(CacheFilter::with_variant(eps, CacheVariant::FirstValue).unwrap())
             }
-            Self::Linear => {
-                Box::new(LinearFilter::with_mode(eps, LinearMode::Connected).unwrap())
-            }
+            Self::Linear => Box::new(LinearFilter::with_mode(eps, LinearMode::Connected).unwrap()),
             Self::Swing => Box::new(SwingFilter::new(eps).unwrap()),
             Self::Slide => Box::new(SlideFilter::new(eps).unwrap()),
-            Self::SlideExhaustive => Box::new(
-                SlideFilter::builder(eps).hull_mode(HullMode::Exhaustive).build().unwrap(),
-            ),
+            Self::SlideExhaustive => {
+                Box::new(SlideFilter::builder(eps).hull_mode(HullMode::Exhaustive).build().unwrap())
+            }
         }
     }
 }

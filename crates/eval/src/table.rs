@@ -18,11 +18,7 @@ pub struct Table {
 
 impl Table {
     /// Creates an empty table.
-    pub fn new(
-        title: impl Into<String>,
-        x_label: impl Into<String>,
-        series: Vec<String>,
-    ) -> Self {
+    pub fn new(title: impl Into<String>, x_label: impl Into<String>, series: Vec<String>) -> Self {
         Self { title: title.into(), x_label: x_label.into(), series, rows: Vec::new() }
     }
 
@@ -59,17 +55,14 @@ impl Table {
     pub fn to_text(&self) -> String {
         let mut out = String::new();
         let _ = writeln!(out, "# {}", self.title);
-        let headers: Vec<String> = std::iter::once(self.x_label.clone())
-            .chain(self.series.iter().cloned())
-            .collect();
+        let headers: Vec<String> =
+            std::iter::once(self.x_label.clone()).chain(self.series.iter().cloned()).collect();
         let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
         let cells: Vec<Vec<String>> = self
             .rows
             .iter()
             .map(|(x, vals)| {
-                std::iter::once(format_num(*x))
-                    .chain(vals.iter().map(|v| format_num(*v)))
-                    .collect()
+                std::iter::once(format_num(*x)).chain(vals.iter().map(|v| format_num(*v))).collect()
             })
             .collect();
         for row in &cells {

@@ -58,11 +58,7 @@ impl IncrementalHull {
 
     /// An empty hull with vertex capacity reserved on both chains.
     pub fn with_capacity(cap: usize) -> Self {
-        Self {
-            upper: Vec::with_capacity(cap),
-            lower: Vec::with_capacity(cap),
-            len: 0,
-        }
+        Self { upper: Vec::with_capacity(cap), lower: Vec::with_capacity(cap), len: 0 }
     }
 
     /// Number of points inserted since the last [`clear`](Self::clear).
@@ -158,6 +154,22 @@ impl IncrementalHull {
 ///
 /// Input must be sorted by strictly increasing `t` (which the filters
 /// guarantee). Returns `(upper, lower)` chains including both endpoints.
+///
+/// ```
+/// use pla_geom::{batch_hull, Point2};
+///
+/// let points: Vec<Point2> = [(0.0, 0.0), (1.0, 3.0), (2.0, -1.0), (3.0, 0.5)]
+///     .iter()
+///     .map(|&(t, x)| Point2::new(t, x))
+///     .collect();
+/// let (upper, lower) = batch_hull(&points);
+/// // The spike at t=1 survives only on the upper chain, the dip at t=2
+/// // only on the lower one; both chains share the endpoints.
+/// assert_eq!(upper.len(), 3);
+/// assert_eq!(lower.len(), 3);
+/// assert_eq!(upper.first(), lower.first());
+/// assert_eq!(upper.last(), lower.last());
+/// ```
 pub fn batch_hull(points: &[Point2]) -> (Vec<Point2>, Vec<Point2>) {
     let mut h = IncrementalHull::with_capacity(points.len());
     for &p in points {
@@ -229,15 +241,8 @@ mod tests {
     #[test]
     fn chains_are_convex() {
         let mut h = IncrementalHull::new();
-        let data = [
-            (0.0, 3.0),
-            (1.0, -1.0),
-            (2.0, 4.0),
-            (3.0, 0.5),
-            (4.0, 2.0),
-            (5.0, -3.0),
-            (6.0, 1.0),
-        ];
+        let data =
+            [(0.0, 3.0), (1.0, -1.0), (2.0, 4.0), (3.0, 0.5), (4.0, 2.0), (5.0, -3.0), (6.0, 1.0)];
         for p in pts(&data) {
             h.push(p);
         }

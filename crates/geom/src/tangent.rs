@@ -47,12 +47,7 @@ fn hit(chain: &[Point2], shift: f64, i: usize, q: Point2) -> TangentHit {
 /// Unimodal binary search: find the index maximizing `f` when `f` rises
 /// then falls (`maximize = true`), or minimizing it when it falls then
 /// rises (`maximize = false`).
-fn unimodal_argopt(
-    chain: &[Point2],
-    shift: f64,
-    q: Point2,
-    maximize: bool,
-) -> Option<usize> {
+fn unimodal_argopt(chain: &[Point2], shift: f64, q: Point2, maximize: bool) -> Option<usize> {
     if chain.is_empty() {
         return None;
     }
@@ -195,16 +190,10 @@ mod tests {
             let q_high = Point2::new(n as f64 + 1.0, x + rnd() * 3.0);
             let fast = max_slope_to_chain(&lower, 0.5, q_low).unwrap();
             let slow = scan::max_slope(&lower, 0.5, q_low).unwrap();
-            assert!(
-                (fast.slope - slow.slope).abs() < 1e-9,
-                "max mismatch: {fast:?} vs {slow:?}"
-            );
+            assert!((fast.slope - slow.slope).abs() < 1e-9, "max mismatch: {fast:?} vs {slow:?}");
             let fast = min_slope_to_chain(&upper, -0.5, q_high).unwrap();
             let slow = scan::min_slope(&upper, -0.5, q_high).unwrap();
-            assert!(
-                (fast.slope - slow.slope).abs() < 1e-9,
-                "min mismatch: {fast:?} vs {slow:?}"
-            );
+            assert!((fast.slope - slow.slope).abs() < 1e-9, "min mismatch: {fast:?} vs {slow:?}");
         }
     }
 

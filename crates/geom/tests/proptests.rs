@@ -4,17 +4,12 @@
 use proptest::prelude::*;
 
 use pla_geom::{
-    batch_hull, cross, max_slope_to_chain, min_slope_to_chain, scan, IncrementalHull, Line,
-    Point2,
+    batch_hull, cross, max_slope_to_chain, min_slope_to_chain, scan, IncrementalHull, Line, Point2,
 };
 
 fn points_strategy() -> impl Strategy<Value = Vec<Point2>> {
-    prop::collection::vec(-100.0f64..100.0, 1..120).prop_map(|xs| {
-        xs.into_iter()
-            .enumerate()
-            .map(|(i, x)| Point2::new(i as f64, x))
-            .collect()
-    })
+    prop::collection::vec(-100.0f64..100.0, 1..120)
+        .prop_map(|xs| xs.into_iter().enumerate().map(|(i, x)| Point2::new(i as f64, x)).collect())
 }
 
 proptest! {

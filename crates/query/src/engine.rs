@@ -2,9 +2,7 @@
 
 use pla_core::{GapPolicy, Polyline};
 
-use crate::types::{
-    Bounded, BoundedCount, Crossing, CrossingKind, QueryError, SamplingGrid,
-};
+use crate::types::{Bounded, BoundedCount, Crossing, CrossingKind, QueryError, SamplingGrid};
 
 /// Answers queries over one compressed stream. See the crate docs.
 pub struct QueryEngine {
@@ -36,10 +34,7 @@ impl QueryEngine {
     }
 
     fn check_dim(&self, dim: usize) -> Result<f64, QueryError> {
-        self.eps
-            .get(dim)
-            .copied()
-            .ok_or(QueryError::BadDimension(dim))
+        self.eps.get(dim).copied().ok_or(QueryError::BadDimension(dim))
     }
 
     /// PLA values at the grid times; errors on the first uncovered time.
@@ -49,10 +44,8 @@ impl QueryEngine {
         if times.is_empty() {
             return Err(QueryError::EmptyGrid);
         }
-        let (span_lo, span_hi) = self
-            .polyline
-            .span()
-            .ok_or(QueryError::Uncovered { t: times[0] })?;
+        let (span_lo, span_hi) =
+            self.polyline.span().ok_or(QueryError::Uncovered { t: times[0] })?;
         times
             .iter()
             .map(|&t| {
@@ -153,16 +146,12 @@ impl QueryEngine {
                 continue;
             }
             match (prev, cur) {
-                (Zone::Below, Zone::Above) => out.push(Crossing {
-                    t: times[j],
-                    rising: true,
-                    kind: CrossingKind::Certain,
-                }),
-                (Zone::Above, Zone::Below) => out.push(Crossing {
-                    t: times[j],
-                    rising: false,
-                    kind: CrossingKind::Certain,
-                }),
+                (Zone::Below, Zone::Above) => {
+                    out.push(Crossing { t: times[j], rising: true, kind: CrossingKind::Certain })
+                }
+                (Zone::Above, Zone::Below) => {
+                    out.push(Crossing { t: times[j], rising: false, kind: CrossingKind::Certain })
+                }
                 (entered_from, Zone::Ambiguous) => out.push(Crossing {
                     t: times[j],
                     rising: entered_from == Zone::Below,
@@ -266,8 +255,8 @@ mod tests {
     fn mean_bounds_contain_truth() {
         let signal = noisy(500, 1);
         let eng = engine_for(&signal, 0.5);
-        let truth = (0..signal.len()).map(|j| signal.value(j, 0)).sum::<f64>()
-            / signal.len() as f64;
+        let truth =
+            (0..signal.len()).map(|j| signal.value(j, 0)).sum::<f64>() / signal.len() as f64;
         let b = eng.mean(signal.times(), 0).unwrap();
         assert!(b.contains(truth), "truth {truth} outside [{}, {}]", b.lo, b.hi);
         assert!(b.radius() <= 0.5 + 1e-12);
@@ -277,12 +266,8 @@ mod tests {
     fn extrema_bounds_contain_truth() {
         let signal = noisy(500, 2);
         let eng = engine_for(&signal, 0.8);
-        let t_min = (0..signal.len())
-            .map(|j| signal.value(j, 0))
-            .fold(f64::INFINITY, f64::min);
-        let t_max = (0..signal.len())
-            .map(|j| signal.value(j, 0))
-            .fold(f64::NEG_INFINITY, f64::max);
+        let t_min = (0..signal.len()).map(|j| signal.value(j, 0)).fold(f64::INFINITY, f64::min);
+        let t_max = (0..signal.len()).map(|j| signal.value(j, 0)).fold(f64::NEG_INFINITY, f64::max);
         assert!(eng.min(signal.times(), 0).unwrap().contains(t_min));
         assert!(eng.max(signal.times(), 0).unwrap().contains(t_max));
     }
@@ -292,28 +277,20 @@ mod tests {
         let signal = noisy(400, 3);
         let eng = engine_for(&signal, 0.6);
         let threshold = 0.0;
-        let truth = (0..signal.len())
-            .filter(|&j| signal.value(j, 0) > threshold)
-            .count();
+        let truth = (0..signal.len()).filter(|&j| signal.value(j, 0) > threshold).count();
         let c = eng.count_above(signal.times(), 0, threshold).unwrap();
-        assert!(
-            c.contains(truth),
-            "truth {truth} outside [{}, {}]",
-            c.definite,
-            c.possible
-        );
+        assert!(c.contains(truth), "truth {truth} outside [{}, {}]", c.definite, c.possible);
     }
 
     #[test]
     fn certain_crossings_are_real() {
         // A clean ramp through a threshold: exactly one certain rise.
-        let signal = Signal::from_values(&(0..100).map(|i| i as f64 * 0.2 - 10.0).collect::<Vec<_>>());
+        let signal =
+            Signal::from_values(&(0..100).map(|i| i as f64 * 0.2 - 10.0).collect::<Vec<_>>());
         let eng = engine_for(&signal, 0.3);
         let crossings = eng.crossings(signal.times(), 0, -2.0).unwrap();
-        let certain: Vec<_> = crossings
-            .iter()
-            .filter(|c| c.kind == CrossingKind::Certain)
-            .collect();
+        let certain: Vec<_> =
+            crossings.iter().filter(|c| c.kind == CrossingKind::Certain).collect();
         assert_eq!(certain.len(), 1);
         assert!(certain[0].rising);
     }
@@ -323,9 +300,7 @@ mod tests {
         // Signal oscillates ±0.4 around the threshold with ε = 0.5: every
         // sample is ambiguous, so nothing is certain.
         let signal = Signal::from_values(
-            &(0..100)
-                .map(|i| if i % 2 == 0 { 0.4 } else { -0.4 })
-                .collect::<Vec<_>>(),
+            &(0..100).map(|i| if i % 2 == 0 { 0.4 } else { -0.4 }).collect::<Vec<_>>(),
         );
         let eng = engine_for(&signal, 0.5);
         let crossings = eng.crossings(signal.times(), 0, 0.0).unwrap();
@@ -344,12 +319,7 @@ mod tests {
         }
         let (a, b) = (signal.times()[0], *signal.times().last().unwrap());
         let res = eng.integral(a, b, 0).unwrap();
-        assert!(
-            res.contains(truth),
-            "truth {truth} outside [{}, {}]",
-            res.lo,
-            res.hi
-        );
+        assert!(res.contains(truth), "truth {truth} outside [{}, {}]", res.lo, res.hi);
     }
 
     #[test]
@@ -358,8 +328,8 @@ mod tests {
         let mut f = SwingFilter::new(&[0.7]).unwrap();
         let segs = run_filter(&mut f, &signal).unwrap();
         let eng = QueryEngine::new(Polyline::new(segs), &[0.7]).unwrap();
-        let truth = (0..signal.len()).map(|j| signal.value(j, 0)).sum::<f64>()
-            / signal.len() as f64;
+        let truth =
+            (0..signal.len()).map(|j| signal.value(j, 0)).sum::<f64>() / signal.len() as f64;
         assert!(eng.mean(signal.times(), 0).unwrap().contains(truth));
     }
 
@@ -367,22 +337,10 @@ mod tests {
     fn error_cases() {
         let signal = noisy(50, 6);
         let eng = engine_for(&signal, 0.5);
-        assert!(matches!(
-            eng.mean(&[], 0),
-            Err(QueryError::EmptyGrid)
-        ));
-        assert!(matches!(
-            eng.mean(signal.times(), 7),
-            Err(QueryError::BadDimension(7))
-        ));
-        assert!(matches!(
-            eng.mean(&[1e12], 0),
-            Err(QueryError::Uncovered { .. })
-        ));
+        assert!(matches!(eng.mean(&[], 0), Err(QueryError::EmptyGrid)));
+        assert!(matches!(eng.mean(signal.times(), 7), Err(QueryError::BadDimension(7))));
+        assert!(matches!(eng.mean(&[1e12], 0), Err(QueryError::Uncovered { .. })));
         let poly = eng.polyline().clone();
-        assert!(matches!(
-            QueryEngine::new(poly, &[0.0]),
-            Err(QueryError::InvalidEpsilon(_))
-        ));
+        assert!(matches!(QueryEngine::new(poly, &[0.0]), Err(QueryError::InvalidEpsilon(_))));
     }
 }

@@ -93,15 +93,11 @@ pub fn read_signal<R: Read>(input: R) -> Result<Signal, CsvError> {
         }
         let t: f64 = fields[0].parse().expect("checked above");
         let values: Result<Vec<f64>, _> = fields[1..].iter().map(|f| f.parse::<f64>()).collect();
-        let values = values.map_err(|e| CsvError::Parse {
-            line: line_no,
-            message: format!("bad value: {e}"),
-        })?;
+        let values = values
+            .map_err(|e| CsvError::Parse { line: line_no, message: format!("bad value: {e}") })?;
         let s = signal.get_or_insert_with(|| Signal::new(values.len()));
-        s.push(t, &values).map_err(|e| CsvError::Parse {
-            line: line_no,
-            message: e.to_string(),
-        })?;
+        s.push(t, &values)
+            .map_err(|e| CsvError::Parse { line: line_no, message: e.to_string() })?;
     }
     Ok(signal.unwrap_or_else(|| Signal::new(1)))
 }
@@ -152,10 +148,7 @@ mod tests {
     #[test]
     fn rejects_garbage_values() {
         let input = "0,abc\n";
-        assert!(matches!(
-            read_signal(input.as_bytes()),
-            Err(CsvError::Parse { line: 1, .. })
-        ));
+        assert!(matches!(read_signal(input.as_bytes()), Err(CsvError::Parse { line: 1, .. })));
     }
 
     #[test]
@@ -168,10 +161,7 @@ mod tests {
     #[test]
     fn rejects_short_lines() {
         let input = "42\n";
-        assert!(matches!(
-            read_signal(input.as_bytes()),
-            Err(CsvError::Parse { line: 1, .. })
-        ));
+        assert!(matches!(read_signal(input.as_bytes()), Err(CsvError::Parse { line: 1, .. })));
     }
 
     #[test]

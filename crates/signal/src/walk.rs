@@ -107,10 +107,7 @@ pub fn correlated_walk(dims: usize, rho: f64, params: WalkParams) -> Signal {
 
 fn validate(params: &WalkParams) {
     assert!(params.n > 0, "need at least one point");
-    assert!(
-        (0.0..=1.0).contains(&params.p_decrease),
-        "p_decrease must be a probability"
-    );
+    assert!((0.0..=1.0).contains(&params.p_decrease), "p_decrease must be a probability");
     assert!(params.max_delta >= 0.0, "max_delta must be non-negative");
 }
 

@@ -22,9 +22,7 @@ pub fn sine(n: usize, amplitude: f64, period: f64) -> Signal {
 pub fn sawtooth(n: usize, amplitude: f64, period: usize) -> Signal {
     assert!(period > 0, "period must be positive");
     Signal::from_values(
-        &(0..n)
-            .map(|j| amplitude * (j % period) as f64 / period as f64)
-            .collect::<Vec<_>>(),
+        &(0..n).map(|j| amplitude * (j % period) as f64 / period as f64).collect::<Vec<_>>(),
     )
 }
 
@@ -44,11 +42,7 @@ pub fn steps(n: usize, low: f64, high: f64, half_period: usize) -> Signal {
 /// paper's introduction).
 pub fn staircase(n: usize, step_height: f64, dwell: usize) -> Signal {
     assert!(dwell > 0, "dwell must be positive");
-    Signal::from_values(
-        &(0..n)
-            .map(|j| step_height * (j / dwell) as f64)
-            .collect::<Vec<_>>(),
-    )
+    Signal::from_values(&(0..n).map(|j| step_height * (j / dwell) as f64).collect::<Vec<_>>())
 }
 
 #[cfg(test)]

@@ -109,10 +109,7 @@ struct Piece {
 pub fn bottom_up(signal: &Signal, eps: &[f64]) -> Result<Vec<Segment>, FilterError> {
     validate_epsilons(eps)?;
     if eps.len() != signal.dims() {
-        return Err(FilterError::DimensionMismatch {
-            expected: signal.dims(),
-            got: eps.len(),
-        });
+        return Err(FilterError::DimensionMismatch { expected: signal.dims(), got: eps.len() });
     }
     let n = signal.len();
     if n == 0 {
@@ -211,15 +208,10 @@ mod tests {
 
     fn check_guarantee(signal: &Signal, segs: &[Segment], eps: &[f64]) {
         for (t, x) in signal.iter() {
-            let seg = segs
-                .iter()
-                .find(|s| s.covers(t))
-                .unwrap_or_else(|| panic!("t={t} uncovered"));
+            let seg =
+                segs.iter().find(|s| s.covers(t)).unwrap_or_else(|| panic!("t={t} uncovered"));
             for (d, (&v, &e)) in x.iter().zip(eps.iter()).enumerate() {
-                assert!(
-                    (seg.eval(t, d) - v).abs() <= e * (1.0 + 1e-9),
-                    "dim {d} at t={t}"
-                );
+                assert!((seg.eval(t, d) - v).abs() <= e * (1.0 + 1e-9), "dim {d} at t={t}");
             }
         }
     }

@@ -6,9 +6,7 @@
 //! the VLDB 2009 paper's §6 remark, any of the online filters can take
 //! that role; [`Lookahead`] selects which.
 
-use pla_core::filters::{
-    LinearFilter, SlideFilter, StreamFilter, SwingFilter,
-};
+use pla_core::filters::{LinearFilter, SlideFilter, StreamFilter, SwingFilter};
 use pla_core::{validate_epsilons, FilterError, Segment, SegmentSink, Signal};
 
 use crate::bottom_up::bottom_up;

@@ -47,20 +47,12 @@ where
         rx.consume(tx.take_bytes()).expect("lossless channel");
         let covered = rx.covered_through();
         // Samples up to index j, newest first, that outrun the receiver.
-        let lag = times[..=j]
-            .iter()
-            .rev()
-            .take_while(|&&tt| tt > covered)
-            .count();
+        let lag = times[..=j].iter().rev().take_while(|&&tt| tt > covered).count();
         max_lag = max_lag.max(lag);
     }
     tx.finish()?;
     rx.consume(tx.take_bytes()).expect("lossless channel");
-    Ok(LagReport {
-        max_lag,
-        stats: tx.stats(),
-        messages_received: rx.messages(),
-    })
+    Ok(LagReport { max_lag, stats: tx.stats(), messages_received: rx.messages() })
 }
 
 #[cfg(test)]
@@ -70,11 +62,7 @@ mod tests {
     use pla_core::filters::{CacheFilter, SlideFilter, SwingFilter};
 
     fn smooth_signal(n: usize) -> Signal {
-        Signal::from_values(
-            &(0..n)
-                .map(|i| (i as f64 * 0.01).sin() * 3.0)
-                .collect::<Vec<_>>(),
-        )
+        Signal::from_values(&(0..n).map(|i| (i as f64 * 0.01).sin() * 3.0).collect::<Vec<_>>())
     }
 
     #[test]
@@ -100,11 +88,7 @@ mod tests {
                 &smooth_signal(400),
             )
             .unwrap();
-            assert!(
-                report.max_lag <= m,
-                "swing lag {} exceeds bound {m}",
-                report.max_lag
-            );
+            assert!(report.max_lag <= m, "swing lag {} exceeds bound {m}", report.max_lag);
             let report = simulate_lag(
                 SlideFilter::builder(&[5.0]).max_lag(m).build().unwrap(),
                 FixedCodec,
@@ -112,11 +96,7 @@ mod tests {
                 &smooth_signal(400),
             )
             .unwrap();
-            assert!(
-                report.max_lag <= m,
-                "slide lag {} exceeds bound {m}",
-                report.max_lag
-            );
+            assert!(report.max_lag <= m, "slide lag {} exceeds bound {m}", report.max_lag);
         }
     }
 
@@ -129,13 +109,9 @@ mod tests {
         // run start instead — which is what
         // `CacheFilter::pending_points()` models.
         let signal = smooth_signal(300);
-        let report = simulate_lag(
-            CacheFilter::new(&[0.5]).unwrap(),
-            FixedCodec,
-            FixedCodec,
-            &signal,
-        )
-        .unwrap();
+        let report =
+            simulate_lag(CacheFilter::new(&[0.5]).unwrap(), FixedCodec, FixedCodec, &signal)
+                .unwrap();
         assert!(report.max_lag <= signal.len(), "cache lag {}", report.max_lag);
         assert!(report.stats.recordings > 1);
     }

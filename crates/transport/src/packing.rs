@@ -70,11 +70,7 @@ where
         independent_recordings.push(segs.iter().map(|s| s.new_recordings as u64).sum());
     }
 
-    let joint_cr = if joint_recordings == 0 {
-        0.0
-    } else {
-        n as f64 / joint_recordings as f64
-    };
+    let joint_cr = if joint_recordings == 0 { 0.0 } else { n as f64 / joint_recordings as f64 };
     let indep_total: u64 = independent_recordings.iter().sum();
     let independent_cr = if indep_total == 0 {
         0.0
@@ -121,12 +117,7 @@ mod tests {
         let signal = correlated_walk(5, 1.0, WalkParams { n: 4000, seed: 7, ..Default::default() });
         let eps = vec![1.0; 5];
         let cmp = compare_joint_vs_independent(&signal, &eps, slide_factory).unwrap();
-        assert!(
-            cmp.joint_wins(),
-            "joint {} vs independent {}",
-            cmp.joint_cr,
-            cmp.independent_cr
-        );
+        assert!(cmp.joint_wins(), "joint {} vs independent {}", cmp.joint_cr, cmp.independent_cr);
     }
 
     #[test]
@@ -136,12 +127,7 @@ mod tests {
         let signal = correlated_walk(5, 0.0, WalkParams { n: 4000, seed: 8, ..Default::default() });
         let eps = vec![1.0; 5];
         let cmp = compare_joint_vs_independent(&signal, &eps, slide_factory).unwrap();
-        assert!(
-            !cmp.joint_wins(),
-            "joint {} vs independent {}",
-            cmp.joint_cr,
-            cmp.independent_cr
-        );
+        assert!(!cmp.joint_wins(), "joint {} vs independent {}", cmp.joint_cr, cmp.independent_cr);
     }
 
     #[test]

@@ -247,10 +247,7 @@ mod tests {
     #[test]
     fn holds_close_on_next_message() {
         let bytes = encode(
-            &[
-                Message::Hold { t: 0.0, x: vec![1.0] },
-                Message::Hold { t: 10.0, x: vec![2.0] },
-            ],
+            &[Message::Hold { t: 0.0, x: vec![1.0] }, Message::Hold { t: 10.0, x: vec![2.0] }],
             1,
         );
         let mut rx = Receiver::new(FixedCodec, 1);
@@ -267,10 +264,7 @@ mod tests {
     fn end_without_start_is_protocol_error() {
         let bytes = encode(&[Message::End { t: 1.0, x: vec![0.0] }], 1);
         let mut rx = Receiver::new(FixedCodec, 1);
-        assert!(matches!(
-            rx.consume(bytes),
-            Err(ReceiveError::Protocol(_))
-        ));
+        assert!(matches!(rx.consume(bytes), Err(ReceiveError::Protocol(_))));
     }
 
     #[test]
@@ -296,10 +290,7 @@ mod tests {
     #[test]
     fn incremental_chunks_reassemble() {
         let all = encode(
-            &[
-                Message::Start { t: 0.0, x: vec![0.0] },
-                Message::End { t: 4.0, x: vec![4.0] },
-            ],
+            &[Message::Start { t: 0.0, x: vec![0.0] }, Message::End { t: 4.0, x: vec![4.0] }],
             1,
         );
         let mut rx = Receiver::new(FixedCodec, 1);

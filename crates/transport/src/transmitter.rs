@@ -184,9 +184,7 @@ mod tests {
     fn swing_connected_chain_costs_one_recording_per_segment() {
         let f = SwingFilter::new(&[0.4]).unwrap();
         let mut tx = Transmitter::new(f, FixedCodec);
-        let values: Vec<f64> = (0..100)
-            .map(|i| ((i as f64) * 0.45).sin() * 4.0)
-            .collect();
+        let values: Vec<f64> = (0..100).map(|i| ((i as f64) * 0.45).sin() * 4.0).collect();
         for (j, v) in values.iter().enumerate() {
             tx.push(j as f64, &[*v]).unwrap();
         }

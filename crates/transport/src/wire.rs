@@ -77,7 +77,9 @@ impl Message {
     /// size analysis like the paper's §5.4 would assign.
     pub fn scalar_count(&self) -> usize {
         match self {
-            Self::Hold { x, .. } | Self::Start { x, .. } | Self::End { x, .. }
+            Self::Hold { x, .. }
+            | Self::Start { x, .. }
+            | Self::End { x, .. }
             | Self::Point { x, .. } => 1 + x.len(),
             Self::Provisional { x_anchor, slopes, .. } => 2 + x_anchor.len() + slopes.len(),
         }
@@ -271,10 +273,7 @@ impl CompactCodec {
     /// Quantized scalars of a message, in encoding order.
     fn scalars(&self, msg: &Message) -> Vec<i64> {
         let qx = |x: &[f64]| -> Vec<i64> {
-            x.iter()
-                .zip(self.x_quanta.iter())
-                .map(|(&v, &q)| Self::quantize(v, q))
-                .collect()
+            x.iter().zip(self.x_quanta.iter()).map(|(&v, &q)| Self::quantize(v, q)).collect()
         };
         match msg {
             Message::Hold { t, x }
@@ -289,26 +288,21 @@ impl CompactCodec {
                 let mut out = vec![Self::quantize(*t_anchor, self.t_quantum)];
                 out.extend(qx(x_anchor));
                 // Slopes use the x/t quantum ratio for consistent scale.
-                out.extend(slopes.iter().zip(self.x_quanta.iter()).map(|(&s, &q)| {
-                    Self::quantize(s, q / self.t_quantum.max(f64::MIN_POSITIVE))
-                }));
+                out.extend(
+                    slopes.iter().zip(self.x_quanta.iter()).map(|(&s, &q)| {
+                        Self::quantize(s, q / self.t_quantum.max(f64::MIN_POSITIVE))
+                    }),
+                );
                 out.push(Self::quantize(*covers_through, self.t_quantum));
                 out
             }
         }
     }
 
-    fn rebuild(
-        &self,
-        tag: u8,
-        scalars: &[i64],
-        dims: usize,
-    ) -> Result<Message, WireError> {
+    fn rebuild(&self, tag: u8, scalars: &[i64], dims: usize) -> Result<Message, WireError> {
         let t = scalars[0] as f64 * self.t_quantum;
         let dx = |offset: usize| -> Vec<f64> {
-            (0..dims)
-                .map(|d| scalars[offset + d] as f64 * self.x_quanta[d])
-                .collect()
+            (0..dims).map(|d| scalars[offset + d] as f64 * self.x_quanta[d]).collect()
         };
         Ok(match tag {
             0 => Message::Hold { t, x: dx(1) },
@@ -430,8 +424,10 @@ mod tests {
                         assert!((a - b).abs() <= 0.005 + 1e-12);
                     }
                 }
-                (Message::Provisional { covers_through: g, .. },
-                 Message::Provisional { covers_through: w, .. }) => {
+                (
+                    Message::Provisional { covers_through: g, .. },
+                    Message::Provisional { covers_through: w, .. },
+                ) => {
                     assert!((g - w).abs() <= 0.25 + 1e-12);
                 }
                 _ => panic!("kind mismatch: {got:?} vs {m:?}"),

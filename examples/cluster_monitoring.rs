@@ -60,9 +60,8 @@ fn main() {
         let mut filter = choice;
         let segments = run_filter(filter.as_mut(), signal).expect("valid");
         let polyline = Polyline::new(segments);
-        let replay = polyline
-            .resample(signal.times(), GapPolicy::Strict)
-            .expect("every sample covered");
+        let replay =
+            polyline.resample(signal.times(), GapPolicy::Strict).expect("every sample covered");
         assert_eq!(replay.len(), signal.len());
         for j in 0..signal.len() {
             assert!(

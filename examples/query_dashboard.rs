@@ -41,9 +41,18 @@ fn main() {
     let mean = engine.mean(&times, 0).expect("covered");
     let min = engine.min(&times, 0).expect("covered");
     let max = engine.max(&times, 0).expect("covered");
-    println!("mean temperature: {:.3} °C  (true value in [{:.3}, {:.3}])", mean.value, mean.lo, mean.hi);
-    println!("min  temperature: {:.3} °C  (true value in [{:.3}, {:.3}])", min.value, min.lo, min.hi);
-    println!("max  temperature: {:.3} °C  (true value in [{:.3}, {:.3}])", max.value, max.lo, max.hi);
+    println!(
+        "mean temperature: {:.3} °C  (true value in [{:.3}, {:.3}])",
+        mean.value, mean.lo, mean.hi
+    );
+    println!(
+        "min  temperature: {:.3} °C  (true value in [{:.3}, {:.3}])",
+        min.value, min.lo, min.hi
+    );
+    println!(
+        "max  temperature: {:.3} °C  (true value in [{:.3}, {:.3}])",
+        max.value, max.lo, max.hi
+    );
 
     // Panel 2: how long was it warmer than 23 °C?
     let above = engine.count_above(&times, 0, 23.0).expect("covered");
@@ -57,17 +66,13 @@ fn main() {
     // Panel 3: threshold crossing events.
     let crossings = engine.crossings(&times, 0, 23.0).expect("covered");
     let certain = crossings.iter().filter(|c| c.kind == CrossingKind::Certain).count();
-    println!(
-        "23 °C crossings: {certain} certain, {} possible",
-        crossings.len() - certain
-    );
+    println!("23 °C crossings: {certain} certain, {} possible", crossings.len() - certain);
 
     // Ground truth check (the dashboard itself never needs this).
     let truth_mean =
         (0..signal.len()).map(|j| signal.value(j, 0)).sum::<f64>() / signal.len() as f64;
     let truth_min = (0..signal.len()).map(|j| signal.value(j, 0)).fold(f64::INFINITY, f64::min);
-    let truth_max =
-        (0..signal.len()).map(|j| signal.value(j, 0)).fold(f64::NEG_INFINITY, f64::max);
+    let truth_max = (0..signal.len()).map(|j| signal.value(j, 0)).fold(f64::NEG_INFINITY, f64::max);
     let truth_above = (0..signal.len()).filter(|&j| signal.value(j, 0) > 23.0).count();
     assert!(mean.contains(truth_mean));
     assert!(min.contains(truth_min));

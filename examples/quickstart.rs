@@ -8,9 +8,7 @@
 //! precision width, stream it through a filter, inspect the compression
 //! ratio, and verify the reconstruction honours the L∞ guarantee.
 
-use pla::core::filters::{
-    CacheFilter, LinearFilter, SlideFilter, StreamFilter, SwingFilter,
-};
+use pla::core::filters::{CacheFilter, LinearFilter, SlideFilter, StreamFilter, SwingFilter};
 use pla::core::metrics;
 use pla::core::{GapPolicy, Polyline};
 use pla::signal::sea_surface;

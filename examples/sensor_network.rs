@@ -34,10 +34,7 @@ fn main() {
 
     // Slide filter with the paper's m_max_lag bound; compact codec with
     // quanta far below ε so quantization stays inside the error budget.
-    let filter = SlideFilter::builder(&eps)
-        .max_lag(MAX_LAG)
-        .build()
-        .expect("valid configuration");
+    let filter = SlideFilter::builder(&eps).max_lag(MAX_LAG).build().expect("valid configuration");
     let quanta: Vec<f64> = eps.iter().map(|e| e / 64.0).collect();
     let mut tx = Transmitter::new(filter, CompactCodec::new(1.0 / 64.0, &quanta));
     let mut rx = Receiver::new(CompactCodec::new(1.0 / 64.0, &quanta), DIMS);

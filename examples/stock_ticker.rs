@@ -12,9 +12,7 @@
 //! scales with the tolerated error, and prints which filter a quote
 //! archive should pick at each operating point.
 
-use pla::core::filters::{
-    CacheFilter, LinearFilter, SlideFilter, StreamFilter, SwingFilter,
-};
+use pla::core::filters::{CacheFilter, LinearFilter, SlideFilter, StreamFilter, SwingFilter};
 use pla::core::metrics;
 use pla::core::Signal;
 use pla::signal::{random_walk, WalkParams};
@@ -22,23 +20,14 @@ use pla::signal::{random_walk, WalkParams};
 fn main() {
     // A day of per-second prices: geometric-ish walk around $100 with
     // bursts. Built from the paper's random-walk model plus a re-scale.
-    let base = random_walk(WalkParams {
-        n: 6 * 60 * 60,
-        p_decrease: 0.5,
-        max_delta: 0.03,
-        seed: 0x570C4,
-    });
+    let base =
+        random_walk(WalkParams { n: 6 * 60 * 60, p_decrease: 0.5, max_delta: 0.03, seed: 0x570C4 });
     let mut prices = Signal::new(1);
     for (t, x) in base.iter() {
-        prices
-            .push(t, &[100.0 + x[0]])
-            .expect("walk output is monotone in time");
+        prices.push(t, &[100.0 + x[0]]).expect("walk output is monotone in time");
     }
     let (lo, hi) = prices.range(0).expect("non-empty");
-    println!(
-        "price series: {} ticks, ${lo:.2}–${hi:.2}\n",
-        prices.len()
-    );
+    println!("price series: {} ticks, ${lo:.2}–${hi:.2}\n", prices.len());
 
     for (label, eps) in [("±1¢", 0.01), ("±10¢", 0.10), ("±$1", 1.00)] {
         println!("tolerance {label}:");

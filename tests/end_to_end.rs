@@ -1,9 +1,7 @@
 //! End-to-end integration: generator → filter → wire → receiver →
 //! reconstruction → verification, across all workspace crates.
 
-use pla::core::filters::{
-    CacheFilter, LinearFilter, SlideFilter, StreamFilter, SwingFilter,
-};
+use pla::core::filters::{CacheFilter, LinearFilter, SlideFilter, StreamFilter, SwingFilter};
 use pla::core::{GapPolicy, Polyline};
 use pla::signal::{correlated_walk, multi_walk, random_walk, sea_surface, WalkParams};
 use pla::transport::wire::{CompactCodec, FixedCodec};

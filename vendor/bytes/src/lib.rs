@@ -1,0 +1,279 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the subset `pla-transport` uses: [`BytesMut`] as a growable
+//! write buffer, [`Bytes`] as a cheaply cloneable read view, and the
+//! [`Buf`]/[`BufMut`] cursor traits. Semantics match the real crate for
+//! this subset (`split`/`freeze`, `slice`, little-endian get/put); the
+//! implementation is a plain `Vec<u8>`/`Arc<[u8]>` rather than the real
+//! crate's refcounted vtable machinery. Swap for the real `bytes` in
+//! `[workspace.dependencies]` once a registry is reachable.
+
+use std::ops::{Bound, Deref, RangeBounds};
+use std::sync::Arc;
+
+/// Read cursor over a byte source, mirroring `bytes::Buf`.
+pub trait Buf {
+    /// Bytes left to consume.
+    fn remaining(&self) -> usize;
+
+    /// The unconsumed bytes as a contiguous slice.
+    fn chunk(&self) -> &[u8];
+
+    /// Consumes `cnt` bytes.
+    ///
+    /// # Panics
+    /// Panics if `cnt > self.remaining()`.
+    fn advance(&mut self, cnt: usize);
+
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8 {
+        let b = self.chunk()[0];
+        self.advance(1);
+        b
+    }
+
+    /// Reads a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64 {
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(&self.chunk()[..8]);
+        self.advance(8);
+        u64::from_le_bytes(raw)
+    }
+
+    /// Reads a little-endian `f64`.
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_bits(self.get_u64_le())
+    }
+}
+
+/// Write cursor into a growable byte sink, mirroring `bytes::BufMut`.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, n: u8) {
+        self.put_slice(&[n]);
+    }
+
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, n: u64) {
+        self.put_slice(&n.to_le_bytes());
+    }
+
+    /// Appends a little-endian `f64`.
+    fn put_f64_le(&mut self, n: f64) {
+        self.put_u64_le(n.to_bits());
+    }
+}
+
+/// Growable, uniquely owned byte buffer, mirroring `bytes::BytesMut`.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct BytesMut {
+    vec: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty buffer with `cap` bytes preallocated.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut { vec: Vec::with_capacity(cap) }
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.vec.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.vec.is_empty()
+    }
+
+    /// Drops the contents, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.vec.clear();
+    }
+
+    /// Appends a byte slice.
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.vec.extend_from_slice(src);
+    }
+
+    /// Splits off the entire contents, leaving `self` empty — the common
+    /// `buf.split().freeze()` idiom for flushing a write buffer.
+    pub fn split(&mut self) -> BytesMut {
+        BytesMut { vec: std::mem::take(&mut self.vec) }
+    }
+
+    /// Converts into an immutable, cheaply cloneable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from_vec(self.vec)
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.vec.extend_from_slice(src);
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.vec
+    }
+}
+
+impl From<Vec<u8>> for BytesMut {
+    fn from(vec: Vec<u8>) -> Self {
+        BytesMut { vec }
+    }
+}
+
+/// Immutable, cheaply cloneable view of a byte sequence with a read
+/// cursor, mirroring `bytes::Bytes`.
+#[derive(Debug, Clone)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    fn from_vec(vec: Vec<u8>) -> Self {
+        let end = vec.len();
+        Bytes { data: vec.into(), start: 0, end }
+    }
+
+    /// Wraps a static byte slice (copied; the real crate borrows).
+    pub fn from_static(src: &'static [u8]) -> Self {
+        Bytes::from_vec(src.to_vec())
+    }
+
+    /// Bytes left to consume.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the view has been fully consumed.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// A sub-view of the unconsumed bytes; shares the same allocation.
+    ///
+    /// # Panics
+    /// Panics if the range is out of bounds.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let lo = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len(),
+        };
+        assert!(lo <= hi && hi <= self.len(), "slice out of bounds");
+        Bytes { data: Arc::clone(&self.data), start: self.start + lo, end: self.start + hi }
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::from_vec(Vec::new())
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance past end of buffer");
+        self.start += cnt;
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.chunk()
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.chunk() == other.chunk()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(vec: Vec<u8>) -> Self {
+        Bytes::from_vec(vec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_le() {
+        let mut buf = BytesMut::new();
+        buf.put_u8(7);
+        buf.put_f64_le(-1.25);
+        buf.put_u64_le(u64::MAX - 3);
+        assert_eq!(buf.len(), 17);
+
+        let mut bytes = buf.freeze();
+        assert_eq!(bytes.remaining(), 17);
+        assert_eq!(bytes.get_u8(), 7);
+        assert_eq!(bytes.get_f64_le(), -1.25);
+        assert_eq!(bytes.get_u64_le(), u64::MAX - 3);
+        assert!(bytes.is_empty());
+    }
+
+    #[test]
+    fn split_empties_source() {
+        let mut buf = BytesMut::new();
+        buf.put_slice(b"abc");
+        let taken = buf.split();
+        assert!(buf.is_empty());
+        assert_eq!(&taken[..], b"abc");
+        assert_eq!(&taken.freeze()[..], b"abc");
+    }
+
+    #[test]
+    fn slice_shares_and_bounds() {
+        let bytes = Bytes::from_static(b"hello world");
+        let hello = bytes.slice(0..5);
+        assert_eq!(&hello[..], b"hello");
+        let mut tail = bytes.slice(6..);
+        assert_eq!(tail.remaining(), 5);
+        assert_eq!(tail.get_u8(), b'w');
+    }
+
+    #[test]
+    #[should_panic(expected = "advance past end")]
+    fn advance_past_end_panics() {
+        let mut bytes = Bytes::from_static(b"ab");
+        bytes.advance(3);
+    }
+}

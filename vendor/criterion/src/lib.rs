@@ -1,0 +1,253 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the API subset its benches use: `Criterion::benchmark_group`,
+//! group configuration (`warm_up_time` / `measurement_time` /
+//! `sample_size` / `throughput`), `bench_function` / `bench_with_input`,
+//! `Bencher::iter`, [`BenchmarkId`], [`Throughput`], and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement is a deliberately simple wall-clock loop: one warm-up
+//! pass, then `sample_size` samples of a batch sized to fit the
+//! measurement window, reporting mean ns/iter (and derived element
+//! throughput). No statistics, no HTML reports, no regression detection —
+//! enough to compare hot paths locally and to keep `cargo bench`
+//! compiling and running. Swap for the real `criterion` in
+//! `[workspace.dependencies]` once a registry is reachable.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Work-per-iteration declaration used to derive throughput numbers.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Each iteration processes this many logical elements.
+    Elements(u64),
+    /// Each iteration processes this many bytes.
+    Bytes(u64),
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Timing loop handed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `routine` for the configured number of iterations, timing the
+    /// whole batch. The routine's output is returned into a sink the
+    /// optimizer cannot see through.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+#[derive(Debug, Clone)]
+struct GroupConfig {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl Default for GroupConfig {
+    fn default() -> Self {
+        GroupConfig {
+            warm_up: Duration::from_millis(100),
+            measurement: Duration::from_millis(500),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+}
+
+/// A named set of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    config: GroupConfig,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the warm-up duration.
+    pub fn warm_up_time(&mut self, dur: Duration) -> &mut Self {
+        self.config.warm_up = dur;
+        self
+    }
+
+    /// Sets the per-benchmark measurement window.
+    pub fn measurement_time(&mut self, dur: Duration) -> &mut Self {
+        self.config.measurement = dur;
+        self
+    }
+
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.config.sample_size = n.max(1);
+        self
+    }
+
+    /// Declares the work performed per iteration.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.config.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.id);
+        run_one(&label, &self.config, |b| f(b));
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.id);
+        run_one(&label, &self.config, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (report separator).
+    pub fn finish(self) {
+        let _ = self.criterion;
+        eprintln!();
+    }
+}
+
+fn run_one(label: &str, config: &GroupConfig, mut routine: impl FnMut(&mut Bencher)) {
+    // Warm-up / calibration pass: single iterations until the warm-up
+    // window elapses, to estimate the cost of one iteration.
+    let mut bencher = Bencher { iters: 1, elapsed: Duration::ZERO };
+    let warm_start = Instant::now();
+    let mut per_iter;
+    loop {
+        routine(&mut bencher);
+        per_iter = bencher.elapsed.max(Duration::from_nanos(1));
+        if warm_start.elapsed() >= config.warm_up {
+            break;
+        }
+    }
+
+    // Size each sample's batch so all samples fit the measurement window.
+    let budget = config.measurement.as_nanos() / config.sample_size as u128;
+    let iters = (budget / per_iter.as_nanos().max(1)).clamp(1, u64::MAX as u128) as u64;
+
+    let mut total = Duration::ZERO;
+    let mut total_iters = 0u64;
+    for _ in 0..config.sample_size {
+        bencher.iters = iters;
+        routine(&mut bencher);
+        total += bencher.elapsed;
+        total_iters += bencher.iters;
+    }
+
+    let ns_per_iter = total.as_nanos() as f64 / total_iters.max(1) as f64;
+    match config.throughput {
+        Some(Throughput::Elements(n)) => {
+            let rate = n as f64 / (ns_per_iter / 1e9);
+            eprintln!("{label:60} {ns_per_iter:14.1} ns/iter {rate:14.0} elem/s");
+        }
+        Some(Throughput::Bytes(n)) => {
+            let rate = n as f64 / (ns_per_iter / 1e9);
+            eprintln!("{label:60} {ns_per_iter:14.1} ns/iter {rate:14.0} B/s");
+        }
+        None => eprintln!("{label:60} {ns_per_iter:14.1} ns/iter"),
+    }
+}
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named [`BenchmarkGroup`].
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("group {name}");
+        BenchmarkGroup { criterion: self, name, config: GroupConfig::default() }
+    }
+
+    /// Runs a single ungrouped benchmark with default configuration.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(&id.id, &GroupConfig::default(), |b| f(b));
+        self
+    }
+}
+
+/// Re-export matching `criterion::black_box` (deprecated upstream in
+/// favor of `std::hint::black_box`, which the benches already use).
+pub use std::hint::black_box;
+
+/// Declares a benchmark group function, mirroring `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench entry point, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
