@@ -1,0 +1,41 @@
+//! Shard scaling of the multi-stream ingest engine: aggregate
+//! samples/second through `pla-ingest`, sweeping shard count × stream
+//! count.
+//!
+//! Each iteration is one complete engine lifecycle — spawn shards,
+//! register every stream, feed all samples in round-robin batches, drain
+//! at shutdown — because that is the unit a deployment pays for. The
+//! total sample count is fixed across cells, so ns/iter is directly
+//! comparable along both axes.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use pla_eval::experiments::{ingest_run, stream_workload};
+
+/// Samples per cell, split evenly across the cell's streams.
+const TOTAL_SAMPLES: usize = 64_000;
+
+fn ingest_shards(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ingest_shards");
+    group
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+        .sample_size(10)
+        .throughput(Throughput::Elements(TOTAL_SAMPLES as u64));
+    for &streams in &[16usize, 64, 256] {
+        let signals = stream_workload(streams, TOTAL_SAMPLES / streams, 0x1A7E57);
+        for &shards in &[1usize, 2, 4, 8] {
+            group.bench_function(
+                BenchmarkId::new(format!("streams={streams}"), format!("shards={shards}")),
+                |b| b.iter(|| black_box(ingest_run(shards, &signals))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ingest_shards);
+criterion_main!(benches);

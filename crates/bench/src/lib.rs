@@ -15,7 +15,7 @@ pub use pla_signal::{multi_walk, random_walk, sea_surface, WalkParams};
 /// Runs one filter over a signal, returning the recording count (consumed
 /// by `black_box` in benches so the work cannot be elided).
 pub fn run_filter_once(kind: FilterKind, eps: &[f64], signal: &Signal) -> u64 {
-    let mut filter = kind.build(eps);
+    let mut filter = kind.build(eps).expect("valid epsilons");
     let mut sink = CountingSink::default();
     for (t, x) in signal.iter() {
         filter.push(t, x, &mut sink).expect("valid signal");

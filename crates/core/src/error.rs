@@ -32,7 +32,16 @@ pub enum FilterError {
         /// Dimensions of the offending sample.
         got: usize,
     },
-    /// Timestamps must be strictly increasing and finite.
+    /// A timestamp was NaN or infinite.
+    ///
+    /// Reported separately from [`FilterError::NonMonotonicTime`] so a NaN
+    /// `t` on the very first sample does not log a misleading
+    /// `previous: -inf` comparison.
+    NonFiniteTime {
+        /// The offending timestamp.
+        offending: f64,
+    },
+    /// Timestamps must be strictly increasing.
     NonMonotonicTime {
         /// Timestamp of the previously accepted sample.
         previous: f64,
@@ -61,10 +70,13 @@ impl fmt::Display for FilterError {
             Self::DimensionMismatch { expected, got } => {
                 write!(f, "sample has {got} dimensions, filter expects {expected}")
             }
+            Self::NonFiniteTime { offending } => {
+                write!(f, "timestamps must be finite, got {offending}")
+            }
             Self::NonMonotonicTime { previous, offending } => {
                 write!(
                     f,
-                    "timestamps must be finite and strictly increasing: got {offending} after {previous}"
+                    "timestamps must be strictly increasing: got {offending} after {previous}"
                 )
             }
             Self::NonFiniteValue { dim, value } => {
@@ -76,6 +88,34 @@ impl fmt::Display for FilterError {
 
 impl std::error::Error for FilterError {}
 
+/// A batch push failed part-way through.
+///
+/// [`StreamFilter::push_batch`](crate::filters::StreamFilter::push_batch)
+/// absorbs the longest valid prefix of a batch before reporting the first
+/// invalid sample; this error carries that prefix length so callers can
+/// account for every sample (the `pla-ingest` stream table relies on it
+/// for exact quarantine bookkeeping).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchError {
+    /// Samples absorbed before the failure — the filter's state reflects
+    /// exactly these, as if they had been `push`ed one by one.
+    pub absorbed: usize,
+    /// The verdict on sample `absorbed` (the first invalid one).
+    pub error: FilterError,
+}
+
+impl fmt::Display for BatchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "batch rejected at sample {}: {}", self.absorbed, self.error)
+    }
+}
+
+impl std::error::Error for BatchError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.error)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -86,6 +126,13 @@ mod tests {
         let s = e.to_string();
         assert!(s.contains("dimension 2"));
         assert!(s.contains("-1"));
+    }
+
+    #[test]
+    fn non_finite_time_names_no_previous_sample() {
+        let s = FilterError::NonFiniteTime { offending: f64::NAN }.to_string();
+        assert!(s.contains("finite"));
+        assert!(!s.contains("after"), "must not reference a previous timestamp: {s}");
     }
 
     #[test]

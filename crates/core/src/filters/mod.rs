@@ -19,6 +19,7 @@ mod common;
 mod kalman;
 mod linear;
 mod slide;
+mod spec;
 mod swing;
 
 pub use cache::{CacheFilter, CacheVariant};
@@ -26,9 +27,10 @@ pub use common::run_filter;
 pub use kalman::{Kalman1D, KalmanFilter};
 pub use linear::{LinearFilter, LinearMode};
 pub use slide::{HullMode, SlideBuilder, SlideFilter};
+pub use spec::{FilterKind, FilterSpec};
 pub use swing::{RecordingStrategy, SwingBuilder, SwingFilter};
 
-use crate::error::FilterError;
+use crate::error::{BatchError, FilterError};
 use crate::segment::SegmentSink;
 
 /// Streaming interface shared by every filter.
@@ -47,6 +49,30 @@ pub trait StreamFilter {
     /// Offers one sample to the filter. Finalized segments, if any, are
     /// handed to `sink` before the call returns.
     fn push(&mut self, t: f64, x: &[f64], sink: &mut dyn SegmentSink) -> Result<(), FilterError>;
+
+    /// Offers a batch of samples, equivalent to pushing them one by one:
+    /// the emitted segment sequence is identical, segment for segment.
+    ///
+    /// Returns the number of samples absorbed, which equals
+    /// `samples.len()` on success. The first invalid sample aborts the
+    /// batch with a [`BatchError`] reporting both the verdict and the
+    /// absorbed-prefix length; samples before it are already absorbed
+    /// (the same state an equivalent sequence of [`push`](Self::push)
+    /// calls would leave behind), and samples after it are untouched.
+    ///
+    /// The default implementation loops over `push`; filters with batch
+    /// fast paths (swing, slide) override it to validate the batch in one
+    /// scan and keep their interval state in registers across the batch.
+    fn push_batch(
+        &mut self,
+        samples: &[(f64, &[f64])],
+        sink: &mut dyn SegmentSink,
+    ) -> Result<usize, BatchError> {
+        for (i, &(t, x)) in samples.iter().enumerate() {
+            self.push(t, x, sink).map_err(|error| BatchError { absorbed: i, error })?;
+        }
+        Ok(samples.len())
+    }
 
     /// Ends the stream: flushes every pending segment and resets the
     /// filter for reuse.
@@ -72,7 +98,10 @@ pub(crate) fn validate_push(
     if x.len() != dims {
         return Err(FilterError::DimensionMismatch { expected: dims, got: x.len() });
     }
-    if !t.is_finite() || last_t.is_some_and(|p| t <= p) {
+    if !t.is_finite() {
+        return Err(FilterError::NonFiniteTime { offending: t });
+    }
+    if last_t.is_some_and(|p| t <= p) {
         return Err(FilterError::NonMonotonicTime {
             previous: last_t.unwrap_or(f64::NEG_INFINITY),
             offending: t,
@@ -84,4 +113,21 @@ pub(crate) fn validate_push(
         }
     }
     Ok(())
+}
+
+/// Validates a whole batch in one scan, returning the length of the valid
+/// prefix together with the first error (if any). Shared by the filters'
+/// specialized [`StreamFilter::push_batch`] implementations.
+pub(crate) fn validate_batch(
+    dims: usize,
+    mut last_t: Option<f64>,
+    samples: &[(f64, &[f64])],
+) -> (usize, Option<FilterError>) {
+    for (i, &(t, x)) in samples.iter().enumerate() {
+        if let Err(e) = validate_push(dims, last_t, t, x) {
+            return (i, Some(e));
+        }
+        last_t = Some(t);
+    }
+    (samples.len(), None)
 }

@@ -52,7 +52,8 @@ use crate::mse::RegressionSums;
 use crate::segment::{validate_epsilons, ProvisionalUpdate, Segment, SegmentSink};
 
 use super::common::point_segment;
-use super::{validate_push, StreamFilter};
+use super::{validate_batch, validate_push, StreamFilter};
+use crate::error::BatchError;
 
 /// Envelope-update strategy for the slide filter.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -794,6 +795,72 @@ impl StreamFilter for SlideFilter {
             }
         }
         Ok(())
+    }
+
+    /// Batch fast path: one validation scan for the whole batch, then an
+    /// inner accept loop that keeps the live interval (hulls, envelopes,
+    /// sums) out of the state enum instead of moving it through
+    /// `mem::replace` on every point.
+    fn push_batch(
+        &mut self,
+        samples: &[(f64, &[f64])],
+        sink: &mut dyn SegmentSink,
+    ) -> Result<usize, BatchError> {
+        let (upto, err) = validate_batch(self.dims_(), self.last_t(), samples);
+        let mut state = std::mem::replace(&mut self.state, State::Empty);
+        let mut i = 0;
+        while i < upto {
+            let (t, x) = samples[i];
+            state = match state {
+                State::Empty => {
+                    i += 1;
+                    State::One { t, x: x.to_vec() }
+                }
+                State::One { t: t0, x: x0 } => {
+                    i += 1;
+                    let mut iv = self.start_interval(t0, &x0, t, x);
+                    self.maybe_freeze(&mut iv, sink);
+                    State::Active(iv)
+                }
+                State::Active(mut iv) => {
+                    // Absorb the longest run of accepted samples.
+                    while i < upto {
+                        let (t, x) = samples[i];
+                        if !self.fits(&iv, t, x) {
+                            break;
+                        }
+                        if iv.frozen.is_none() {
+                            self.absorb(&mut iv, t, x);
+                        } else {
+                            iv.last_t = t;
+                            iv.n_pts += 1;
+                        }
+                        self.maybe_freeze(&mut iv, sink);
+                        i += 1;
+                    }
+                    if i < upto {
+                        // The violator closes the interval and reopens.
+                        let (t, x) = samples[i];
+                        i += 1;
+                        if iv.frozen.is_some() {
+                            Self::emit_frozen(&iv, sink);
+                        } else {
+                            let next = self.close_interval(&iv, sink);
+                            self.pending = Some(next);
+                        }
+                        self.enforce_lag_on_pending(1, sink);
+                        State::One { t, x: x.to_vec() }
+                    } else {
+                        State::Active(iv)
+                    }
+                }
+            };
+        }
+        self.state = state;
+        match err {
+            Some(error) => Err(BatchError { absorbed: upto, error }),
+            None => Ok(upto),
+        }
     }
 
     fn finish(&mut self, sink: &mut dyn SegmentSink) -> Result<(), FilterError> {

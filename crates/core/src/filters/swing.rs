@@ -29,7 +29,8 @@ use crate::mse::RegressionSums;
 use crate::segment::{validate_epsilons, ProvisionalUpdate, Segment, SegmentSink};
 
 use super::common::point_segment;
-use super::{validate_push, StreamFilter};
+use super::{validate_batch, validate_push, StreamFilter};
+use crate::error::BatchError;
 
 /// How the swing filter picks the recording that ends an interval
 /// (paper §3.2).
@@ -352,6 +353,70 @@ impl StreamFilter for SwingFilter {
             }
         }
         Ok(())
+    }
+
+    /// Batch fast path: one validation scan for the whole batch, then an
+    /// inner accept loop that keeps the live interval out of the state
+    /// enum (no per-point `mem::replace` of the interval struct).
+    fn push_batch(
+        &mut self,
+        samples: &[(f64, &[f64])],
+        sink: &mut dyn SegmentSink,
+    ) -> Result<usize, BatchError> {
+        let (upto, err) = validate_batch(self.dims(), self.last_t(), samples);
+        let mut state = std::mem::replace(&mut self.state, State::Empty);
+        let mut i = 0;
+        while i < upto {
+            let (t, x) = samples[i];
+            state = match state {
+                State::Empty => {
+                    i += 1;
+                    State::One { t, x: x.to_vec() }
+                }
+                State::One { t: t1, x: x1 } => {
+                    i += 1;
+                    let mut iv = self.start_interval(t1, x1, true, t, x, 2);
+                    self.maybe_freeze(&mut iv, sink);
+                    State::Active(iv)
+                }
+                State::Active(mut iv) => {
+                    // Absorb the longest run of accepted samples.
+                    while i < upto {
+                        let (t, x) = samples[i];
+                        if !self.fits(&iv, t, x) {
+                            break;
+                        }
+                        if iv.frozen.is_none() {
+                            self.swing(&mut iv, t, x);
+                            if self.recording == RecordingStrategy::MseOptimal {
+                                iv.sums.push(t, x);
+                            }
+                        }
+                        iv.last_t = t;
+                        iv.last_x.copy_from_slice(x);
+                        iv.n_pts += 1;
+                        self.maybe_freeze(&mut iv, sink);
+                        i += 1;
+                    }
+                    if i < upto {
+                        // The violator closes the interval and seeds the next.
+                        let (t, x) = samples[i];
+                        i += 1;
+                        let (t_k, x_k) = self.close_interval(&iv, sink);
+                        let mut next = self.start_interval(t_k, x_k, false, t, x, 1);
+                        self.maybe_freeze(&mut next, sink);
+                        State::Active(next)
+                    } else {
+                        State::Active(iv)
+                    }
+                }
+            };
+        }
+        self.state = state;
+        match err {
+            Some(error) => Err(BatchError { absorbed: upto, error }),
+            None => Ok(upto),
+        }
     }
 
     fn finish(&mut self, sink: &mut dyn SegmentSink) -> Result<(), FilterError> {

@@ -61,7 +61,7 @@ mod sample;
 mod segment;
 pub mod stream;
 
-pub use error::FilterError;
+pub use error::{BatchError, FilterError};
 pub use mse::RegressionSums;
 pub use reconstruct::{GapPolicy, Polyline};
 pub use sample::Signal;

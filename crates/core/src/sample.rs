@@ -78,7 +78,10 @@ impl Signal {
         if x.len() != self.dims {
             return Err(FilterError::DimensionMismatch { expected: self.dims, got: x.len() });
         }
-        if !t.is_finite() || self.times.last().is_some_and(|&p| t <= p) {
+        if !t.is_finite() {
+            return Err(FilterError::NonFiniteTime { offending: t });
+        }
+        if self.times.last().is_some_and(|&p| t <= p) {
             return Err(FilterError::NonMonotonicTime {
                 previous: self.times.last().copied().unwrap_or(f64::NEG_INFINITY),
                 offending: t,
@@ -207,8 +210,9 @@ mod tests {
         ));
         assert!(matches!(
             s.push(f64::INFINITY, &[1.0, 1.0]),
-            Err(FilterError::NonMonotonicTime { .. })
+            Err(FilterError::NonFiniteTime { .. })
         ));
+        assert!(matches!(s.push(f64::NAN, &[1.0, 1.0]), Err(FilterError::NonFiniteTime { .. })));
     }
 
     #[test]

@@ -65,6 +65,24 @@ impl Sample for (f64, Vec<f64>) {
     }
 }
 
+impl Sample for (f64, &[f64]) {
+    fn values(&self) -> &[f64] {
+        self.1
+    }
+    fn time(&self) -> f64 {
+        self.0
+    }
+}
+
+impl<S: Sample> Sample for &S {
+    fn values(&self) -> &[f64] {
+        (**self).values()
+    }
+    fn time(&self) -> f64 {
+        (**self).time()
+    }
+}
+
 impl<I, F, S> Iterator for SegmentIter<I, F>
 where
     S: Sample,
@@ -174,6 +192,26 @@ mod tests {
         }
         assert!(saw_error, "duplicate timestamp must surface");
         assert!(iter.next().is_none(), "iterator must fuse after error");
+    }
+
+    #[test]
+    fn borrowed_slice_samples_need_no_cloning() {
+        // `Signal::iter` yields `(f64, &[f64])`; the iterator adapter must
+        // consume it directly, without collecting into `Vec<f64>` pairs.
+        let signal = crate::Signal::from_values(&(0..40).map(|j| j as f64).collect::<Vec<_>>());
+        let iter = signal.iter().pla_segments(SwingFilter::new(&[0.1]).unwrap());
+        let segs: Result<Vec<_>, _> = iter.collect();
+        assert_eq!(segs.unwrap().len(), 1);
+    }
+
+    #[test]
+    fn samples_by_reference() {
+        // `&S` forwards to `S`, so iterating a borrowed collection works.
+        let owned: Vec<(f64, f64)> = (0..30).map(|j| (j as f64, 3.0 * j as f64)).collect();
+        let iter = owned.iter().pla_segments(SlideFilter::new(&[0.1]).unwrap());
+        let segs: Result<Vec<_>, _> = iter.collect();
+        assert_eq!(segs.unwrap().len(), 1);
+        assert_eq!(owned.len(), 30, "collection is still owned by the caller");
     }
 
     #[test]

@@ -1,0 +1,152 @@
+//! Property: `push_batch` is segment-for-segment identical to the
+//! equivalent sequence of `push` calls — for every filter, every signal,
+//! and every way of chopping the signal into batches. The ingest layer
+//! routes all traffic through `push_batch`, so this identity is what makes
+//! its output trustworthy.
+
+use proptest::prelude::*;
+
+use pla_core::filters::{FilterKind, FilterSpec};
+use pla_core::{CollectingSink, FilterError, Signal};
+
+/// A 1-D signal with walks, plateaus, and jumps (the same family the core
+/// guarantee proptests use), plus a batch-split plan.
+fn signal_and_splits() -> impl Strategy<Value = (Signal, Vec<usize>)> {
+    (prop::collection::vec((-10.0f64..10.0, 0u8..4), 1..250), -100.0f64..100.0, any::<u64>())
+        .prop_map(|(steps, start, split_seed)| {
+            let mut x = start;
+            let mut values = Vec::with_capacity(steps.len());
+            for (step, kind) in steps {
+                match kind {
+                    0 => x += step,
+                    1 => {}
+                    2 => x += step * 50.0,
+                    _ => x += step * 0.01,
+                }
+                values.push(x);
+            }
+            let signal = Signal::from_values(&values);
+            // Deterministic irregular batch sizes derived from the seed:
+            // exercises empty, single-sample, and large batches.
+            let mut sizes = Vec::new();
+            let mut state = split_seed | 1;
+            let mut remaining = signal.len();
+            while remaining > 0 {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let take = ((state >> 33) as usize % 17).min(remaining);
+                sizes.push(take);
+                remaining -= take.max(1).min(remaining);
+            }
+            (signal, sizes)
+        })
+}
+
+fn run_sequential(spec: &FilterSpec, signal: &Signal) -> CollectingSink {
+    let mut f = spec.build().unwrap();
+    let mut sink = CollectingSink::default();
+    for (t, x) in signal.iter() {
+        f.push(t, x, &mut sink).unwrap();
+    }
+    f.finish(&mut sink).unwrap();
+    sink
+}
+
+fn run_batched(spec: &FilterSpec, signal: &Signal, sizes: &[usize]) -> CollectingSink {
+    let mut f = spec.build().unwrap();
+    let mut sink = CollectingSink::default();
+    let samples: Vec<(f64, &[f64])> = signal.iter().collect();
+    let mut offset = 0;
+    for &take in sizes {
+        let take = take.min(samples.len() - offset);
+        let n = f.push_batch(&samples[offset..offset + take], &mut sink).unwrap();
+        assert_eq!(n, take, "successful batch must absorb every sample");
+        offset += take;
+    }
+    if offset < samples.len() {
+        f.push_batch(&samples[offset..], &mut sink).unwrap();
+    }
+    f.finish(&mut sink).unwrap();
+    sink
+}
+
+fn specs_under_test(eps: f64) -> Vec<FilterSpec> {
+    let mut specs: Vec<FilterSpec> =
+        FilterKind::OVERHEAD_SET.iter().map(|&k| FilterSpec::new(k, &[eps])).collect();
+    // Lag-bounded configurations exercise the freeze paths inside the
+    // batch loops.
+    specs.push(FilterSpec::new(FilterKind::Swing, &[eps]).with_max_lag(7));
+    specs.push(FilterSpec::new(FilterKind::Slide, &[eps]).with_max_lag(7));
+    specs
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn push_batch_matches_push_sequence((signal, sizes) in signal_and_splits(), eps in 0.05f64..20.0) {
+        for spec in specs_under_test(eps) {
+            let sequential = run_sequential(&spec, &signal);
+            let batched = run_batched(&spec, &signal, &sizes);
+            prop_assert_eq!(
+                &sequential.segments, &batched.segments,
+                "{:?}: segment streams diverged", spec.kind
+            );
+            prop_assert_eq!(
+                &sequential.provisionals, &batched.provisionals,
+                "{:?}: provisional streams diverged", spec.kind
+            );
+        }
+    }
+
+    #[test]
+    fn one_whole_batch_matches_push_sequence((signal, _) in signal_and_splits(), eps in 0.05f64..20.0) {
+        let samples: Vec<(f64, &[f64])> = signal.iter().collect();
+        for spec in specs_under_test(eps) {
+            let sequential = run_sequential(&spec, &signal);
+            let mut f = spec.build().unwrap();
+            let mut sink = CollectingSink::default();
+            f.push_batch(&samples, &mut sink).unwrap();
+            f.finish(&mut sink).unwrap();
+            prop_assert_eq!(&sequential.segments, &sink.segments, "{:?}", spec.kind);
+        }
+    }
+}
+
+#[test]
+fn batch_error_leaves_the_valid_prefix_absorbed() {
+    // A batch with a time regression at index 2: the first two samples
+    // must land, the error must surface, and the filter must keep working
+    // exactly as if the bad sample had been pushed individually.
+    for kind in FilterKind::OVERHEAD_SET {
+        let mut batched = kind.build(&[0.5]).unwrap();
+        let mut sequential = kind.build(&[0.5]).unwrap();
+        let mut bsink = CollectingSink::default();
+        let mut ssink = CollectingSink::default();
+
+        let samples: [(f64, &[f64]); 4] =
+            [(0.0, &[1.0]), (1.0, &[2.0]), (0.5, &[3.0]), (2.0, &[4.0])];
+        let err = batched.push_batch(&samples, &mut bsink).unwrap_err();
+        assert_eq!(err.absorbed, 2, "{}", kind.label());
+        assert!(matches!(err.error, FilterError::NonMonotonicTime { .. }), "{}", kind.label());
+
+        for &(t, x) in &samples {
+            let _ = sequential.push(t, x, &mut ssink);
+        }
+        // Note: sequential pushed (2.0, 4.0) after the rejected sample;
+        // replay it on the batched filter to align the streams.
+        batched.push(2.0, &[4.0], &mut bsink).unwrap();
+        batched.finish(&mut bsink).unwrap();
+        sequential.finish(&mut ssink).unwrap();
+        assert_eq!(bsink.segments, ssink.segments, "{}", kind.label());
+    }
+}
+
+#[test]
+fn empty_batch_is_a_no_op() {
+    for kind in FilterKind::OVERHEAD_SET {
+        let mut f = kind.build(&[0.5]).unwrap();
+        let mut sink = CollectingSink::default();
+        assert_eq!(f.push_batch(&[], &mut sink), Ok(0), "{}", kind.label());
+        assert!(sink.segments.is_empty());
+    }
+}

@@ -48,12 +48,30 @@ fn infinite_time_is_rejected() {
         f.push(0.0, &[1.0], &mut out).unwrap();
         assert!(matches!(
             f.push(f64::INFINITY, &[1.0], &mut out),
-            Err(FilterError::NonMonotonicTime { .. })
+            Err(FilterError::NonFiniteTime { .. })
         ));
         assert!(matches!(
             f.push(f64::NAN, &[1.0], &mut out),
-            Err(FilterError::NonMonotonicTime { .. })
+            Err(FilterError::NonFiniteTime { .. })
         ));
+    }
+}
+
+#[test]
+fn nan_time_on_first_sample_is_a_non_finite_time_error() {
+    // Regression test: with no previous sample a NaN `t` used to report
+    // `NonMonotonicTime { previous: -inf }`, which is misleading in logs.
+    for mut f in all_filters(&[0.5]) {
+        let mut out: Vec<Segment> = Vec::new();
+        assert!(
+            matches!(f.push(f64::NAN, &[1.0], &mut out), Err(FilterError::NonFiniteTime { .. })),
+            "{}: NaN first timestamp must be NonFiniteTime",
+            f.name()
+        );
+        // The filter is still usable afterwards.
+        f.push(0.0, &[1.0], &mut out).unwrap();
+        f.finish(&mut out).unwrap();
+        assert_eq!(out.len(), 1);
     }
 }
 

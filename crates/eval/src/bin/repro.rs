@@ -6,7 +6,7 @@
 //! ```
 //!
 //! Experiments: fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 joint
-//!              lag hull connect bytes variants
+//!              lag hull connect bytes variants multistream
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -14,9 +14,25 @@ use std::process::ExitCode;
 use pla_eval::experiments::{self, Config};
 use pla_eval::Table;
 
-const ALL: [&str; 17] = [
-    "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "joint", "lag", "hull",
-    "connect", "bytes", "variants", "optgap", "swab", "kalman",
+const ALL: [&str; 18] = [
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "joint",
+    "lag",
+    "hull",
+    "connect",
+    "bytes",
+    "variants",
+    "optgap",
+    "swab",
+    "kalman",
+    "multistream",
 ];
 
 fn main() -> ExitCode {
@@ -103,6 +119,7 @@ fn run_one(name: &str, cfg: &Config, csv_dir: Option<&std::path::Path>) {
         "optgap" => experiments::optgap_experiment(cfg),
         "swab" => experiments::swab_experiment(cfg),
         "kalman" => experiments::kalman_experiment(cfg),
+        "multistream" => experiments::multistream_throughput(cfg),
         other => unreachable!("validated experiment name {other}"),
     };
     println!("{}", table.to_text());

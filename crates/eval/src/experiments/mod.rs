@@ -2,6 +2,7 @@
 
 mod ablations;
 mod extensions;
+mod multistream;
 mod overhead;
 mod realdata;
 mod synthetic;
@@ -10,6 +11,7 @@ pub use ablations::{
     bytes_ablation, connect_ablation, hull_ablation, lag_ablation, variants_ablation,
 };
 pub use extensions::{kalman_experiment, optgap_experiment, swab_experiment};
+pub use multistream::{ingest_run, multistream_throughput, stream_workload};
 pub use overhead::fig13_overhead;
 pub use realdata::{fig6_signal, fig7_compression, fig8_error};
 pub use synthetic::{
@@ -50,7 +52,7 @@ impl Config {
 
 /// Runs one filter kind over a signal and returns the full report.
 pub(crate) fn report(kind: FilterKind, eps: &[f64], signal: &Signal) -> CompressionReport {
-    let mut filter = kind.build(eps);
+    let mut filter = kind.build(eps).expect("valid epsilons");
     metrics::evaluate(filter.as_mut(), signal).expect("valid signal")
 }
 

@@ -44,7 +44,7 @@ pub fn time_per_point_us(
 }
 
 fn run_once(kind: FilterKind, eps: &[f64], signal: &Signal) {
-    let mut filter = kind.build(eps);
+    let mut filter = kind.build(eps).expect("valid epsilons");
     let mut sink = CountingSink::default();
     for (t, x) in signal.iter() {
         filter.push(t, x, &mut sink).expect("valid signal");

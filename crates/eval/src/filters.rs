@@ -1,89 +1,8 @@
 //! The filter line-up every experiment compares.
+//!
+//! The enum itself lives in `pla_core::filters` (as the config-driven
+//! [`FilterSpec`](pla_core::filters::FilterSpec) factory's kind tag) so
+//! the ingest layer can build filters from configuration; this module
+//! re-exports it under the name the experiments have always used.
 
-use pla_core::filters::{
-    CacheFilter, CacheVariant, HullMode, LinearFilter, LinearMode, SlideFilter, StreamFilter,
-    SwingFilter,
-};
-
-/// The filters of the paper's §5 comparison, plus the non-optimized slide
-/// configuration of Figure 13.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum FilterKind {
-    /// Piece-wise constant baseline (§2.2, first-value variant).
-    Cache,
-    /// Connected linear baseline (§2.2).
-    Linear,
-    /// Swing filter (§3).
-    Swing,
-    /// Slide filter (§4), hull-optimized.
-    Slide,
-    /// Slide filter without the convex-hull optimization (Figure 13's
-    /// "non-optimized slide").
-    SlideExhaustive,
-}
-
-impl FilterKind {
-    /// The four filters every compression figure compares.
-    pub const PAPER_SET: [FilterKind; 4] =
-        [FilterKind::Cache, FilterKind::Linear, FilterKind::Swing, FilterKind::Slide];
-
-    /// The five configurations of the overhead figure.
-    pub const OVERHEAD_SET: [FilterKind; 5] = [
-        FilterKind::Cache,
-        FilterKind::Linear,
-        FilterKind::Swing,
-        FilterKind::Slide,
-        FilterKind::SlideExhaustive,
-    ];
-
-    /// Display label matching the paper's legends.
-    pub fn label(self) -> &'static str {
-        match self {
-            Self::Cache => "cache",
-            Self::Linear => "linear",
-            Self::Swing => "swing",
-            Self::Slide => "slide",
-            Self::SlideExhaustive => "slide (non-optimized)",
-        }
-    }
-
-    /// Builds a fresh filter instance for the given precision widths.
-    pub fn build(self, eps: &[f64]) -> Box<dyn StreamFilter> {
-        match self {
-            Self::Cache => {
-                Box::new(CacheFilter::with_variant(eps, CacheVariant::FirstValue).unwrap())
-            }
-            Self::Linear => Box::new(LinearFilter::with_mode(eps, LinearMode::Connected).unwrap()),
-            Self::Swing => Box::new(SwingFilter::new(eps).unwrap()),
-            Self::Slide => Box::new(SlideFilter::new(eps).unwrap()),
-            Self::SlideExhaustive => {
-                Box::new(SlideFilter::builder(eps).hull_mode(HullMode::Exhaustive).build().unwrap())
-            }
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn labels_are_distinct() {
-        let mut labels: Vec<&str> = FilterKind::OVERHEAD_SET.iter().map(|f| f.label()).collect();
-        labels.sort_unstable();
-        labels.dedup();
-        assert_eq!(labels.len(), 5);
-    }
-
-    #[test]
-    fn build_produces_working_filters() {
-        for kind in FilterKind::OVERHEAD_SET {
-            let mut f = kind.build(&[0.5]);
-            let mut out: Vec<pla_core::Segment> = Vec::new();
-            f.push(0.0, &[1.0], &mut out).unwrap();
-            f.push(1.0, &[1.1], &mut out).unwrap();
-            f.finish(&mut out).unwrap();
-            assert!(!out.is_empty(), "{}", kind.label());
-        }
-    }
-}
+pub use pla_core::filters::FilterKind;

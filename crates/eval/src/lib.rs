@@ -22,6 +22,7 @@
 //! | `connect` | slide connection rate (ablation) | [`experiments::connect_ablation`] |
 //! | `bytes` | wire-byte compression (ablation) | [`experiments::bytes_ablation`] |
 //! | `variants` | cache-variant comparison (ablation) | [`experiments::variants_ablation`] |
+//! | `multistream` | ingest throughput vs shard count (scale-out) | [`experiments::multistream_throughput`] |
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]

@@ -1,0 +1,479 @@
+//! The shard-per-core engine: hash-routed worker threads, bounded
+//! channels, fan-in reporting.
+//!
+//! Every stream is pinned to one shard by [`shard_of`], a deterministic
+//! hash of its id — so a stream's samples are always processed by the same
+//! worker, in the order they were sent, and the per-stream segment output
+//! is identical to a standalone filter run regardless of the shard count.
+//! The channels are *bounded*: a saturated shard pushes back on producers
+//! ([`IngestHandle::push`] blocks, [`IngestHandle::try_push`] reports
+//! [`IngestError::Backpressure`]) instead of buffering without limit.
+
+use std::collections::BTreeMap;
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::thread::JoinHandle;
+
+use pla_core::filters::FilterSpec;
+use pla_core::Segment;
+
+use crate::table::{IngestError, StreamOutput, StreamTable};
+use crate::StreamId;
+
+/// Deterministic stream→shard routing: a SplitMix64 finalizer over the
+/// stream id, reduced modulo the shard count. Stable across runs,
+/// machines, and engine instances, so tests (and repartition tooling) can
+/// predict placements.
+pub fn shard_of(stream: StreamId, shards: usize) -> usize {
+    debug_assert!(shards > 0);
+    let mut z = stream.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    ((z ^ (z >> 31)) % shards as u64) as usize
+}
+
+/// Engine construction parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IngestConfig {
+    /// Worker thread count (clamped to ≥ 1). The intended setting is one
+    /// shard per core.
+    pub shards: usize,
+    /// Bounded capacity of each shard's input queue, in operations
+    /// (clamped to ≥ 1). This is the backpressure knob: the total number
+    /// of in-flight samples is at most `shards × queue_depth` plus one
+    /// batch per producer.
+    pub queue_depth: usize,
+    /// Record, per shard, the fan-in log of `(stream, segment)` pairs in
+    /// emission order — the feed a multiplexing transport would ship.
+    /// Costs one segment clone per emission; off by default.
+    pub shard_log: bool,
+}
+
+impl Default for IngestConfig {
+    fn default() -> Self {
+        let shards = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        Self { shards, queue_depth: 1024, shard_log: false }
+    }
+}
+
+/// Counters one shard accumulates over its lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Operations dequeued (registrations, pushes, batches, finishes).
+    pub ops: u64,
+    /// Samples offered to this shard (including dropped ones).
+    pub samples: u64,
+    /// Samples addressed to ids never registered on this shard (an
+    /// unknown `finish_stream` drops no samples and is not counted).
+    pub unknown_stream_drops: u64,
+    /// Registrations dropped because the id was already registered. The
+    /// original filter keeps running; re-registration with a new spec is
+    /// not supported.
+    pub duplicate_registers: u64,
+    /// Streams registered on this shard.
+    pub streams: usize,
+    /// Segments emitted by this shard's filters.
+    pub segments: u64,
+}
+
+/// What the engine hands back at shutdown.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IngestReport {
+    /// Per-stream outputs, ordered by stream id.
+    pub streams: BTreeMap<StreamId, StreamOutput>,
+    /// Per-shard counters, indexed by shard.
+    pub shards: Vec<ShardStats>,
+    /// Per-shard fan-in logs (empty unless [`IngestConfig::shard_log`]).
+    pub shard_logs: Vec<Vec<(StreamId, Segment)>>,
+}
+
+impl IngestReport {
+    /// Total segments across all streams.
+    pub fn total_segments(&self) -> usize {
+        self.streams.values().map(|o| o.segments.len()).sum()
+    }
+
+    /// Total samples the filters absorbed.
+    pub fn total_samples(&self) -> u64 {
+        self.streams.values().map(|o| o.samples_in).sum()
+    }
+
+    /// Number of quarantined streams.
+    pub fn quarantined(&self) -> usize {
+        self.streams.values().filter(|o| o.quarantine.is_some()).count()
+    }
+}
+
+enum Op {
+    Register {
+        stream: StreamId,
+        spec: FilterSpec,
+    },
+    Push {
+        stream: StreamId,
+        t: f64,
+        x: Box<[f64]>,
+    },
+    /// Columnar batch: `values` holds `dims` contiguous values per sample.
+    PushBatch {
+        stream: StreamId,
+        dims: usize,
+        times: Box<[f64]>,
+        values: Box<[f64]>,
+    },
+    FinishStream {
+        stream: StreamId,
+    },
+    Shutdown,
+}
+
+struct ShardResult {
+    outputs: BTreeMap<StreamId, StreamOutput>,
+    stats: ShardStats,
+    log: Vec<(StreamId, Segment)>,
+}
+
+/// Cloneable producer handle: routes samples to shards.
+///
+/// All methods are callable from any thread. Samples for one stream sent
+/// from one thread are processed in send order; interleavings *between*
+/// producers racing on the same stream are, as always, unordered.
+#[derive(Clone)]
+pub struct IngestHandle {
+    senders: Vec<SyncSender<Op>>,
+}
+
+impl IngestHandle {
+    fn sender_for(&self, stream: StreamId) -> &SyncSender<Op> {
+        &self.senders[shard_of(stream, self.senders.len())]
+    }
+
+    fn send(&self, stream: StreamId, op: Op) -> Result<(), IngestError> {
+        self.sender_for(stream).send(op).map_err(|_| IngestError::Closed)
+    }
+
+    /// Number of shards this handle routes across.
+    pub fn shards(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Registers a stream. The spec is validated here, synchronously;
+    /// routing and filter construction happen on the owning shard. A
+    /// duplicate id is dropped there — the first registration's filter
+    /// keeps running — and counted in
+    /// [`ShardStats::duplicate_registers`].
+    pub fn register(&self, stream: StreamId, spec: FilterSpec) -> Result<(), IngestError> {
+        spec.validate().map_err(|error| IngestError::Filter { stream, error })?;
+        self.send(stream, Op::Register { stream, spec })
+    }
+
+    /// Sends one sample, blocking while the owning shard's queue is full
+    /// (backpressure).
+    pub fn push(&self, stream: StreamId, t: f64, x: &[f64]) -> Result<(), IngestError> {
+        self.send(stream, Op::Push { stream, t, x: x.into() })
+    }
+
+    /// Sends one sample without blocking; a full shard queue yields
+    /// [`IngestError::Backpressure`].
+    pub fn try_push(&self, stream: StreamId, t: f64, x: &[f64]) -> Result<(), IngestError> {
+        match self.sender_for(stream).try_send(Op::Push { stream, t, x: x.into() }) {
+            Ok(()) => Ok(()),
+            Err(TrySendError::Full(_)) => Err(IngestError::Backpressure),
+            Err(TrySendError::Disconnected(_)) => Err(IngestError::Closed),
+        }
+    }
+
+    /// Sends a whole batch as one queue operation (one routing decision,
+    /// one channel rendezvous, and the filter's batch fast path on the
+    /// shard). All samples must share one dimensionality.
+    pub fn push_batch(
+        &self,
+        stream: StreamId,
+        samples: &[(f64, &[f64])],
+    ) -> Result<(), IngestError> {
+        let Some(&(_, first)) = samples.first() else { return Ok(()) };
+        let dims = first.len();
+        let mut times = Vec::with_capacity(samples.len());
+        let mut values = Vec::with_capacity(samples.len() * dims);
+        for &(t, x) in samples {
+            if x.len() != dims {
+                return Err(IngestError::RaggedBatch);
+            }
+            times.push(t);
+            values.extend_from_slice(x);
+        }
+        self.send(
+            stream,
+            Op::PushBatch { stream, dims, times: times.into(), values: values.into() },
+        )
+    }
+
+    /// Ends a stream, flushing its filter's pending output.
+    pub fn finish_stream(&self, stream: StreamId) -> Result<(), IngestError> {
+        self.send(stream, Op::FinishStream { stream })
+    }
+}
+
+/// The multi-stream ingest engine. See the crate docs for the model.
+pub struct IngestEngine {
+    handle: IngestHandle,
+    workers: Vec<JoinHandle<ShardResult>>,
+}
+
+impl IngestEngine {
+    /// Spawns the shard workers described by `config`.
+    pub fn new(config: IngestConfig) -> Self {
+        let shards = config.shards.max(1);
+        let depth = config.queue_depth.max(1);
+        let mut senders = Vec::with_capacity(shards);
+        let mut workers = Vec::with_capacity(shards);
+        for shard in 0..shards {
+            let (tx, rx) = sync_channel::<Op>(depth);
+            senders.push(tx);
+            let shard_log = config.shard_log;
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("pla-ingest-shard-{shard}"))
+                    .spawn(move || run_shard(rx, shard_log))
+                    .expect("spawn shard worker"),
+            );
+        }
+        Self { handle: IngestHandle { senders }, workers }
+    }
+
+    /// A cloneable producer handle.
+    pub fn handle(&self) -> IngestHandle {
+        self.handle.clone()
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.handle.senders.len()
+    }
+
+    /// The shard a stream is pinned to.
+    pub fn shard_of(&self, stream: StreamId) -> usize {
+        shard_of(stream, self.shards())
+    }
+
+    /// Shuts down: every queued operation is drained, every live stream is
+    /// finished, and the per-stream outputs are collected.
+    ///
+    /// Producers must stop feeding first: operations a still-live
+    /// [`IngestHandle`] enqueues concurrently with `finish` may be
+    /// silently dropped, and sends after shutdown fail with
+    /// [`IngestError::Closed`].
+    pub fn finish(self) -> IngestReport {
+        for tx in &self.handle.senders {
+            // A full queue still accepts the shutdown marker eventually;
+            // a worker that already exited (impossible without Shutdown,
+            // but defensive) just drops it.
+            let _ = tx.send(Op::Shutdown);
+        }
+        let mut streams = BTreeMap::new();
+        let mut shards = Vec::with_capacity(self.workers.len());
+        let mut shard_logs = Vec::with_capacity(self.workers.len());
+        for worker in self.workers {
+            let result = worker.join().expect("shard worker panicked");
+            streams.extend(result.outputs);
+            shards.push(result.stats);
+            shard_logs.push(result.log);
+        }
+        IngestReport { streams, shards, shard_logs }
+    }
+}
+
+fn run_shard(rx: Receiver<Op>, shard_log: bool) -> ShardResult {
+    let mut table = StreamTable::new();
+    let mut stats = ShardStats::default();
+    let mut log: Vec<(StreamId, Segment)> = Vec::new();
+    while let Ok(op) = rx.recv() {
+        stats.ops += 1;
+        match op {
+            Op::Register { stream, spec } => {
+                // An unbuildable spec is recorded in the table as
+                // quarantine state; a duplicate registration is dropped
+                // (the original filter keeps running) and counted so the
+                // discard is observable.
+                if let Err(IngestError::DuplicateStream(_)) = table.register(stream, &spec) {
+                    stats.duplicate_registers += 1;
+                }
+            }
+            Op::Push { stream, t, x } => {
+                stats.samples += 1;
+                if let Err(IngestError::UnknownStream(_)) = table.push(stream, t, &x) {
+                    stats.unknown_stream_drops += 1;
+                }
+                if shard_log {
+                    table.drain_new_segments(stream, |seg| log.push((stream, seg.clone())));
+                }
+            }
+            Op::PushBatch { stream, dims, times, values } => {
+                stats.samples += times.len() as u64;
+                let result = if dims == 0 {
+                    let pairs: Vec<(f64, &[f64])> = times.iter().map(|&t| (t, &[][..])).collect();
+                    table.push_batch(stream, &pairs)
+                } else {
+                    let pairs: Vec<(f64, &[f64])> =
+                        times.iter().copied().zip(values.chunks_exact(dims)).collect();
+                    table.push_batch(stream, &pairs)
+                };
+                if let Err(IngestError::UnknownStream(_)) = result {
+                    stats.unknown_stream_drops += times.len() as u64;
+                }
+                if shard_log {
+                    table.drain_new_segments(stream, |seg| log.push((stream, seg.clone())));
+                }
+            }
+            Op::FinishStream { stream } => {
+                // An unknown finish drops no samples; nothing to count.
+                let _ = table.finish_stream(stream);
+                if shard_log {
+                    table.drain_new_segments(stream, |seg| log.push((stream, seg.clone())));
+                }
+            }
+            Op::Shutdown => break,
+        }
+    }
+    table.finish_all();
+    if shard_log {
+        let ids: Vec<StreamId> = table.ids().collect();
+        for stream in ids {
+            table.drain_new_segments(stream, |seg| log.push((stream, seg.clone())));
+        }
+    }
+    stats.streams = table.len();
+    stats.segments = table.total_segments() as u64;
+    ShardResult { outputs: table.into_outputs(), stats, log }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pla_core::filters::FilterKind;
+
+    fn spec() -> FilterSpec {
+        FilterSpec::new(FilterKind::Swing, &[0.5])
+    }
+
+    #[test]
+    fn routing_is_deterministic_and_total() {
+        for shards in [1usize, 2, 3, 4, 7] {
+            let mut seen = vec![false; shards];
+            for id in 0..1000u64 {
+                let s = shard_of(StreamId(id), shards);
+                assert!(s < shards);
+                assert_eq!(s, shard_of(StreamId(id), shards), "routing must be stable");
+                seen[s] = true;
+            }
+            assert!(seen.iter().all(|&b| b), "{shards} shards: some shard got no stream");
+        }
+    }
+
+    #[test]
+    fn engine_compresses_and_reports() {
+        let engine = IngestEngine::new(IngestConfig { shards: 2, queue_depth: 8, shard_log: true });
+        let h = engine.handle();
+        for id in 0..6u64 {
+            h.register(StreamId(id), spec()).unwrap();
+        }
+        for j in 0..200 {
+            for id in 0..6u64 {
+                h.push(StreamId(id), j as f64, &[(j as f64 * (0.1 + id as f64 * 0.05)).sin()])
+                    .unwrap();
+            }
+        }
+        let report = engine.finish();
+        assert_eq!(report.streams.len(), 6);
+        assert_eq!(report.total_samples(), 6 * 200);
+        assert_eq!(report.quarantined(), 0);
+        // The fan-in logs carry every segment exactly once.
+        let logged: usize = report.shard_logs.iter().map(|l| l.len()).sum();
+        assert_eq!(logged, report.total_segments());
+        // Per-shard stats add up.
+        let samples: u64 = report.shards.iter().map(|s| s.samples).sum();
+        assert_eq!(samples, 6 * 200);
+    }
+
+    #[test]
+    fn unknown_streams_are_counted_not_fatal() {
+        let engine =
+            IngestEngine::new(IngestConfig { shards: 2, queue_depth: 4, shard_log: false });
+        let h = engine.handle();
+        h.register(StreamId(1), spec()).unwrap();
+        h.push(StreamId(1), 0.0, &[1.0]).unwrap();
+        h.push(StreamId(999), 0.0, &[1.0]).unwrap(); // never registered
+        h.push(StreamId(1), 1.0, &[1.1]).unwrap();
+        let report = engine.finish();
+        assert_eq!(report.streams.len(), 1);
+        let drops: u64 = report.shards.iter().map(|s| s.unknown_stream_drops).sum();
+        assert_eq!(drops, 1);
+    }
+
+    #[test]
+    fn unknown_batches_count_every_sample_dropped() {
+        let engine =
+            IngestEngine::new(IngestConfig { shards: 1, queue_depth: 4, shard_log: false });
+        let h = engine.handle();
+        h.register(StreamId(1), spec()).unwrap();
+        let x = [1.0];
+        let samples: Vec<(f64, &[f64])> = (0..5).map(|j| (j as f64, &x[..])).collect();
+        h.push_batch(StreamId(999), &samples).unwrap(); // never registered
+        let report = engine.finish();
+        let drops: u64 = report.shards.iter().map(|s| s.unknown_stream_drops).sum();
+        assert_eq!(drops, 5, "a dropped batch counts per sample, not per op");
+    }
+
+    #[test]
+    fn duplicate_registration_is_counted_and_first_spec_wins() {
+        let engine =
+            IngestEngine::new(IngestConfig { shards: 1, queue_depth: 8, shard_log: false });
+        let h = engine.handle();
+        h.register(StreamId(1), spec()).unwrap();
+        // Same id, different spec: validated Ok at the handle, dropped on
+        // the shard — observable through the duplicate counter.
+        h.register(StreamId(1), FilterSpec::new(FilterKind::Cache, &[2.0])).unwrap();
+        h.push(StreamId(1), 0.0, &[1.0]).unwrap();
+        h.push(StreamId(1), 1.0, &[1.1]).unwrap();
+        let report = engine.finish();
+        assert_eq!(report.shards[0].duplicate_registers, 1);
+        assert_eq!(report.streams.len(), 1);
+        assert_eq!(report.streams[&StreamId(1)].samples_in, 2, "first filter keeps running");
+    }
+
+    #[test]
+    fn sends_after_finish_fail_closed() {
+        let engine =
+            IngestEngine::new(IngestConfig { shards: 1, queue_depth: 4, shard_log: false });
+        let h = engine.handle();
+        h.register(StreamId(1), spec()).unwrap();
+        let _ = engine.finish();
+        assert_eq!(h.push(StreamId(1), 0.0, &[1.0]), Err(IngestError::Closed));
+        assert_eq!(h.try_push(StreamId(1), 0.0, &[1.0]), Err(IngestError::Closed));
+    }
+
+    #[test]
+    fn invalid_spec_is_rejected_at_the_handle() {
+        let engine =
+            IngestEngine::new(IngestConfig { shards: 1, queue_depth: 4, shard_log: false });
+        let h = engine.handle();
+        let bad = FilterSpec::new(FilterKind::Swing, &[-1.0]);
+        assert!(matches!(
+            h.register(StreamId(1), bad),
+            Err(IngestError::Filter { stream: StreamId(1), .. })
+        ));
+        let _ = engine.finish();
+    }
+
+    #[test]
+    fn ragged_batches_are_rejected() {
+        let engine =
+            IngestEngine::new(IngestConfig { shards: 1, queue_depth: 4, shard_log: false });
+        let h = engine.handle();
+        h.register(StreamId(1), spec()).unwrap();
+        let a = [1.0, 2.0];
+        let b = [1.0];
+        let ragged: Vec<(f64, &[f64])> = vec![(0.0, &a[..]), (1.0, &b[..])];
+        assert_eq!(h.push_batch(StreamId(1), &ragged), Err(IngestError::RaggedBatch));
+        let _ = engine.finish();
+    }
+}

@@ -13,6 +13,9 @@
 //! * [`Receiver`] — decodes messages back into segments and tracks how far
 //!   its reconstruction reaches (`covered_through`), which defines the
 //!   *lag*;
+//! * [`StreamDemux`] — the multi-stream receiver: one connection carries
+//!   many logical streams, interleaved behind `StreamFrame` headers, and
+//!   the demultiplexer rebuilds one segment log per stream;
 //! * [`simulate_lag`] — end-to-end lag measurement backing the paper's
 //!   `m_max_lag` bound;
 //! * [`packing`] — the §5.4 analysis: compressing `d` dimensions jointly
@@ -29,5 +32,5 @@ mod transmitter;
 pub mod wire;
 
 pub use channel::simulate_lag;
-pub use receiver::Receiver;
+pub use receiver::{ReceiveError, Receiver, StreamDemux};
 pub use transmitter::{Transmitter, TransmitterStats};

@@ -1,4 +1,16 @@
 //! The receiver: byte stream → reconstructed segments + lag tracking.
+//!
+//! Two receivers share one reconstruction state machine ([`Assembler`]):
+//!
+//! * [`Receiver`] — the paper's single-stream endpoint. A
+//!   [`StreamFrame`](Message::StreamFrame) header arriving here is a
+//!   protocol violation: the sender is multiplexing and the bytes must go
+//!   through a demultiplexer instead.
+//! * [`StreamDemux`] — the multi-stream endpoint: every message is applied
+//!   to the reconstruction state of the stream named by the most recent
+//!   frame header, producing one segment log per stream.
+
+use std::collections::BTreeMap;
 
 use bytes::{Buf, Bytes};
 
@@ -33,17 +45,11 @@ impl From<WireError> for ReceiveError {
     }
 }
 
-/// Reconstructs segments from the transmitter's byte stream.
-///
-/// The receiver is *online*: [`consume`](Self::consume) may be called with
-/// arbitrary byte chunks as they arrive (chunks must split on message
-/// boundaries, which the paired [`Transmitter`](crate::Transmitter)
-/// guarantees per drained batch). Reconstructed segments accumulate in
-/// [`segments`](Self::segments); [`covered_through`](Self::covered_through)
-/// reports how far the reconstruction currently reaches.
-pub struct Receiver<C> {
-    codec: C,
-    dims: usize,
+/// The per-stream reconstruction state machine: wire messages in,
+/// [`Segment`]s out. One per connection in [`Receiver`], one per stream in
+/// [`StreamDemux`].
+#[derive(Debug)]
+struct Assembler {
     segments: Vec<Segment>,
     /// Open piece-wise-linear segment start, with its "came from an End"
     /// connectedness flag.
@@ -57,12 +63,9 @@ pub struct Receiver<C> {
     messages: u64,
 }
 
-impl<C: Codec> Receiver<C> {
-    /// Creates a receiver for `dims`-dimensional streams.
-    pub fn new(codec: C, dims: usize) -> Self {
+impl Default for Assembler {
+    fn default() -> Self {
         Self {
-            codec,
-            dims,
             segments: Vec::new(),
             open: None,
             hold: None,
@@ -71,49 +74,9 @@ impl<C: Codec> Receiver<C> {
             messages: 0,
         }
     }
+}
 
-    /// Segments reconstructed so far.
-    pub fn segments(&self) -> &[Segment] {
-        &self.segments
-    }
-
-    /// Takes ownership of the reconstructed segments.
-    pub fn into_segments(mut self) -> Vec<Segment> {
-        self.flush();
-        self.segments
-    }
-
-    /// Highest timestamp the receiver can currently represent.
-    pub fn covered_through(&self) -> f64 {
-        self.covered
-    }
-
-    /// Provisional updates received.
-    pub fn provisionals(&self) -> u64 {
-        self.provisionals
-    }
-
-    /// Messages received.
-    pub fn messages(&self) -> u64 {
-        self.messages
-    }
-
-    /// Decodes and applies every message in `bytes`.
-    pub fn consume(&mut self, mut bytes: Bytes) -> Result<(), ReceiveError> {
-        while bytes.remaining() > 0 {
-            let msg = self.codec.decode(&mut bytes, self.dims)?;
-            self.apply(msg)?;
-        }
-        Ok(())
-    }
-
-    /// Closes any active hold at the end of the stream.
-    pub fn flush(&mut self) {
-        if let Some((t0, x)) = self.hold.take() {
-            self.push_segment(constant_segment(t0, t0.max(self.covered_finite()), &x));
-        }
-    }
-
+impl Assembler {
     fn covered_finite(&self) -> f64 {
         if self.covered.is_finite() {
             self.covered
@@ -124,14 +87,19 @@ impl<C: Codec> Receiver<C> {
 
     fn close_hold(&mut self, at: f64) {
         if let Some((t0, x)) = self.hold.take() {
-            self.push_segment(constant_segment(t0, at, &x));
+            self.segments.push(constant_segment(t0, at, &x));
         }
     }
 
-    fn push_segment(&mut self, seg: Segment) {
-        self.segments.push(seg);
+    /// Closes any active hold at the end of the stream.
+    fn flush(&mut self) {
+        if let Some((t0, x)) = self.hold.take() {
+            self.segments.push(constant_segment(t0, t0.max(self.covered_finite()), &x));
+        }
     }
 
+    /// Applies one payload message. Frame headers never reach here — both
+    /// receivers intercept them first.
     fn apply(&mut self, msg: Message) -> Result<(), ReceiveError> {
         self.messages += 1;
         match msg {
@@ -156,7 +124,7 @@ impl<C: Codec> Receiver<C> {
                 if t < t0 {
                     return Err(ReceiveError::Protocol("segment runs backwards"));
                 }
-                self.push_segment(Segment {
+                self.segments.push(Segment {
                     t_start: t0,
                     x_start: x0.into_boxed_slice(),
                     t_end: t,
@@ -172,7 +140,7 @@ impl<C: Codec> Receiver<C> {
             Message::Point { t, x } => {
                 self.close_hold(t);
                 self.open = None;
-                self.push_segment(Segment {
+                self.segments.push(Segment {
                     t_start: t,
                     x_start: x.clone().into_boxed_slice(),
                     t_end: t,
@@ -189,8 +157,184 @@ impl<C: Codec> Receiver<C> {
                 self.provisionals += 1;
                 self.covered = f64::INFINITY;
             }
+            Message::StreamFrame { .. } => {
+                unreachable!("frame headers are intercepted before apply")
+            }
         }
         Ok(())
+    }
+}
+
+/// Reconstructs segments from the transmitter's byte stream.
+///
+/// The receiver is *online*: [`consume`](Self::consume) may be called with
+/// arbitrary byte chunks as they arrive (chunks must split on message
+/// boundaries, which the paired [`Transmitter`](crate::Transmitter)
+/// guarantees per drained batch). Reconstructed segments accumulate in
+/// [`segments`](Self::segments); [`covered_through`](Self::covered_through)
+/// reports how far the reconstruction currently reaches.
+pub struct Receiver<C> {
+    codec: C,
+    dims: usize,
+    asm: Assembler,
+}
+
+impl<C: Codec> Receiver<C> {
+    /// Creates a receiver for `dims`-dimensional streams.
+    pub fn new(codec: C, dims: usize) -> Self {
+        Self { codec, dims, asm: Assembler::default() }
+    }
+
+    /// Segments reconstructed so far.
+    pub fn segments(&self) -> &[Segment] {
+        &self.asm.segments
+    }
+
+    /// Takes ownership of the reconstructed segments.
+    pub fn into_segments(mut self) -> Vec<Segment> {
+        self.flush();
+        self.asm.segments
+    }
+
+    /// Highest timestamp the receiver can currently represent.
+    pub fn covered_through(&self) -> f64 {
+        self.asm.covered
+    }
+
+    /// Provisional updates received.
+    pub fn provisionals(&self) -> u64 {
+        self.asm.provisionals
+    }
+
+    /// Messages received.
+    pub fn messages(&self) -> u64 {
+        self.asm.messages
+    }
+
+    /// Decodes and applies every message in `bytes`.
+    pub fn consume(&mut self, mut bytes: Bytes) -> Result<(), ReceiveError> {
+        while bytes.remaining() > 0 {
+            let msg = self.codec.decode(&mut bytes, self.dims)?;
+            if matches!(msg, Message::StreamFrame { .. }) {
+                return Err(ReceiveError::Protocol(
+                    "StreamFrame on a single-stream receiver; use StreamDemux",
+                ));
+            }
+            self.asm.apply(msg)?;
+        }
+        Ok(())
+    }
+
+    /// Closes any active hold at the end of the stream.
+    pub fn flush(&mut self) {
+        self.asm.flush();
+    }
+}
+
+/// Demultiplexes one multi-stream connection into per-stream segment logs.
+///
+/// The transmitter interleaves [`Message::StreamFrame`] headers with
+/// ordinary messages; every payload message is applied to the stream named
+/// by the most recent header. Stream ids match `pla-ingest`'s `StreamId`
+/// (the engine's per-shard fan-in log is exactly the feed a multiplexing
+/// sender walks).
+///
+/// ```
+/// use bytes::BytesMut;
+/// use pla_transport::wire::{Codec, FixedCodec, Message};
+/// use pla_transport::StreamDemux;
+///
+/// let mut codec = FixedCodec;
+/// let mut buf = BytesMut::new();
+/// for msg in [
+///     Message::StreamFrame { stream: 7 },
+///     Message::Start { t: 0.0, x: vec![0.0] },
+///     Message::StreamFrame { stream: 9 },
+///     Message::Point { t: 0.0, x: vec![5.0] },
+///     Message::StreamFrame { stream: 7 },
+///     Message::End { t: 4.0, x: vec![8.0] },
+/// ] {
+///     codec.encode(&msg, 1, &mut buf);
+/// }
+/// let mut demux = StreamDemux::new(FixedCodec, 1);
+/// demux.consume(buf.freeze()).unwrap();
+/// assert_eq!(demux.streams().collect::<Vec<_>>(), vec![7, 9]);
+/// assert_eq!(demux.segments(7).unwrap().len(), 1);
+/// assert_eq!(demux.segments(9).unwrap().len(), 1);
+/// ```
+pub struct StreamDemux<C> {
+    codec: C,
+    dims: usize,
+    current: Option<u64>,
+    streams: BTreeMap<u64, Assembler>,
+    frames: u64,
+}
+
+impl<C: Codec> StreamDemux<C> {
+    /// Creates a demultiplexer for `dims`-dimensional streams.
+    pub fn new(codec: C, dims: usize) -> Self {
+        Self { codec, dims, current: None, streams: BTreeMap::new(), frames: 0 }
+    }
+
+    /// Decodes and applies every message in `bytes`, routing by the
+    /// interleaved frame headers.
+    ///
+    /// A payload message arriving before any `StreamFrame` is a protocol
+    /// violation: nothing says which stream it belongs to.
+    pub fn consume(&mut self, mut bytes: Bytes) -> Result<(), ReceiveError> {
+        while bytes.remaining() > 0 {
+            let msg = self.codec.decode(&mut bytes, self.dims)?;
+            if let Message::StreamFrame { stream } = msg {
+                self.frames += 1;
+                self.current = Some(stream);
+                self.streams.entry(stream).or_default();
+                continue;
+            }
+            let stream = self
+                .current
+                .ok_or(ReceiveError::Protocol("payload message before any StreamFrame"))?;
+            self.streams.get_mut(&stream).expect("current stream is registered").apply(msg)?;
+        }
+        Ok(())
+    }
+
+    /// Stream ids seen so far, ascending.
+    pub fn streams(&self) -> impl Iterator<Item = u64> + '_ {
+        self.streams.keys().copied()
+    }
+
+    /// Segments reconstructed so far for one stream (`None` if no frame
+    /// header ever named it).
+    pub fn segments(&self, stream: u64) -> Option<&[Segment]> {
+        self.streams.get(&stream).map(|a| a.segments.as_slice())
+    }
+
+    /// Highest timestamp the reconstruction of `stream` reaches.
+    pub fn covered_through(&self, stream: u64) -> Option<f64> {
+        self.streams.get(&stream).map(|a| a.covered)
+    }
+
+    /// Frame headers seen.
+    pub fn frames(&self) -> u64 {
+        self.frames
+    }
+
+    /// Payload messages applied across all streams (frame headers not
+    /// counted).
+    pub fn messages(&self) -> u64 {
+        self.streams.values().map(|a| a.messages).sum()
+    }
+
+    /// Flushes every stream and hands back the per-stream segment logs,
+    /// ordered by stream id.
+    pub fn into_segment_logs(self) -> BTreeMap<u64, Vec<Segment>> {
+        self.streams
+            .into_iter()
+            .map(|(id, mut asm)| {
+                asm.flush();
+                (id, asm.segments)
+            })
+            .collect()
     }
 }
 
@@ -209,7 +353,7 @@ fn constant_segment(t0: f64, t1: f64, x: &[f64]) -> Segment {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::wire::FixedCodec;
+    use crate::wire::{CompactCodec, FixedCodec};
     use bytes::BytesMut;
 
     fn encode(msgs: &[Message], dims: usize) -> Bytes {
@@ -300,5 +444,98 @@ mod tests {
         assert_eq!(rx.segments().len(), 0);
         rx.consume(all.slice(mid..)).unwrap();
         assert_eq!(rx.segments().len(), 1);
+    }
+
+    #[test]
+    fn single_stream_receiver_rejects_frame_headers() {
+        let bytes = encode(
+            &[Message::StreamFrame { stream: 1 }, Message::Point { t: 0.0, x: vec![1.0] }],
+            1,
+        );
+        let mut rx = Receiver::new(FixedCodec, 1);
+        assert!(matches!(rx.consume(bytes), Err(ReceiveError::Protocol(_))));
+    }
+
+    #[test]
+    fn demux_routes_interleaved_streams() {
+        let bytes = encode(
+            &[
+                Message::StreamFrame { stream: 3 },
+                Message::Start { t: 0.0, x: vec![0.0] },
+                Message::StreamFrame { stream: 8 },
+                Message::Hold { t: 0.0, x: vec![5.0] },
+                Message::StreamFrame { stream: 3 },
+                Message::End { t: 10.0, x: vec![10.0] },
+                Message::End { t: 14.0, x: vec![6.0] }, // still stream 3: connected
+                Message::StreamFrame { stream: 8 },
+                Message::Hold { t: 20.0, x: vec![7.0] },
+            ],
+            1,
+        );
+        let mut demux = StreamDemux::new(FixedCodec, 1);
+        demux.consume(bytes).unwrap();
+        assert_eq!(demux.streams().collect::<Vec<_>>(), vec![3, 8]);
+        assert_eq!(demux.frames(), 4);
+        assert_eq!(demux.messages(), 5);
+        assert_eq!(demux.covered_through(3), Some(14.0));
+        assert_eq!(demux.covered_through(8), Some(f64::INFINITY));
+        let logs = demux.into_segment_logs();
+        let s3 = &logs[&3];
+        assert_eq!(s3.len(), 2);
+        assert!(!s3[0].connected);
+        assert!(s3[1].connected);
+        // Stream 8: two holds, the second flushed at end of stream.
+        assert_eq!(logs[&8].len(), 2);
+        assert_eq!(logs[&8][0].t_end, 20.0);
+    }
+
+    #[test]
+    fn demux_requires_a_frame_header_first() {
+        let bytes = encode(&[Message::Point { t: 0.0, x: vec![1.0] }], 1);
+        let mut demux = StreamDemux::new(FixedCodec, 1);
+        assert!(matches!(demux.consume(bytes), Err(ReceiveError::Protocol(_))));
+    }
+
+    #[test]
+    fn demux_per_stream_state_is_independent() {
+        // An End for stream 2 must not see stream 1's open segment.
+        let bytes = encode(
+            &[
+                Message::StreamFrame { stream: 1 },
+                Message::Start { t: 0.0, x: vec![0.0] },
+                Message::StreamFrame { stream: 2 },
+                Message::End { t: 1.0, x: vec![1.0] },
+            ],
+            1,
+        );
+        let mut demux = StreamDemux::new(FixedCodec, 1);
+        assert!(matches!(demux.consume(bytes), Err(ReceiveError::Protocol(_))));
+    }
+
+    #[test]
+    fn demux_works_through_the_compact_codec() {
+        let msgs = [
+            Message::StreamFrame { stream: 40 },
+            Message::Start { t: 0.0, x: vec![1.0] },
+            Message::StreamFrame { stream: 41 },
+            Message::Start { t: 0.0, x: vec![-1.0] },
+            Message::StreamFrame { stream: 40 },
+            Message::End { t: 8.0, x: vec![3.0] },
+            Message::StreamFrame { stream: 41 },
+            Message::End { t: 8.0, x: vec![-3.0] },
+        ];
+        let mut enc = CompactCodec::new(0.01, &[0.01]);
+        let mut buf = BytesMut::new();
+        for m in &msgs {
+            enc.encode(m, 1, &mut buf);
+        }
+        let mut demux = StreamDemux::new(CompactCodec::new(0.01, &[0.01]), 1);
+        demux.consume(buf.freeze()).unwrap();
+        let logs = demux.into_segment_logs();
+        assert_eq!(logs.len(), 2);
+        assert_eq!(logs[&40].len(), 1);
+        assert_eq!(logs[&41].len(), 1);
+        assert!((logs[&40][0].x_end[0] - 3.0).abs() <= 0.005 + 1e-12);
+        assert!((logs[&41][0].x_end[0] + 3.0).abs() <= 0.005 + 1e-12);
     }
 }

@@ -9,6 +9,12 @@
 //! | `End(t, X)` | the open segment ends at `(t, X)`; a connected successor may begin here | 1 |
 //! | `Point(t, X)` | degenerate single-point segment | 1 |
 //! | `Provisional(anchor, slopes, through)` | lag-bound line commitment (paper §3.3) | 1 |
+//! | `StreamFrame(id)` | all following messages belong to stream `id` | 0 |
+//!
+//! `StreamFrame` is the multi-stream extension: one connection carries
+//! many logical streams by interleaving frame headers with the ordinary
+//! messages. A connection that never sends a `StreamFrame` is a
+//! single-stream connection, exactly as before — the header is pay-as-you-go.
 //!
 //! Two codecs serialize messages: [`FixedCodec`] (8-byte IEEE doubles,
 //! lossless) and [`CompactCodec`] (per-dimension quantization plus
@@ -60,6 +66,13 @@ pub enum Message {
         /// Newest covered sample time at commit.
         covers_through: f64,
     },
+    /// Stream-id frame header: every following message (until the next
+    /// `StreamFrame`) belongs to the stream with this id.
+    StreamFrame {
+        /// The stream id (caller-assigned, matches
+        /// `pla-ingest`'s `StreamId`).
+        stream: u64,
+    },
 }
 
 impl Message {
@@ -70,11 +83,13 @@ impl Message {
             Self::End { .. } => 2,
             Self::Point { .. } => 3,
             Self::Provisional { .. } => 4,
+            Self::StreamFrame { .. } => 5,
         }
     }
 
     /// Scalar payload count (times + values) — the "recording units" a
-    /// size analysis like the paper's §5.4 would assign.
+    /// size analysis like the paper's §5.4 would assign. A frame header
+    /// carries no recording payload.
     pub fn scalar_count(&self) -> usize {
         match self {
             Self::Hold { x, .. }
@@ -82,6 +97,7 @@ impl Message {
             | Self::End { x, .. }
             | Self::Point { x, .. } => 1 + x.len(),
             Self::Provisional { x_anchor, slopes, .. } => 2 + x_anchor.len() + slopes.len(),
+            Self::StreamFrame { .. } => 0,
         }
     }
 }
@@ -158,6 +174,9 @@ impl Codec for FixedCodec {
                 Self::put_vec(out, slopes);
                 out.put_f64_le(*covers_through);
             }
+            Message::StreamFrame { stream } => {
+                out.put_u64_le(*stream);
+            }
         }
         out.len() - before
     }
@@ -193,6 +212,10 @@ impl Codec for FixedCodec {
                 let slopes = Self::get_vec(buf, dims)?;
                 let covers_through = buf.get_f64_le();
                 Ok(Message::Provisional { t_anchor, x_anchor, slopes, covers_through })
+            }
+            5 => {
+                need(1, buf)?;
+                Ok(Message::StreamFrame { stream: buf.get_u64_le() })
             }
             other => Err(WireError::BadTag(other)),
         }
@@ -270,7 +293,9 @@ impl CompactCodec {
         Ok(((z >> 1) as i64) ^ -((z & 1) as i64))
     }
 
-    /// Quantized scalars of a message, in encoding order.
+    /// Quantized scalars of a message, in encoding order. Frame headers
+    /// carry no quantized payload (they are encoded directly as a varint
+    /// id, bypassing the delta predictor).
     fn scalars(&self, msg: &Message) -> Vec<i64> {
         let qx = |x: &[f64]| -> Vec<i64> {
             x.iter().zip(self.x_quanta.iter()).map(|(&v, &q)| Self::quantize(v, q)).collect()
@@ -296,6 +321,7 @@ impl CompactCodec {
                 out.push(Self::quantize(*covers_through, self.t_quantum));
                 out
             }
+            Message::StreamFrame { .. } => Vec::new(),
         }
     }
 
@@ -332,6 +358,13 @@ impl Codec for CompactCodec {
     fn encode(&mut self, msg: &Message, _dims: usize, out: &mut BytesMut) -> usize {
         let before = out.len();
         out.put_u8(msg.tag());
+        // Frame headers bypass the delta predictor entirely: switching
+        // streams must not perturb the value deltas of the messages around
+        // the switch (the predictor state belongs to the payload stream).
+        if let Message::StreamFrame { stream } = msg {
+            Self::put_varint(out, *stream as i64);
+            return out.len() - before;
+        }
         let scalars = self.scalars(msg);
         for (i, &s) in scalars.iter().enumerate() {
             let pred = self.prev.get(i).copied().unwrap_or(0);
@@ -346,6 +379,9 @@ impl Codec for CompactCodec {
             return Err(WireError::Truncated);
         }
         let tag = buf.get_u8();
+        if tag == 5 {
+            return Ok(Message::StreamFrame { stream: Self::get_varint(buf)? as u64 });
+        }
         let count = match tag {
             0..=3 => 1 + dims,
             4 => 2 + 2 * dims,
@@ -372,8 +408,10 @@ mod tests {
 
     fn sample_messages() -> Vec<Message> {
         vec![
+            Message::StreamFrame { stream: 42 },
             Message::Start { t: 0.0, x: vec![1.5, -2.0] },
             Message::End { t: 10.0, x: vec![2.5, -1.0] },
+            Message::StreamFrame { stream: u64::MAX },
             Message::End { t: 20.0, x: vec![3.5, 0.5] },
             Message::Hold { t: 30.0, x: vec![3.5, 0.5] },
             Message::Point { t: 41.0, x: vec![9.0, 9.0] },
@@ -429,6 +467,9 @@ mod tests {
                     Message::Provisional { covers_through: w, .. },
                 ) => {
                     assert!((g - w).abs() <= 0.25 + 1e-12);
+                }
+                (Message::StreamFrame { stream: g }, Message::StreamFrame { stream: w }) => {
+                    assert_eq!(g, w, "frame headers are lossless even in the compact codec");
                 }
                 _ => panic!("kind mismatch: {got:?} vs {m:?}"),
             }

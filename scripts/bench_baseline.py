@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Regenerate BENCH_BASELINE.json from a full `cargo bench` run.
+
+The vendored criterion harness (see vendor/README.md) prints one line per
+benchmark to stderr:
+
+    <group>/<id>            <ns_per_iter> ns/iter   [<rate> elem/s|B/s]
+
+This script runs every bench target, parses those lines, and writes the
+numbers plus machine metadata to BENCH_BASELINE.json at the repo root.
+Later perf PRs diff their runs against this file to claim wins.
+
+Usage:  python3 scripts/bench_baseline.py [output.json]
+"""
+
+import json
+import os
+import re
+import subprocess
+import sys
+
+LINE = re.compile(
+    r"^(?P<name>\S.*?)\s+(?P<ns>[\d.]+) ns/iter(?:\s+(?P<rate>[\d.]+) (?P<unit>elem/s|B/s))?\s*$"
+)
+
+
+def cpu_count():
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:
+        return os.cpu_count() or 1
+
+
+def main():
+    out_path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_BASELINE.json"
+    repo = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    proc = subprocess.run(
+        ["cargo", "bench"],
+        cwd=repo,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        check=True,
+    )
+    benchmarks = {}
+    for line in proc.stderr.splitlines():
+        m = LINE.match(line.strip())
+        if not m or m.group("name").startswith("group "):
+            continue
+        entry = {"ns_per_iter": float(m.group("ns"))}
+        if m.group("rate"):
+            key = "elements_per_sec" if m.group("unit") == "elem/s" else "bytes_per_sec"
+            entry[key] = float(m.group("rate"))
+        benchmarks[m.group("name")] = entry
+    if not benchmarks:
+        sys.exit("no benchmark lines parsed from cargo bench output")
+
+    toolchain = subprocess.run(
+        ["rustc", "--version"], stdout=subprocess.PIPE, text=True, check=True
+    ).stdout.strip()
+    baseline = {
+        "_comment": (
+            "Wall-clock numbers from the vendored criterion stand-in "
+            "(vendor/README.md): means, no statistics. Compare against runs "
+            "on the same machine only; regenerate with "
+            "scripts/bench_baseline.py."
+        ),
+        "machine": {
+            "cpus": cpu_count(),
+            "platform": sys.platform,
+            "rustc": toolchain,
+        },
+        "benchmarks": benchmarks,
+    }
+    with open(os.path.join(repo, out_path), "w") as f:
+        json.dump(baseline, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"wrote {out_path}: {len(benchmarks)} benchmarks")
+
+
+if __name__ == "__main__":
+    main()
