@@ -1,0 +1,116 @@
+//! The allocation-free hot-path invariant, asserted.
+//!
+//! After one warm-up pass (which sizes the recycled hull / raw-point /
+//! regression scratch), pushing a 1-D stream through any filter —
+//! including every interval close and segment emission along the way —
+//! must perform **zero** heap allocations. This is the PR-3 acceptance
+//! criterion for the swing and slide filters; the other families are
+//! held to the same bar because their state migrated to the same
+//! inline-dimension storage.
+//!
+//! Requires the counting global allocator:
+//!
+//! ```sh
+//! cargo test -p pla-bench --features alloc-counter
+//! ```
+#![cfg(feature = "alloc-counter")]
+
+use std::sync::Mutex;
+
+use pla_bench::{alloc_counter, multi_walk, walk_signal, FilterKind, WalkParams};
+use pla_core::metrics::CountingSink;
+use pla_core::INLINE_DIMS;
+
+/// The allocation counter is process-wide, but libtest runs `#[test]`s on
+/// parallel threads — another test's setup allocations would land inside
+/// this test's counting window. Serialize every counting test on one
+/// lock (a poisoned lock just means an earlier test failed; counting is
+/// still safe).
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn serial() -> std::sync::MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[test]
+fn steady_state_push_is_allocation_free_at_d1() {
+    let _guard = serial();
+    let signal = walk_signal(20_000, 0.5, 2.0, 0xA110C);
+    for kind in FilterKind::OVERHEAD_SET {
+        let mut filter = kind.build(&[0.8]).expect("valid epsilons");
+        let mut sink = CountingSink::default();
+        // Warm-up pass: grows hull buffers to their steady capacity and
+        // exercises many interval closes; `finish` resets the filter.
+        for (t, x) in signal.iter() {
+            filter.push(t, x, &mut sink).unwrap();
+        }
+        filter.finish(&mut sink).unwrap();
+        // Steady state: an identical pass must not touch the heap.
+        let (_, allocs) = alloc_counter::count(|| {
+            for (t, x) in signal.iter() {
+                filter.push(t, x, &mut sink).unwrap();
+            }
+            filter.finish(&mut sink).unwrap();
+        });
+        assert_eq!(
+            allocs,
+            0,
+            "{}: {allocs} heap allocations on the steady-state d=1 push path",
+            kind.label()
+        );
+        assert!(sink.segments > 0, "{}: sanity — segments were emitted", kind.label());
+    }
+}
+
+#[test]
+fn batch_push_is_allocation_free_at_d1() {
+    let _guard = serial();
+    let signal = walk_signal(20_000, 0.5, 2.0, 0xBA7C);
+    let samples: Vec<(f64, &[f64])> = signal.iter().collect();
+    for kind in [FilterKind::Swing, FilterKind::Slide] {
+        let mut filter = kind.build(&[0.8]).expect("valid epsilons");
+        let mut sink = CountingSink::default();
+        filter.push_batch(&samples, &mut sink).unwrap();
+        filter.finish(&mut sink).unwrap();
+        let (_, allocs) = alloc_counter::count(|| {
+            filter.push_batch(&samples, &mut sink).unwrap();
+            filter.finish(&mut sink).unwrap();
+        });
+        assert_eq!(
+            allocs,
+            0,
+            "{}: {allocs} heap allocations on the steady-state d=1 batch path",
+            kind.label()
+        );
+    }
+}
+
+#[test]
+fn inline_dims_stream_is_allocation_free() {
+    let _guard = serial();
+    // The inline threshold itself (d == INLINE_DIMS) must stay heap-free;
+    // one past it is allowed to allocate (spilled DimVecs).
+    let d = INLINE_DIMS;
+    let signal = multi_walk(d, WalkParams { n: 5_000, p_decrease: 0.5, max_delta: 2.0, seed: 7 });
+    let eps = vec![0.8; d];
+    for kind in [FilterKind::Swing, FilterKind::Slide] {
+        let mut filter = kind.build(&eps).expect("valid epsilons");
+        let mut sink = CountingSink::default();
+        for (t, x) in signal.iter() {
+            filter.push(t, x, &mut sink).unwrap();
+        }
+        filter.finish(&mut sink).unwrap();
+        let (_, allocs) = alloc_counter::count(|| {
+            for (t, x) in signal.iter() {
+                filter.push(t, x, &mut sink).unwrap();
+            }
+            filter.finish(&mut sink).unwrap();
+        });
+        assert_eq!(
+            allocs,
+            0,
+            "{}: {allocs} heap allocations at d = INLINE_DIMS = {d}",
+            kind.label()
+        );
+    }
+}

@@ -19,6 +19,7 @@
 //! run starts, so the receiver lag is zero; the other two variants lag by
 //! the current run length, like the paper's swing/slide filters.
 
+use crate::dimvec::DimVec;
 use crate::error::FilterError;
 use crate::segment::{validate_epsilons, Segment, SegmentSink};
 
@@ -43,10 +44,10 @@ struct Run {
     t_last: f64,
     /// Cached value per dimension (`FirstValue`) — also min/max/mean
     /// accumulators for the other variants.
-    first: Vec<f64>,
-    min: Vec<f64>,
-    max: Vec<f64>,
-    sum: Vec<f64>,
+    first: DimVec<f64>,
+    min: DimVec<f64>,
+    max: DimVec<f64>,
+    sum: DimVec<f64>,
     n: u32,
 }
 
@@ -68,7 +69,7 @@ struct Run {
 /// ```
 #[derive(Debug, Clone)]
 pub struct CacheFilter {
-    eps: Vec<f64>,
+    eps: DimVec<f64>,
     variant: CacheVariant,
     run: Option<Run>,
 }
@@ -83,7 +84,7 @@ impl CacheFilter {
     /// Creates a cache filter with an explicit variant.
     pub fn with_variant(eps: &[f64], variant: CacheVariant) -> Result<Self, FilterError> {
         validate_epsilons(eps)?;
-        Ok(Self { eps: eps.to_vec(), variant, run: None })
+        Ok(Self { eps: eps.into(), variant, run: None })
     }
 
     /// The configured variant.
@@ -91,16 +92,22 @@ impl CacheFilter {
         self.variant
     }
 
-    fn accepts(&self, run: &Run, x: &[f64]) -> bool {
-        match self.variant {
-            CacheVariant::FirstValue => !violates(&self.eps, x, |d| run.first[d]),
+    /// Associated (not `&self`) so the push hot path can test acceptance
+    /// while holding a disjoint mutable borrow of the live run.
+    fn accepts(variant: CacheVariant, eps: &[f64], run: &Run, x: &[f64]) -> bool {
+        match variant {
+            CacheVariant::FirstValue => {
+                let first = run.first.as_slice();
+                !violates(eps, x, |d| first[d])
+            }
             CacheVariant::Midrange | CacheVariant::Mean => {
                 // Run stays representable while every dimension's range,
                 // including the candidate, spans at most 2ε.
+                let (min, max) = (run.min.as_slice(), run.max.as_slice());
                 x.iter().enumerate().all(|(d, &v)| {
-                    let lo = run.min[d].min(v);
-                    let hi = run.max[d].max(v);
-                    hi - lo <= 2.0 * self.eps[d]
+                    let lo = min[d].min(v);
+                    let hi = max[d].max(v);
+                    hi - lo <= 2.0 * eps[d]
                 })
             }
         }
@@ -109,21 +116,24 @@ impl CacheFilter {
     fn absorb(run: &mut Run, t: f64, x: &[f64]) {
         run.t_last = t;
         run.n += 1;
+        let min = run.min.as_mut_slice();
+        let max = run.max.as_mut_slice();
+        let sum = run.sum.as_mut_slice();
         for (d, &v) in x.iter().enumerate() {
-            run.min[d] = run.min[d].min(v);
-            run.max[d] = run.max[d].max(v);
-            run.sum[d] += v;
+            min[d] = min[d].min(v);
+            max[d] = max[d].max(v);
+            sum[d] += v;
         }
     }
 
-    fn start_run(&self, t: f64, x: &[f64]) -> Run {
+    fn start_run(t: f64, x: &[f64]) -> Run {
         Run {
             t_first: t,
             t_last: t,
-            first: x.to_vec(),
-            min: x.to_vec(),
-            max: x.to_vec(),
-            sum: x.to_vec(),
+            first: x.into(),
+            min: x.into(),
+            max: x.into(),
+            sum: x.into(),
             n: 1,
         }
     }
@@ -142,7 +152,7 @@ impl CacheFilter {
     }
 
     fn emit(&self, run: &Run, sink: &mut dyn SegmentSink) {
-        let value: Box<[f64]> = (0..self.eps.len()).map(|d| self.representative(run, d)).collect();
+        let value = DimVec::from_fn(self.eps.len(), |d| self.representative(run, d));
         sink.segment(Segment {
             t_start: run.t_first,
             x_start: value.clone(),
@@ -168,15 +178,18 @@ impl StreamFilter for CacheFilter {
 
     fn push(&mut self, t: f64, x: &[f64], sink: &mut dyn SegmentSink) -> Result<(), FilterError> {
         validate_push(self.dims(), self.run.as_ref().map(|r| r.t_last), t, x)?;
-        match self.run.take() {
-            None => self.run = Some(self.start_run(t, x)),
-            Some(mut run) if self.accepts(&run, x) => {
-                Self::absorb(&mut run, t, x);
-                self.run = Some(run);
-            }
-            Some(done) => {
-                self.emit(&done, sink);
-                self.run = Some(self.start_run(t, x));
+        // The live run is mutated in place — moving it out of the Option
+        // and back costs a struct copy per point, which dominates this
+        // filter's tiny per-point work.
+        match &mut self.run {
+            None => self.run = Some(Self::start_run(t, x)),
+            Some(run) => {
+                if Self::accepts(self.variant, &self.eps, run, x) {
+                    Self::absorb(run, t, x);
+                } else {
+                    let done = std::mem::replace(run, Self::start_run(t, x));
+                    self.emit(&done, sink);
+                }
             }
         }
         Ok(())

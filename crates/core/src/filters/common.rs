@@ -26,9 +26,9 @@ pub fn run_filter<F: StreamFilter + ?Sized>(
 pub(crate) fn point_segment(t: f64, x: &[f64], connected: bool) -> Segment {
     Segment {
         t_start: t,
-        x_start: x.to_vec().into_boxed_slice(),
+        x_start: x.into(),
         t_end: t,
-        x_end: x.to_vec().into_boxed_slice(),
+        x_end: x.into(),
         connected,
         n_points: 1,
         new_recordings: 1,

@@ -16,6 +16,7 @@
 //! slopes* — which is exactly where the smoothing helps on noisy
 //! signals. Process/measurement noise are configurable per filter.
 
+use crate::dimvec::DimVec;
 use crate::error::FilterError;
 use crate::segment::{validate_epsilons, Segment, SegmentSink};
 
@@ -42,6 +43,15 @@ pub struct Kalman1D {
     q: f64,
     /// Measurement-noise variance.
     r: f64,
+}
+
+impl Default for Kalman1D {
+    /// A zeroed tracker at the origin with unit measurement noise —
+    /// carries no estimation meaning; exists so trackers can live in
+    /// fixed-capacity inline storage ([`DimVec`]).
+    fn default() -> Self {
+        Self::new(0.0, 0.0, 1.0)
+    }
 }
 
 impl Kalman1D {
@@ -90,8 +100,8 @@ impl Kalman1D {
 #[derive(Debug, Clone)]
 struct Interval {
     anchor_t: f64,
-    anchor_x: Vec<f64>,
-    slopes: Vec<f64>,
+    anchor_x: DimVec<f64>,
+    slopes: DimVec<f64>,
     start_connected: bool,
     last_t: f64,
     n_pts: u32,
@@ -100,7 +110,7 @@ struct Interval {
 #[derive(Debug, Clone)]
 enum State {
     Empty,
-    One { t: f64, x: Vec<f64> },
+    One { t: f64, x: DimVec<f64> },
     Active(Interval),
 }
 
@@ -125,10 +135,10 @@ enum State {
 /// ```
 #[derive(Debug, Clone)]
 pub struct KalmanFilter {
-    eps: Vec<f64>,
+    eps: DimVec<f64>,
     process_noise: f64,
     measurement_noise: f64,
-    trackers: Vec<Kalman1D>,
+    trackers: DimVec<Kalman1D>,
     last_tracked_t: f64,
     state: State,
 }
@@ -155,10 +165,10 @@ impl KalmanFilter {
             return Err(FilterError::InvalidEpsilon { dim: 0, value: process_noise });
         }
         Ok(Self {
-            eps: eps.to_vec(),
+            eps: eps.into(),
             process_noise,
             measurement_noise,
-            trackers: Vec::new(),
+            trackers: DimVec::new(),
             last_tracked_t: 0.0,
             state: State::Empty,
         })
@@ -166,10 +176,9 @@ impl KalmanFilter {
 
     fn track(&mut self, t: f64, x: &[f64]) {
         if self.trackers.is_empty() {
-            self.trackers = x
-                .iter()
-                .map(|&v| Kalman1D::new(v, self.process_noise, self.measurement_noise))
-                .collect();
+            for &v in x {
+                self.trackers.push(Kalman1D::new(v, self.process_noise, self.measurement_noise));
+            }
         } else {
             let dt = t - self.last_tracked_t;
             for (tr, &z) in self.trackers.iter_mut().zip(x.iter()) {
@@ -180,7 +189,7 @@ impl KalmanFilter {
         self.last_tracked_t = t;
     }
 
-    fn open_interval(&self, t0: f64, x0: Vec<f64>, connected: bool, n_pts: u32) -> Interval {
+    fn open_interval(&self, t0: f64, x0: DimVec<f64>, connected: bool, n_pts: u32) -> Interval {
         Interval {
             anchor_t: t0,
             anchor_x: x0,
@@ -191,23 +200,24 @@ impl KalmanFilter {
         }
     }
 
-    fn fits(&self, iv: &Interval, t: f64, x: &[f64]) -> bool {
+    /// Associated (not `&self`) so the push hot path can test acceptance
+    /// while holding a disjoint mutable borrow of the live interval.
+    fn fits(eps: &[f64], iv: &Interval, t: f64, x: &[f64]) -> bool {
         let dt = t - iv.anchor_t;
-        x.iter()
-            .enumerate()
-            .all(|(d, &v)| (v - (iv.anchor_x[d] + iv.slopes[d] * dt)).abs() <= self.eps[d])
+        let (anchor_x, slopes) = (iv.anchor_x.as_slice(), iv.slopes.as_slice());
+        x.iter().enumerate().all(|(d, &v)| (v - (anchor_x[d] + slopes[d] * dt)).abs() <= eps[d])
     }
 
-    fn close(&self, iv: &Interval, sink: &mut dyn SegmentSink) -> (f64, Vec<f64>) {
+    fn close(&self, iv: &Interval, sink: &mut dyn SegmentSink) -> (f64, DimVec<f64>) {
         let t_end = iv.last_t;
-        let x_end: Vec<f64> = (0..self.eps.len())
-            .map(|d| iv.anchor_x[d] + iv.slopes[d] * (t_end - iv.anchor_t))
-            .collect();
+        let x_end = DimVec::from_fn(self.eps.len(), |d| {
+            iv.anchor_x[d] + iv.slopes[d] * (t_end - iv.anchor_t)
+        });
         sink.segment(Segment {
             t_start: iv.anchor_t,
-            x_start: iv.anchor_x.clone().into_boxed_slice(),
+            x_start: iv.anchor_x.clone(),
             t_end,
-            x_end: x_end.clone().into_boxed_slice(),
+            x_end: x_end.clone(),
             connected: iv.start_connected,
             n_points: iv.n_pts,
             new_recordings: if iv.start_connected { 1 } else { 2 },
@@ -236,15 +246,24 @@ impl StreamFilter for KalmanFilter {
     fn push(&mut self, t: f64, x: &[f64], sink: &mut dyn SegmentSink) -> Result<(), FilterError> {
         validate_push(self.dims(), self.last_t(), t, x)?;
         self.track(t, x);
+        // Hot path: an accepted sample extends the live interval in place
+        // — no state-enum move per point.
+        if let State::Active(iv) = &mut self.state {
+            if Self::fits(&self.eps, iv, t, x) {
+                iv.last_t = t;
+                iv.n_pts += 1;
+                return Ok(());
+            }
+        }
         match std::mem::replace(&mut self.state, State::Empty) {
             State::Empty => {
-                self.state = State::One { t, x: x.to_vec() };
+                self.state = State::One { t, x: x.into() };
             }
             State::One { t: t0, x: x0 } => {
                 // Open the first segment at the first point; slope from
                 // the tracker after two measurements.
                 let mut iv = self.open_interval(t0, x0, false, 1);
-                if self.fits(&iv, t, x) {
+                if Self::fits(&self.eps, &iv, t, x) {
                     iv.last_t = t;
                     iv.n_pts += 1;
                     self.state = State::Active(iv);
@@ -260,24 +279,19 @@ impl StreamFilter for KalmanFilter {
                     self.state = State::Active(iv);
                 }
             }
-            State::Active(mut iv) => {
-                if self.fits(&iv, t, x) {
-                    iv.last_t = t;
-                    iv.n_pts += 1;
-                    self.state = State::Active(iv);
-                } else {
-                    let (t_end, x_end) = self.close(&iv, sink);
-                    let mut next = self.open_interval(t_end, x_end, true, 1);
-                    if !self.fits(&next, t, x) {
-                        // Ensure the violator itself is representable.
-                        let dt = t - next.anchor_t;
-                        for (d, &v) in x.iter().enumerate() {
-                            next.slopes[d] = (v - next.anchor_x[d]) / dt;
-                        }
+            State::Active(iv) => {
+                // Violation (the in-place accept above didn't take it).
+                let (t_end, x_end) = self.close(&iv, sink);
+                let mut next = self.open_interval(t_end, x_end, true, 1);
+                if !Self::fits(&self.eps, &next, t, x) {
+                    // Ensure the violator itself is representable.
+                    let dt = t - next.anchor_t;
+                    for (d, &v) in x.iter().enumerate() {
+                        next.slopes[d] = (v - next.anchor_x[d]) / dt;
                     }
-                    next.last_t = t;
-                    self.state = State::Active(next);
                 }
+                next.last_t = t;
+                self.state = State::Active(next);
             }
         }
         Ok(())

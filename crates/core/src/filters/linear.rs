@@ -18,6 +18,7 @@
 
 use pla_geom::{Line, Point2};
 
+use crate::dimvec::DimVec;
 use crate::error::FilterError;
 use crate::segment::{validate_epsilons, Segment, SegmentSink};
 
@@ -35,10 +36,11 @@ pub enum LinearMode {
     Disconnected,
 }
 
+/// Per-interval bookkeeping. The approximating lines live on the filter
+/// (`LinearFilter::lines`) and are recycled across intervals, so this
+/// struct stays a few words and opening an interval allocates nothing.
 #[derive(Debug, Clone)]
 struct Interval {
-    /// Approximating line per dimension; anchored at the segment start.
-    lines: Vec<Line>,
     t_start: f64,
     start_connected: bool,
     last_t: f64,
@@ -51,7 +53,7 @@ enum State {
     /// One pending point that will anchor the next interval.
     One {
         t: f64,
-        x: Vec<f64>,
+        x: DimVec<f64>,
         connected: bool,
     },
     Active(Interval),
@@ -75,9 +77,12 @@ enum State {
 /// ```
 #[derive(Debug, Clone)]
 pub struct LinearFilter {
-    eps: Vec<f64>,
+    eps: DimVec<f64>,
     mode: LinearMode,
     state: State,
+    /// Approximating line per dimension of the live interval; anchored at
+    /// the segment start. Recycled across intervals (capacity retained).
+    lines: Vec<Line>,
     emitted_any: bool,
 }
 
@@ -90,7 +95,13 @@ impl LinearFilter {
     /// Creates a linear filter with an explicit segment mode.
     pub fn with_mode(eps: &[f64], mode: LinearMode) -> Result<Self, FilterError> {
         validate_epsilons(eps)?;
-        Ok(Self { eps: eps.to_vec(), mode, state: State::Empty, emitted_any: false })
+        Ok(Self {
+            eps: eps.into(),
+            mode,
+            state: State::Empty,
+            lines: Vec::with_capacity(eps.len()),
+            emitted_any: false,
+        })
     }
 
     /// The configured mode.
@@ -98,39 +109,42 @@ impl LinearFilter {
         self.mode
     }
 
+    /// Opens an interval, refilling the filter's recycled line buffer.
     fn start_interval(
-        &self,
+        &mut self,
         t0: f64,
         x0: &[f64],
         t1: f64,
         x1: &[f64],
         connected: bool,
     ) -> Interval {
-        let lines = (0..self.dims())
-            .map(|d| Line::through(Point2::new(t0, x0[d]), Point2::new(t1, x1[d])))
-            .collect();
-        Interval { lines, t_start: t0, start_connected: connected, last_t: t1, n_pts: 2 }
+        self.lines.clear();
+        self.lines.extend(
+            (0..self.eps.len())
+                .map(|d| Line::through(Point2::new(t0, x0[d]), Point2::new(t1, x1[d]))),
+        );
+        Interval { t_start: t0, start_connected: connected, last_t: t1, n_pts: 2 }
     }
 
-    fn fits(&self, iv: &Interval, t: f64, x: &[f64]) -> bool {
-        iv.lines
-            .iter()
-            .zip(x.iter().zip(self.eps.iter()))
-            .all(|(line, (&v, &e))| (v - line.eval(t)).abs() <= e)
+    /// Associated (not `&self`) so the push hot path can test acceptance
+    /// while holding a disjoint mutable borrow of the live interval.
+    #[inline]
+    fn fits(eps: &[f64], lines: &[Line], t: f64, x: &[f64]) -> bool {
+        x.iter().zip(eps.iter()).enumerate().all(|(d, (&v, &e))| (v - lines[d].eval(t)).abs() <= e)
     }
 
     /// Ends `iv` at its last accepted time, emitting the segment and
     /// returning the predicted endpoint.
-    fn close_interval(&mut self, iv: &Interval, sink: &mut dyn SegmentSink) -> (f64, Vec<f64>) {
+    fn close_interval(&mut self, iv: &Interval, sink: &mut dyn SegmentSink) -> (f64, DimVec<f64>) {
         let t_end = iv.last_t;
-        let x_end: Vec<f64> = iv.lines.iter().map(|l| l.eval(t_end)).collect();
-        let x_start: Vec<f64> = iv.lines.iter().map(|l| l.eval(iv.t_start)).collect();
+        let x_end: DimVec<f64> = self.lines.iter().map(|l| l.eval(t_end)).collect();
+        let x_start: DimVec<f64> = self.lines.iter().map(|l| l.eval(iv.t_start)).collect();
         let new_recordings = if iv.start_connected { 1 } else { 2 };
         sink.segment(Segment {
             t_start: iv.t_start,
-            x_start: x_start.into_boxed_slice(),
+            x_start,
             t_end,
-            x_end: x_end.clone().into_boxed_slice(),
+            x_end: x_end.clone(),
             connected: iv.start_connected,
             n_points: iv.n_pts,
             new_recordings,
@@ -159,32 +173,37 @@ impl StreamFilter for LinearFilter {
 
     fn push(&mut self, t: f64, x: &[f64], sink: &mut dyn SegmentSink) -> Result<(), FilterError> {
         validate_push(self.dims(), self.last_t(), t, x)?;
+        // Hot path: an accepted sample extends the live interval in place
+        // — no state-enum move per point.
+        if let State::Active(iv) = &mut self.state {
+            if Self::fits(&self.eps, &self.lines, t, x) {
+                iv.last_t = t;
+                iv.n_pts += 1;
+                return Ok(());
+            }
+        }
         match std::mem::replace(&mut self.state, State::Empty) {
             State::Empty => {
-                self.state = State::One { t, x: x.to_vec(), connected: false };
+                self.state = State::One { t, x: x.into(), connected: false };
             }
             State::One { t: t0, x: x0, connected } => {
                 self.state = State::Active(self.start_interval(t0, &x0, t, x, connected));
             }
-            State::Active(mut iv) => {
-                if self.fits(&iv, t, x) {
-                    iv.last_t = t;
-                    iv.n_pts += 1;
-                    self.state = State::Active(iv);
-                } else {
-                    let (t_end, x_end) = self.close_interval(&iv, sink);
-                    match self.mode {
-                        LinearMode::Connected => {
-                            // Slope fixed by the terminated endpoint and
-                            // the violating point; the violator is the
-                            // interval's first represented sample.
-                            let mut next = self.start_interval(t_end, &x_end, t, x, true);
-                            next.n_pts = 1;
-                            self.state = State::Active(next);
-                        }
-                        LinearMode::Disconnected => {
-                            self.state = State::One { t, x: x.to_vec(), connected: false };
-                        }
+            State::Active(iv) => {
+                // Violation (the in-place accept above didn't take it):
+                // close and restart.
+                let (t_end, x_end) = self.close_interval(&iv, sink);
+                match self.mode {
+                    LinearMode::Connected => {
+                        // Slope fixed by the terminated endpoint and
+                        // the violating point; the violator is the
+                        // interval's first represented sample.
+                        let mut next = self.start_interval(t_end, &x_end, t, x, true);
+                        next.n_pts = 1;
+                        self.state = State::Active(next);
+                    }
+                    LinearMode::Disconnected => {
+                        self.state = State::One { t, x: x.into(), connected: false };
                     }
                 }
             }

@@ -47,6 +47,7 @@ use pla_geom::{
     max_slope_to_chain, min_slope_to_chain, scan, Chain, IncrementalHull, Line, Point2,
 };
 
+use crate::dimvec::DimVec;
 use crate::error::FilterError;
 use crate::mse::RegressionSums;
 use crate::segment::{validate_epsilons, ProvisionalUpdate, Segment, SegmentSink};
@@ -95,27 +96,29 @@ impl HullStats {
     }
 }
 
+/// Fallback vertex capacity reserved per hull chain before any interval
+/// statistics exist.
+const MIN_HULL_CAPACITY: usize = 16;
+
 /// Committed line state once the lag bound freezes an interval.
 #[derive(Debug, Clone)]
 struct Frozen {
-    g: Vec<Line>,
+    g: DimVec<Line>,
     start_t: f64,
-    start_x: Vec<f64>,
+    start_x: DimVec<f64>,
     connected: bool,
 }
 
+/// Per-interval state. The heap-backed companions — hulls, raw-point
+/// buffers, regression sums — live on the filter itself and are recycled
+/// across intervals, so opening or closing an interval allocates nothing.
 #[derive(Debug, Clone)]
 struct Interval {
     first_t: f64,
     /// Envelopes per dimension.
-    u: Vec<Line>,
-    l: Vec<Line>,
-    /// Per-dimension hulls of the raw points (Optimized mode).
-    hulls: Vec<IncrementalHull>,
-    /// Per-dimension raw points (Exhaustive mode).
-    raw: Vec<Vec<Point2>>,
+    u: DimVec<Line>,
+    l: DimVec<Line>,
     last_t: f64,
-    sums: RegressionSums,
     n_pts: u32,
     frozen: Option<Frozen>,
 }
@@ -124,16 +127,16 @@ struct Interval {
 /// decided when the *next* interval closes (possibly as a connection).
 #[derive(Debug, Clone)]
 struct Pending {
-    g: Vec<Line>,
+    g: DimVec<Line>,
     start_t: f64,
-    start_x: Vec<f64>,
+    start_x: DimVec<f64>,
     connected: bool,
     /// Last data-point time of the closed interval (`t_{j(k−1)}`).
     end_data_t: f64,
     /// Final envelopes of the closed interval, for Lemma 4.4's
     /// tail-coverage constraint.
-    u_env: Vec<Line>,
-    l_env: Vec<Line>,
+    u_env: DimVec<Line>,
+    l_env: DimVec<Line>,
     n_pts: u32,
 }
 
@@ -143,23 +146,24 @@ struct Pending {
 #[derive(Debug, Clone)]
 enum State {
     Empty,
-    One { t: f64, x: Vec<f64> },
+    One { t: f64, x: DimVec<f64> },
     Active(Interval),
 }
 
-/// Per-dimension cone of feasible lines at interval close.
+/// Per-dimension cone of feasible lines at interval close. Built on the
+/// stack ([`DimVec`] inline storage) — no scratch allocation.
 struct Cone {
     /// Envelope intersection per dimension; `None` when the envelopes are
     /// (near-)parallel.
-    z: Vec<Option<Point2>>,
-    lo: Vec<f64>,
-    hi: Vec<f64>,
+    z: DimVec<Option<Point2>>,
+    lo: DimVec<f64>,
+    hi: DimVec<f64>,
 }
 
 struct Connection {
     t_c: f64,
-    x_c: Vec<f64>,
-    g: Vec<Line>,
+    x_c: DimVec<f64>,
+    g: DimVec<Line>,
 }
 
 /// Builder for [`SlideFilter`].
@@ -168,6 +172,7 @@ pub struct SlideBuilder {
     eps: Vec<f64>,
     max_lag: Option<usize>,
     hull_mode: HullMode,
+    force_generic: bool,
 }
 
 impl SlideBuilder {
@@ -185,6 +190,16 @@ impl SlideBuilder {
         self
     }
 
+    /// Disables the `d == 1` scalar fast path, forcing the generic
+    /// per-dimension envelope update. The two paths are byte-identical in
+    /// output (pinned by property tests); this switch exists so the tests
+    /// can prove it.
+    #[doc(hidden)]
+    pub fn force_generic(mut self, on: bool) -> Self {
+        self.force_generic = on;
+        self
+    }
+
     /// Validates the configuration and builds the filter.
     pub fn build(self) -> Result<SlideFilter, FilterError> {
         validate_epsilons(&self.eps)?;
@@ -193,13 +208,29 @@ impl SlideBuilder {
                 return Err(FilterError::InvalidMaxLag { value: m });
             }
         }
+        let d = self.eps.len();
+        let hulls = match self.hull_mode {
+            HullMode::Optimized => {
+                (0..d).map(|_| IncrementalHull::with_capacity(MIN_HULL_CAPACITY)).collect()
+            }
+            HullMode::Exhaustive => Vec::new(),
+        };
+        let raw = match self.hull_mode {
+            HullMode::Exhaustive => vec![Vec::new(); d],
+            HullMode::Optimized => Vec::new(),
+        };
+        let scalar = d == 1 && !self.force_generic;
         Ok(SlideFilter {
-            eps: self.eps,
+            sums: RegressionSums::new(0.0, &vec![0.0; d]),
+            eps: self.eps.as_slice().into(),
             max_lag: self.max_lag,
             hull_mode: self.hull_mode,
             state: State::Empty,
             pending: None,
             stats: HullStats::default(),
+            hulls,
+            raw,
+            scalar,
         })
     }
 }
@@ -224,12 +255,23 @@ impl SlideBuilder {
 /// ```
 #[derive(Debug, Clone)]
 pub struct SlideFilter {
-    eps: Vec<f64>,
+    eps: DimVec<f64>,
     max_lag: Option<usize>,
     hull_mode: HullMode,
     state: State,
     pending: Option<Pending>,
     stats: HullStats,
+    /// Per-dimension hulls of the live interval's raw points (Optimized
+    /// mode), recycled across intervals via `clear()` so their buffers
+    /// are allocated once and kept warm.
+    hulls: Vec<IncrementalHull>,
+    /// Per-dimension raw points of the live interval (Exhaustive mode),
+    /// recycled the same way.
+    raw: Vec<Vec<Point2>>,
+    /// Regression moments of the live interval, recycled via `reset()`.
+    sums: RegressionSums,
+    /// `d == 1` scalar fast path, decided once at construction.
+    scalar: bool,
 }
 
 impl SlideFilter {
@@ -240,7 +282,12 @@ impl SlideFilter {
 
     /// Starts configuring a slide filter.
     pub fn builder(eps: &[f64]) -> SlideBuilder {
-        SlideBuilder { eps: eps.to_vec(), max_lag: None, hull_mode: HullMode::default() }
+        SlideBuilder {
+            eps: eps.to_vec(),
+            max_lag: None,
+            hull_mode: HullMode::default(),
+            force_generic: false,
+        }
     }
 
     /// The configured lag bound, if any.
@@ -264,13 +311,15 @@ impl SlideFilter {
 
     // ----- interval lifecycle -------------------------------------------------
 
-    /// Algorithm 2 lines 2 / 29: two points open an interval.
-    fn start_interval(&self, t0: f64, x0: &[f64], t1: f64, x1: &[f64]) -> Interval {
+    /// Algorithm 2 lines 2 / 29: two points open an interval, recycling
+    /// the filter's hull / raw-point / regression storage. The hull
+    /// capacity floor follows the observed worst case
+    /// ([`HullStats::max_vertices`]), so skewed streams stop re-growing
+    /// hulls on every interval.
+    fn start_interval(&mut self, t0: f64, x0: &[f64], t1: f64, x1: &[f64]) -> Interval {
         let d = self.dims_();
-        let mut u = Vec::with_capacity(d);
-        let mut l = Vec::with_capacity(d);
-        let mut hulls = Vec::new();
-        let mut raw = Vec::new();
+        let mut u = DimVec::new();
+        let mut l = DimVec::new();
         for i in 0..d {
             let e = self.eps[i];
             u.push(Line::through(Point2::new(t0, x0[i] - e), Point2::new(t1, x1[i] + e)));
@@ -278,75 +327,159 @@ impl SlideFilter {
         }
         match self.hull_mode {
             HullMode::Optimized => {
-                hulls = (0..d).map(|_| IncrementalHull::with_capacity(16)).collect();
-                for (i, h) in hulls.iter_mut().enumerate() {
+                let want = self.stats.max_vertices.max(MIN_HULL_CAPACITY);
+                for (i, h) in self.hulls.iter_mut().enumerate() {
+                    h.clear();
+                    h.ensure_capacity(want);
                     h.push(Point2::new(t0, x0[i]));
                     h.push(Point2::new(t1, x1[i]));
                 }
             }
             HullMode::Exhaustive => {
-                raw =
-                    (0..d).map(|i| vec![Point2::new(t0, x0[i]), Point2::new(t1, x1[i])]).collect();
+                for (i, r) in self.raw.iter_mut().enumerate() {
+                    r.clear();
+                    r.push(Point2::new(t0, x0[i]));
+                    r.push(Point2::new(t1, x1[i]));
+                }
             }
         }
-        let mut sums = RegressionSums::new(t0, x0);
-        sums.push(t0, x0);
-        sums.push(t1, x1);
-        Interval { first_t: t0, u, l, hulls, raw, last_t: t1, sums, n_pts: 2, frozen: None }
+        self.sums.reset(t0, x0);
+        self.sums.push(t0, x0);
+        self.sums.push(t1, x1);
+        Interval { first_t: t0, u, l, last_t: t1, n_pts: 2, frozen: None }
     }
 
     /// Lemma 4.2 acceptance test: within `εᵢ` of the band `[lᵢᵏ, uᵢᵏ]`.
-    fn fits(&self, iv: &Interval, t: f64, x: &[f64]) -> bool {
-        if let Some(f) = &iv.frozen {
-            return x.iter().enumerate().all(|(i, &v)| (v - f.g[i].eval(t)).abs() <= self.eps[i]);
+    ///
+    /// Associated (not `&self`) so the push hot path can test acceptance
+    /// while holding a disjoint mutable borrow of the live interval.
+    fn fits(scalar: bool, eps: &[f64], iv: &Interval, t: f64, x: &[f64]) -> bool {
+        if scalar {
+            return Self::fits1(eps, iv, t, x[0]);
         }
-        x.iter()
-            .enumerate()
-            .all(|(i, &v)| v <= iv.u[i].eval(t) + self.eps[i] && v >= iv.l[i].eval(t) - self.eps[i])
+        if let Some(f) = &iv.frozen {
+            let g = f.g.as_slice();
+            return x.iter().enumerate().all(|(i, &v)| (v - g[i].eval(t)).abs() <= eps[i]);
+        }
+        let (u, l) = (iv.u.as_slice(), iv.l.as_slice());
+        x.iter().enumerate().all(|(i, &v)| v <= u[i].eval(t) + eps[i] && v >= l[i].eval(t) - eps[i])
+    }
+
+    /// Scalar (`d == 1`) acceptance test — same arithmetic as [`fits`],
+    /// with the per-dimension loop machinery compiled out.
+    #[inline]
+    fn fits1(eps: &[f64], iv: &Interval, t: f64, v: f64) -> bool {
+        let e = eps[0];
+        if let Some(f) = &iv.frozen {
+            return (v - f.g[0].eval(t)).abs() <= e;
+        }
+        v <= iv.u[0].eval(t) + e && v >= iv.l[0].eval(t) - e
     }
 
     /// Algorithm 2 lines 32–39: hull update plus envelope rebuilds through
-    /// tangent queries.
-    fn absorb(&self, iv: &mut Interval, t: f64, x: &[f64]) {
+    /// tangent queries. Associated, over explicit field borrows, so the
+    /// push hot path can run it on the live interval in place.
+    #[allow(clippy::too_many_arguments)]
+    fn absorb(
+        scalar: bool,
+        hull_mode: HullMode,
+        eps: &[f64],
+        hulls: &mut [IncrementalHull],
+        raw: &mut [Vec<Point2>],
+        sums: &mut RegressionSums,
+        iv: &mut Interval,
+        t: f64,
+        x: &[f64],
+    ) {
+        if scalar {
+            Self::absorb1(hull_mode, eps, hulls, raw, sums, iv, t, x[0]);
+            return;
+        }
+        let u = iv.u.as_mut_slice();
+        let l = iv.l.as_mut_slice();
         for (i, &v) in x.iter().enumerate() {
-            let e = self.eps[i];
-            let needs_l = v > iv.l[i].eval(t) + e;
-            let needs_u = v < iv.u[i].eval(t) - e;
+            let e = eps[i];
+            let needs_l = v > l[i].eval(t) + e;
+            let needs_u = v < u[i].eval(t) - e;
             if needs_l {
                 // Max-slope line through an up-shifted earlier point and
                 // the down-shifted new point; earlier touch on the lower
                 // chain.
                 let q = Point2::new(t, v - e);
-                let hit = match self.hull_mode {
-                    HullMode::Optimized => {
-                        max_slope_to_chain(iv.hulls[i].chain(Chain::Lower), e, q)
-                    }
-                    HullMode::Exhaustive => scan::max_slope(&iv.raw[i], e, q),
+                let hit = match hull_mode {
+                    HullMode::Optimized => max_slope_to_chain(hulls[i].chain(Chain::Lower), e, q),
+                    HullMode::Exhaustive => scan::max_slope(&raw[i], e, q),
                 }
                 .expect("interval always holds at least one prior point");
-                iv.l[i] = Line::through(hit.vertex, q);
+                l[i] = Line::through(hit.vertex, q);
             }
             if needs_u {
                 let q = Point2::new(t, v + e);
-                let hit = match self.hull_mode {
-                    HullMode::Optimized => {
-                        min_slope_to_chain(iv.hulls[i].chain(Chain::Upper), -e, q)
-                    }
-                    HullMode::Exhaustive => scan::min_slope(&iv.raw[i], -e, q),
+                let hit = match hull_mode {
+                    HullMode::Optimized => min_slope_to_chain(hulls[i].chain(Chain::Upper), -e, q),
+                    HullMode::Exhaustive => scan::min_slope(&raw[i], -e, q),
                 }
                 .expect("interval always holds at least one prior point");
-                iv.u[i] = Line::through(hit.vertex, q);
+                u[i] = Line::through(hit.vertex, q);
             }
             debug_assert!(
-                iv.l[i].slope <= iv.u[i].slope + 1e-9 * iv.u[i].slope.abs().max(1.0),
+                l[i].slope <= u[i].slope + 1e-9 * u[i].slope.abs().max(1.0),
                 "slide cone emptied in dim {i}"
             );
-            match self.hull_mode {
-                HullMode::Optimized => iv.hulls[i].push(Point2::new(t, v)),
-                HullMode::Exhaustive => iv.raw[i].push(Point2::new(t, v)),
+            match hull_mode {
+                HullMode::Optimized => hulls[i].push(Point2::new(t, v)),
+                HullMode::Exhaustive => raw[i].push(Point2::new(t, v)),
             }
         }
-        iv.sums.push(t, x);
+        sums.push(t, x);
+        iv.last_t = t;
+        iv.n_pts += 1;
+    }
+
+    /// Scalar (`d == 1`) envelope update — same arithmetic and update
+    /// order as the generic [`absorb`] loop body for `i = 0`.
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    fn absorb1(
+        hull_mode: HullMode,
+        eps: &[f64],
+        hulls: &mut [IncrementalHull],
+        raw: &mut [Vec<Point2>],
+        sums: &mut RegressionSums,
+        iv: &mut Interval,
+        t: f64,
+        v: f64,
+    ) {
+        let e = eps[0];
+        let needs_l = v > iv.l[0].eval(t) + e;
+        let needs_u = v < iv.u[0].eval(t) - e;
+        if needs_l {
+            let q = Point2::new(t, v - e);
+            let hit = match hull_mode {
+                HullMode::Optimized => max_slope_to_chain(hulls[0].chain(Chain::Lower), e, q),
+                HullMode::Exhaustive => scan::max_slope(&raw[0], e, q),
+            }
+            .expect("interval always holds at least one prior point");
+            iv.l[0] = Line::through(hit.vertex, q);
+        }
+        if needs_u {
+            let q = Point2::new(t, v + e);
+            let hit = match hull_mode {
+                HullMode::Optimized => min_slope_to_chain(hulls[0].chain(Chain::Upper), -e, q),
+                HullMode::Exhaustive => scan::min_slope(&raw[0], -e, q),
+            }
+            .expect("interval always holds at least one prior point");
+            iv.u[0] = Line::through(hit.vertex, q);
+        }
+        debug_assert!(
+            iv.l[0].slope <= iv.u[0].slope + 1e-9 * iv.u[0].slope.abs().max(1.0),
+            "slide cone emptied in dim 0"
+        );
+        match hull_mode {
+            HullMode::Optimized => hulls[0].push(Point2::new(t, v)),
+            HullMode::Exhaustive => raw[0].push(Point2::new(t, v)),
+        }
+        sums.push(t, std::slice::from_ref(&v));
         iv.last_t = t;
         iv.n_pts += 1;
     }
@@ -355,9 +488,9 @@ impl SlideFilter {
     /// intersection and slope bounds.
     fn cone_of(&self, iv: &Interval) -> Cone {
         let d = self.dims_();
-        let mut z = Vec::with_capacity(d);
-        let mut lo = Vec::with_capacity(d);
-        let mut hi = Vec::with_capacity(d);
+        let mut z = DimVec::new();
+        let mut lo = DimVec::new();
+        let mut hi = DimVec::new();
         for i in 0..d {
             lo.push(iv.l[i].slope);
             hi.push(iv.u[i].slope);
@@ -369,11 +502,11 @@ impl SlideFilter {
     /// Chooses the MSE-optimal feasible line per dimension, ignoring any
     /// connection opportunity (Algorithm 2 line 17 for the disconnected
     /// case).
-    fn mse_lines(&self, iv: &Interval, cone: &Cone) -> Vec<Line> {
+    fn mse_lines(&self, iv: &Interval, cone: &Cone) -> DimVec<Line> {
         (0..self.dims_())
             .map(|i| match cone.z[i] {
                 Some(z) => {
-                    let a = iv.sums.clamped_slope(z.t, z.x, i, cone.lo[i], cone.hi[i]);
+                    let a = self.sums.clamped_slope(z.t, z.x, i, cone.lo[i], cone.hi[i]);
                     Line::new(z, a).anchored_at(iv.first_t)
                 }
                 None => {
@@ -387,12 +520,14 @@ impl SlideFilter {
             .collect()
     }
 
-    fn emit_pending(p: Pending, t_end: f64, x_end: &[f64], sink: &mut dyn SegmentSink) {
+    /// Emits the resolved pending segment. `p` is consumed so its start
+    /// payload moves straight into the [`Segment`] — no clone, no heap.
+    fn emit_pending(p: Pending, t_end: f64, x_end: DimVec<f64>, sink: &mut dyn SegmentSink) {
         sink.segment(Segment {
             t_start: p.start_t,
-            x_start: p.start_x.clone().into_boxed_slice(),
+            x_start: p.start_x,
             t_end,
-            x_end: x_end.to_vec().into_boxed_slice(),
+            x_end,
             connected: p.connected,
             n_points: p.n_pts,
             new_recordings: if p.connected { 1 } else { 2 },
@@ -401,8 +536,8 @@ impl SlideFilter {
 
     fn note_stats(&mut self, iv: &Interval) {
         let verts = match self.hull_mode {
-            HullMode::Optimized => iv.hulls.iter().map(|h| h.num_vertices()).max().unwrap_or(0),
-            HullMode::Exhaustive => iv.raw.iter().map(|r| r.len()).max().unwrap_or(0),
+            HullMode::Optimized => self.hulls.iter().map(|h| h.num_vertices()).max().unwrap_or(0),
+            HullMode::Exhaustive => self.raw.iter().map(|r| r.len()).max().unwrap_or(0),
         };
         self.stats.max_vertices = self.stats.max_vertices.max(verts);
         self.stats.total_vertices += verts as u64;
@@ -418,7 +553,7 @@ impl SlideFilter {
         let cone = self.cone_of(iv);
         if let Some(p) = self.pending.take() {
             if let Some(conn) = self.try_connect(&p, iv, &cone) {
-                Self::emit_pending(p, conn.t_c, &conn.x_c, sink);
+                Self::emit_pending(p, conn.t_c, conn.x_c.clone(), sink);
                 return Pending {
                     g: conn.g,
                     start_t: conn.t_c,
@@ -433,11 +568,11 @@ impl SlideFilter {
             // Disconnected: the previous segment ends at its own last data
             // point (Algorithm 2 line 21).
             let e = p.end_data_t;
-            let x_e: Vec<f64> = p.g.iter().map(|g| g.eval(e)).collect();
-            Self::emit_pending(p, e, &x_e, sink);
+            let x_e: DimVec<f64> = p.g.iter().map(|g| g.eval(e)).collect();
+            Self::emit_pending(p, e, x_e, sink);
         }
         let g = self.mse_lines(iv, &cone);
-        let start_x: Vec<f64> = g.iter().map(|gl| gl.eval(iv.first_t)).collect();
+        let start_x: DimVec<f64> = g.iter().map(|gl| gl.eval(iv.first_t)).collect();
         Pending {
             g,
             start_t: iv.first_t,
@@ -512,11 +647,11 @@ impl SlideFilter {
                 return None;
             }
         }
-        let t_c = self.pick_connection_time(p, iv, cone, alpha, beta)?;
+        let t_c = self.pick_connection_time(p, cone, alpha, beta)?;
         // Force the per-dimension slopes through z and the connection
         // point, then verify everything before committing.
-        let mut g = Vec::with_capacity(d);
-        let mut x_c = Vec::with_capacity(d);
+        let mut g = DimVec::new();
+        let mut x_c = DimVec::new();
         for i in 0..d {
             let z = cone.z[i].expect("checked above");
             let gx = p.g[i].eval(t_c);
@@ -544,14 +679,7 @@ impl SlideFilter {
     /// MSE-optimal slope into the narrowed cone and intersect. For `d > 1`
     /// the slopes are functions of the single connection time, so we
     /// minimize the ε-normalized quadratic MSE surrogate over the window.
-    fn pick_connection_time(
-        &self,
-        p: &Pending,
-        iv: &Interval,
-        cone: &Cone,
-        alpha: f64,
-        beta: f64,
-    ) -> Option<f64> {
+    fn pick_connection_time(&self, p: &Pending, cone: &Cone, alpha: f64, beta: f64) -> Option<f64> {
         if !(alpha.is_finite() && beta.is_finite() && alpha <= beta) {
             return None;
         }
@@ -562,19 +690,19 @@ impl SlideFilter {
             let slope_at = |t: f64| (z.x - g_prev.eval(t)) / (z.t - t);
             let (sa, sb) = (slope_at(alpha), slope_at(beta));
             let (lo_s, hi_s) = (sa.min(sb), sa.max(sb));
-            let want = iv.sums.clamped_slope(z.t, z.x, 0, cone.lo[0], cone.hi[0]);
+            let want = self.sums.clamped_slope(z.t, z.x, 0, cone.lo[0], cone.hi[0]);
             let a = want.clamp(lo_s, hi_s);
             let t_c = Line::new(z, a).intersection_t(g_prev)?;
             return Some(t_c.clamp(alpha, beta));
         }
         // Multi-dimensional: weighted quadratic surrogate, coarse scan +
         // ternary refinement.
-        let mut weights = Vec::with_capacity(d);
-        let mut targets = Vec::with_capacity(d);
+        let mut weights = DimVec::new();
+        let mut targets = DimVec::new();
         for i in 0..d {
             let z = cone.z[i]?;
-            let w = iv.sums.slope_curvature(z.t) / (self.eps[i] * self.eps[i]);
-            let a = iv
+            let w = self.sums.slope_curvature(z.t) / (self.eps[i] * self.eps[i]);
+            let a = self
                 .sums
                 .optimal_slope(z.t, z.x, i)
                 .map(|s| s.clamp(cone.lo[i], cone.hi[i]))
@@ -602,10 +730,19 @@ impl SlideFilter {
                 best_t = t;
             }
         }
+        // Ternary refinement with a width-based convergence cut: stop as
+        // soon as the bracket is tight relative to the window's time
+        // scale instead of always burning the full iteration budget (two
+        // `cost` evaluations each) on already-converged brackets. The
+        // iteration cap bounds the worst case.
+        let span = beta.abs().max(alpha.abs()).max(1.0);
         let step = (beta - alpha) / COARSE as f64;
         let mut lo = (best_t - step).max(alpha);
         let mut hi = (best_t + step).min(beta);
         for _ in 0..48 {
+            if hi - lo <= 1e-12 * span {
+                break;
+            }
             let m1 = lo + (hi - lo) / 3.0;
             let m2 = hi - (hi - lo) / 3.0;
             if cost(m1) <= cost(m2) {
@@ -636,7 +773,7 @@ impl SlideFilter {
         let next = self.close_interval(iv, sink);
         sink.provisional(ProvisionalUpdate {
             t_anchor: next.start_t,
-            x_anchor: next.start_x.clone().into_boxed_slice(),
+            x_anchor: next.start_x.clone(),
             slopes: next.g.iter().map(|g| g.slope).collect(),
             covers_through: iv.last_t,
         });
@@ -655,12 +792,12 @@ impl SlideFilter {
     /// receiver; only the end recording is new).
     fn emit_frozen(iv: &Interval, sink: &mut dyn SegmentSink) {
         let f = iv.frozen.as_ref().expect("caller checked");
-        let x_end: Vec<f64> = f.g.iter().map(|g| g.eval(iv.last_t)).collect();
+        let x_end: DimVec<f64> = f.g.iter().map(|g| g.eval(iv.last_t)).collect();
         sink.segment(Segment {
             t_start: f.start_t,
-            x_start: f.start_x.clone().into_boxed_slice(),
+            x_start: f.start_x.clone(),
             t_end: iv.last_t,
-            x_end: x_end.into_boxed_slice(),
+            x_end,
             connected: f.connected,
             n_points: iv.n_pts,
             new_recordings: if f.connected { 1 } else { 2 },
@@ -675,8 +812,8 @@ impl SlideFilter {
         if pend + extra >= m {
             if let Some(p) = self.pending.take() {
                 let e = p.end_data_t;
-                let x_e: Vec<f64> = p.g.iter().map(|g| g.eval(e)).collect();
-                Self::emit_pending(p, e, &x_e, sink);
+                let x_e: DimVec<f64> = p.g.iter().map(|g| g.eval(e)).collect();
+                Self::emit_pending(p, e, x_e, sink);
             }
         }
     }
@@ -761,9 +898,31 @@ impl StreamFilter for SlideFilter {
 
     fn push(&mut self, t: f64, x: &[f64], sink: &mut dyn SegmentSink) -> Result<(), FilterError> {
         validate_push(self.dims_(), self.last_t(), t, x)?;
+        // Hot path: an accepted sample updates the live interval's
+        // envelopes/hulls in place — no state-enum move per point.
+        // Lag-bounded filters take the general path below (they may need
+        // to freeze via the sink).
+        if self.max_lag.is_none() {
+            if let State::Active(iv) = &mut self.state {
+                if iv.frozen.is_none() && Self::fits(self.scalar, &self.eps, iv, t, x) {
+                    Self::absorb(
+                        self.scalar,
+                        self.hull_mode,
+                        &self.eps,
+                        &mut self.hulls,
+                        &mut self.raw,
+                        &mut self.sums,
+                        iv,
+                        t,
+                        x,
+                    );
+                    return Ok(());
+                }
+            }
+        }
         match std::mem::replace(&mut self.state, State::Empty) {
             State::Empty => {
-                self.state = State::One { t, x: x.to_vec() };
+                self.state = State::One { t, x: x.into() };
             }
             State::One { t: t0, x: x0 } => {
                 let mut iv = self.start_interval(t0, &x0, t, x);
@@ -771,9 +930,19 @@ impl StreamFilter for SlideFilter {
                 self.state = State::Active(iv);
             }
             State::Active(mut iv) => {
-                if self.fits(&iv, t, x) {
+                if Self::fits(self.scalar, &self.eps, &iv, t, x) {
                     if iv.frozen.is_none() {
-                        self.absorb(&mut iv, t, x);
+                        Self::absorb(
+                            self.scalar,
+                            self.hull_mode,
+                            &self.eps,
+                            &mut self.hulls,
+                            &mut self.raw,
+                            &mut self.sums,
+                            &mut iv,
+                            t,
+                            x,
+                        );
                     } else {
                         iv.last_t = t;
                         iv.n_pts += 1;
@@ -790,7 +959,7 @@ impl StreamFilter for SlideFilter {
                         self.pending = Some(next);
                     }
                     self.enforce_lag_on_pending(1, sink);
-                    self.state = State::One { t, x: x.to_vec() };
+                    self.state = State::One { t, x: x.into() };
                 }
             }
         }
@@ -814,7 +983,7 @@ impl StreamFilter for SlideFilter {
             state = match state {
                 State::Empty => {
                     i += 1;
-                    State::One { t, x: x.to_vec() }
+                    State::One { t, x: x.into() }
                 }
                 State::One { t: t0, x: x0 } => {
                     i += 1;
@@ -826,11 +995,21 @@ impl StreamFilter for SlideFilter {
                     // Absorb the longest run of accepted samples.
                     while i < upto {
                         let (t, x) = samples[i];
-                        if !self.fits(&iv, t, x) {
+                        if !Self::fits(self.scalar, &self.eps, &iv, t, x) {
                             break;
                         }
                         if iv.frozen.is_none() {
-                            self.absorb(&mut iv, t, x);
+                            Self::absorb(
+                                self.scalar,
+                                self.hull_mode,
+                                &self.eps,
+                                &mut self.hulls,
+                                &mut self.raw,
+                                &mut self.sums,
+                                &mut iv,
+                                t,
+                                x,
+                            );
                         } else {
                             iv.last_t = t;
                             iv.n_pts += 1;
@@ -849,7 +1028,7 @@ impl StreamFilter for SlideFilter {
                             self.pending = Some(next);
                         }
                         self.enforce_lag_on_pending(1, sink);
-                        State::One { t, x: x.to_vec() }
+                        State::One { t, x: x.into() }
                     } else {
                         State::Active(iv)
                     }
@@ -871,8 +1050,8 @@ impl StreamFilter for SlideFilter {
             State::One { t, x } => {
                 if let Some(p) = self.pending.take() {
                     let e = p.end_data_t;
-                    let x_e: Vec<f64> = p.g.iter().map(|g| g.eval(e)).collect();
-                    Self::emit_pending(p, e, &x_e, sink);
+                    let x_e: DimVec<f64> = p.g.iter().map(|g| g.eval(e)).collect();
+                    Self::emit_pending(p, e, x_e, sink);
                 }
                 sink.segment(point_segment(t, &x, false));
             }
@@ -884,8 +1063,8 @@ impl StreamFilter for SlideFilter {
                     // ends at the final data point; the connection attempt
                     // with the previous segment still applies.
                     let p = self.close_interval(&iv, sink);
-                    let x_e: Vec<f64> = p.g.iter().map(|g| g.eval(iv.last_t)).collect();
-                    Self::emit_pending(p, iv.last_t, &x_e, sink);
+                    let x_e: DimVec<f64> = p.g.iter().map(|g| g.eval(iv.last_t)).collect();
+                    Self::emit_pending(p, iv.last_t, x_e, sink);
                 }
             }
         }

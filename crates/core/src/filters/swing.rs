@@ -24,6 +24,7 @@
 //! and degrades to a plain linear filter until the interval ends (paper
 //! §3.3), keeping the receiver at most `m_max_lag` points behind.
 
+use crate::dimvec::DimVec;
 use crate::error::FilterError;
 use crate::mse::RegressionSums;
 use crate::segment::{validate_epsilons, ProvisionalUpdate, Segment, SegmentSink};
@@ -47,26 +48,26 @@ pub enum RecordingStrategy {
     ClampedLastPoint,
 }
 
+/// Per-interval state, all inline ([`DimVec`]) for `d ≤ 4`; the running
+/// regression sums live on the filter and are recycled across intervals.
 #[derive(Debug, Clone)]
 struct Interval {
     /// Previous recording — all candidate lines pass through it.
     origin_t: f64,
-    origin_x: Vec<f64>,
+    origin_x: DimVec<f64>,
     /// True only for the first interval of a stream, whose origin is the
     /// first data point and costs an extra recording.
     origin_is_first: bool,
     /// Extreme slopes of the candidate cone, per dimension.
-    u_slope: Vec<f64>,
-    l_slope: Vec<f64>,
+    u_slope: DimVec<f64>,
+    l_slope: DimVec<f64>,
     /// Last accepted sample.
     last_t: f64,
-    last_x: Vec<f64>,
-    /// Running sums for the MSE-optimal slope, referenced at the origin.
-    sums: RegressionSums,
+    last_x: DimVec<f64>,
     /// Points represented by this interval (the paper's `mₖ`).
     n_pts: u32,
     /// Committed slopes once the lag bound froze the interval.
-    frozen: Option<Vec<f64>>,
+    frozen: Option<DimVec<f64>>,
 }
 
 // One `State` lives per filter (never in collections), so the size gap
@@ -75,7 +76,7 @@ struct Interval {
 #[derive(Debug, Clone)]
 enum State {
     Empty,
-    One { t: f64, x: Vec<f64> },
+    One { t: f64, x: DimVec<f64> },
     Active(Interval),
 }
 
@@ -85,6 +86,7 @@ pub struct SwingBuilder {
     eps: Vec<f64>,
     max_lag: Option<usize>,
     recording: RecordingStrategy,
+    force_generic: bool,
 }
 
 impl SwingBuilder {
@@ -103,6 +105,16 @@ impl SwingBuilder {
         self
     }
 
+    /// Disables the `d == 1` scalar fast path, forcing the generic
+    /// per-dimension cone update. The two paths are byte-identical in
+    /// output (pinned by property tests); this switch exists so the tests
+    /// can prove it.
+    #[doc(hidden)]
+    pub fn force_generic(mut self, on: bool) -> Self {
+        self.force_generic = on;
+        self
+    }
+
     /// Validates the configuration and builds the filter.
     pub fn build(self) -> Result<SwingFilter, FilterError> {
         validate_epsilons(&self.eps)?;
@@ -111,11 +123,15 @@ impl SwingBuilder {
                 return Err(FilterError::InvalidMaxLag { value: m });
             }
         }
+        let d = self.eps.len();
+        let scalar = d == 1 && !self.force_generic;
         Ok(SwingFilter {
-            eps: self.eps,
+            sums: RegressionSums::new(0.0, &vec![0.0; d]),
+            eps: self.eps.as_slice().into(),
             max_lag: self.max_lag,
             recording: self.recording,
             state: State::Empty,
+            scalar,
         })
     }
 }
@@ -139,10 +155,15 @@ impl SwingBuilder {
 /// ```
 #[derive(Debug, Clone)]
 pub struct SwingFilter {
-    eps: Vec<f64>,
+    eps: DimVec<f64>,
     max_lag: Option<usize>,
     recording: RecordingStrategy,
     state: State,
+    /// Regression moments of the live interval, recycled via `reset()`
+    /// so opening an interval never allocates.
+    sums: RegressionSums,
+    /// `d == 1` scalar fast path, decided once at construction.
+    scalar: bool,
 }
 
 impl SwingFilter {
@@ -153,7 +174,12 @@ impl SwingFilter {
 
     /// Starts configuring a swing filter.
     pub fn builder(eps: &[f64]) -> SwingBuilder {
-        SwingBuilder { eps: eps.to_vec(), max_lag: None, recording: RecordingStrategy::default() }
+        SwingBuilder {
+            eps: eps.to_vec(),
+            max_lag: None,
+            recording: RecordingStrategy::default(),
+            force_generic: false,
+        }
     }
 
     /// The configured lag bound, if any.
@@ -167,20 +193,20 @@ impl SwingFilter {
     }
 
     fn start_interval(
-        &self,
+        &mut self,
         origin_t: f64,
-        origin_x: Vec<f64>,
+        origin_x: DimVec<f64>,
         origin_is_first: bool,
         t: f64,
         x: &[f64],
         n_pts: u32,
     ) -> Interval {
         let dt = t - origin_t;
-        let u_slope = (0..self.dims()).map(|d| (x[d] + self.eps[d] - origin_x[d]) / dt).collect();
-        let l_slope = (0..self.dims()).map(|d| (x[d] - self.eps[d] - origin_x[d]) / dt).collect();
-        let mut sums = RegressionSums::new(origin_t, &origin_x);
+        let u_slope = DimVec::from_fn(self.dims(), |d| (x[d] + self.eps[d] - origin_x[d]) / dt);
+        let l_slope = DimVec::from_fn(self.dims(), |d| (x[d] - self.eps[d] - origin_x[d]) / dt);
+        self.sums.reset(origin_t, &origin_x);
         if self.recording == RecordingStrategy::MseOptimal {
-            sums.push(t, x);
+            self.sums.push(t, x);
         }
         Interval {
             origin_t,
@@ -189,8 +215,7 @@ impl SwingFilter {
             u_slope,
             l_slope,
             last_t: t,
-            last_x: x.to_vec(),
-            sums,
+            last_x: x.into(),
             n_pts,
             frozen: None,
         }
@@ -198,84 +223,130 @@ impl SwingFilter {
 
     /// Whether `x` at time `t` can still be represented by the interval's
     /// candidate set (Algorithm 1 line 7, negated).
-    fn fits(&self, iv: &Interval, t: f64, x: &[f64]) -> bool {
+    ///
+    /// Associated (not `&self`) so the push hot path can test acceptance
+    /// while holding a disjoint mutable borrow of the live interval.
+    fn fits(scalar: bool, eps: &[f64], iv: &Interval, t: f64, x: &[f64]) -> bool {
+        if scalar {
+            return Self::fits1(eps, iv, t, x[0]);
+        }
         let dt = t - iv.origin_t;
+        let origin_x = iv.origin_x.as_slice();
         if let Some(slopes) = &iv.frozen {
+            let slopes = slopes.as_slice();
             return x
                 .iter()
                 .enumerate()
-                .all(|(d, &v)| (v - (iv.origin_x[d] + slopes[d] * dt)).abs() <= self.eps[d]);
+                .all(|(d, &v)| (v - (origin_x[d] + slopes[d] * dt)).abs() <= eps[d]);
         }
+        let (u_slope, l_slope) = (iv.u_slope.as_slice(), iv.l_slope.as_slice());
         x.iter().enumerate().all(|(d, &v)| {
-            let hi = iv.origin_x[d] + iv.u_slope[d] * dt + self.eps[d];
-            let lo = iv.origin_x[d] + iv.l_slope[d] * dt - self.eps[d];
+            let hi = origin_x[d] + u_slope[d] * dt + eps[d];
+            let lo = origin_x[d] + l_slope[d] * dt - eps[d];
             v >= lo && v <= hi
         })
     }
 
+    /// Scalar (`d == 1`) acceptance test — same arithmetic as [`fits`],
+    /// with the per-dimension loop machinery compiled out.
+    #[inline]
+    fn fits1(eps: &[f64], iv: &Interval, t: f64, v: f64) -> bool {
+        let dt = t - iv.origin_t;
+        let e = eps[0];
+        if let Some(slopes) = &iv.frozen {
+            return (v - (iv.origin_x[0] + slopes[0] * dt)).abs() <= e;
+        }
+        let hi = iv.origin_x[0] + iv.u_slope[0] * dt + e;
+        let lo = iv.origin_x[0] + iv.l_slope[0] * dt - e;
+        v >= lo && v <= hi
+    }
+
     /// Algorithm 1 lines 14–18: swing `lᵢᵏ` up / `uᵢᵏ` down so the cone
     /// keeps representing every point including `(t, x)`.
-    fn swing(&self, iv: &mut Interval, t: f64, x: &[f64]) {
+    fn swing(scalar: bool, eps: &[f64], iv: &mut Interval, t: f64, x: &[f64]) {
+        if scalar {
+            Self::swing1(eps, iv, t, x[0]);
+            return;
+        }
         let dt = t - iv.origin_t;
+        let origin_x = iv.origin_x.as_slice();
+        let l_slope = iv.l_slope.as_mut_slice();
+        let u_slope = iv.u_slope.as_mut_slice();
         for (d, &v) in x.iter().enumerate() {
-            let lo_val = iv.origin_x[d] + iv.l_slope[d] * dt;
-            if v - self.eps[d] > lo_val {
-                iv.l_slope[d] = (v - self.eps[d] - iv.origin_x[d]) / dt;
+            let lo_val = origin_x[d] + l_slope[d] * dt;
+            if v - eps[d] > lo_val {
+                l_slope[d] = (v - eps[d] - origin_x[d]) / dt;
             }
-            let hi_val = iv.origin_x[d] + iv.u_slope[d] * dt;
-            if v + self.eps[d] < hi_val {
-                iv.u_slope[d] = (v + self.eps[d] - iv.origin_x[d]) / dt;
+            let hi_val = origin_x[d] + u_slope[d] * dt;
+            if v + eps[d] < hi_val {
+                u_slope[d] = (v + eps[d] - origin_x[d]) / dt;
             }
             debug_assert!(
-                iv.l_slope[d] <= iv.u_slope[d] + 1e-12 * iv.u_slope[d].abs().max(1.0),
+                l_slope[d] <= u_slope[d] + 1e-12 * u_slope[d].abs().max(1.0),
                 "swing cone emptied: dim {d}"
             );
         }
     }
 
+    /// Scalar (`d == 1`) cone update — same arithmetic and update order
+    /// as the generic [`swing`] loop body for `d = 0`.
+    #[inline]
+    fn swing1(eps: &[f64], iv: &mut Interval, t: f64, v: f64) {
+        let dt = t - iv.origin_t;
+        let e = eps[0];
+        let lo_val = iv.origin_x[0] + iv.l_slope[0] * dt;
+        if v - e > lo_val {
+            iv.l_slope[0] = (v - e - iv.origin_x[0]) / dt;
+        }
+        let hi_val = iv.origin_x[0] + iv.u_slope[0] * dt;
+        if v + e < hi_val {
+            iv.u_slope[0] = (v + e - iv.origin_x[0]) / dt;
+        }
+        debug_assert!(
+            iv.l_slope[0] <= iv.u_slope[0] + 1e-12 * iv.u_slope[0].abs().max(1.0),
+            "swing cone emptied: dim 0"
+        );
+    }
+
     /// The recording slopes: MSE-optimal (eq. 5), clamped-last-point, or
     /// the frozen ones.
-    fn final_slopes(&self, iv: &Interval) -> Vec<f64> {
+    fn final_slopes(&self, iv: &Interval) -> DimVec<f64> {
         if let Some(slopes) = &iv.frozen {
             return slopes.clone();
         }
         match self.recording {
-            RecordingStrategy::MseOptimal => (0..self.dims())
-                .map(|d| {
-                    iv.sums.clamped_slope(
-                        iv.origin_t,
-                        iv.origin_x[d],
-                        d,
-                        iv.l_slope[d],
-                        iv.u_slope[d],
-                    )
-                })
-                .collect(),
+            RecordingStrategy::MseOptimal => DimVec::from_fn(self.dims(), |d| {
+                self.sums.clamped_slope(
+                    iv.origin_t,
+                    iv.origin_x[d],
+                    d,
+                    iv.l_slope[d],
+                    iv.u_slope[d],
+                )
+            }),
             RecordingStrategy::ClampedLastPoint => {
                 let dt = iv.last_t - iv.origin_t;
-                (0..self.dims())
-                    .map(|d| {
-                        let toward_last =
-                            if dt > 0.0 { (iv.last_x[d] - iv.origin_x[d]) / dt } else { 0.0 };
-                        toward_last.clamp(iv.l_slope[d], iv.u_slope[d])
-                    })
-                    .collect()
+                DimVec::from_fn(self.dims(), |d| {
+                    let toward_last =
+                        if dt > 0.0 { (iv.last_x[d] - iv.origin_x[d]) / dt } else { 0.0 };
+                    toward_last.clamp(iv.l_slope[d], iv.u_slope[d])
+                })
             }
         }
     }
 
     /// Ends the interval at its last accepted sample, emitting the
     /// connected segment, and returns the new recording.
-    fn close_interval(&self, iv: &Interval, sink: &mut dyn SegmentSink) -> (f64, Vec<f64>) {
+    fn close_interval(&self, iv: &Interval, sink: &mut dyn SegmentSink) -> (f64, DimVec<f64>) {
         let slopes = self.final_slopes(iv);
         let t_k = iv.last_t;
-        let x_k: Vec<f64> =
-            (0..self.dims()).map(|d| iv.origin_x[d] + slopes[d] * (t_k - iv.origin_t)).collect();
+        let x_k =
+            DimVec::from_fn(self.dims(), |d| iv.origin_x[d] + slopes[d] * (t_k - iv.origin_t));
         sink.segment(Segment {
             t_start: iv.origin_t,
-            x_start: iv.origin_x.clone().into_boxed_slice(),
+            x_start: iv.origin_x.clone(),
             t_end: t_k,
-            x_end: x_k.clone().into_boxed_slice(),
+            x_end: x_k.clone(),
             connected: !iv.origin_is_first,
             n_points: iv.n_pts,
             new_recordings: if iv.origin_is_first { 2 } else { 1 },
@@ -291,8 +362,8 @@ impl SwingFilter {
         let slopes = self.final_slopes(iv);
         sink.provisional(ProvisionalUpdate {
             t_anchor: iv.origin_t,
-            x_anchor: iv.origin_x.clone().into_boxed_slice(),
-            slopes: slopes.clone().into_boxed_slice(),
+            x_anchor: iv.origin_x.clone(),
+            slopes: slopes.clone(),
             covers_through: iv.last_t,
         });
         iv.frozen = Some(slopes);
@@ -318,9 +389,26 @@ impl StreamFilter for SwingFilter {
 
     fn push(&mut self, t: f64, x: &[f64], sink: &mut dyn SegmentSink) -> Result<(), FilterError> {
         validate_push(self.dims(), self.last_t(), t, x)?;
+        // Hot path: an accepted sample swings the live interval's cone in
+        // place — no state-enum move per point. Lag-bounded filters take
+        // the general path below (they may need to freeze via the sink).
+        if self.max_lag.is_none() {
+            if let State::Active(iv) = &mut self.state {
+                if iv.frozen.is_none() && Self::fits(self.scalar, &self.eps, iv, t, x) {
+                    Self::swing(self.scalar, &self.eps, iv, t, x);
+                    if self.recording == RecordingStrategy::MseOptimal {
+                        self.sums.push(t, x);
+                    }
+                    iv.last_t = t;
+                    iv.last_x.copy_from_slice(x);
+                    iv.n_pts += 1;
+                    return Ok(());
+                }
+            }
+        }
         match std::mem::replace(&mut self.state, State::Empty) {
             State::Empty => {
-                self.state = State::One { t, x: x.to_vec() };
+                self.state = State::One { t, x: x.into() };
             }
             State::One { t: t1, x: x1 } => {
                 // Algorithm 1 lines 1–4: the first point is recorded as
@@ -330,11 +418,11 @@ impl StreamFilter for SwingFilter {
                 self.state = State::Active(iv);
             }
             State::Active(mut iv) => {
-                if self.fits(&iv, t, x) {
+                if Self::fits(self.scalar, &self.eps, &iv, t, x) {
                     if iv.frozen.is_none() {
-                        self.swing(&mut iv, t, x);
+                        Self::swing(self.scalar, &self.eps, &mut iv, t, x);
                         if self.recording == RecordingStrategy::MseOptimal {
-                            iv.sums.push(t, x);
+                            self.sums.push(t, x);
                         }
                     }
                     iv.last_t = t;
@@ -371,7 +459,7 @@ impl StreamFilter for SwingFilter {
             state = match state {
                 State::Empty => {
                     i += 1;
-                    State::One { t, x: x.to_vec() }
+                    State::One { t, x: x.into() }
                 }
                 State::One { t: t1, x: x1 } => {
                     i += 1;
@@ -383,13 +471,13 @@ impl StreamFilter for SwingFilter {
                     // Absorb the longest run of accepted samples.
                     while i < upto {
                         let (t, x) = samples[i];
-                        if !self.fits(&iv, t, x) {
+                        if !Self::fits(self.scalar, &self.eps, &iv, t, x) {
                             break;
                         }
                         if iv.frozen.is_none() {
-                            self.swing(&mut iv, t, x);
+                            Self::swing(self.scalar, &self.eps, &mut iv, t, x);
                             if self.recording == RecordingStrategy::MseOptimal {
-                                iv.sums.push(t, x);
+                                self.sums.push(t, x);
                             }
                         }
                         iv.last_t = t;

@@ -51,6 +51,7 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+mod dimvec;
 mod error;
 pub mod filters;
 pub mod metrics;
@@ -61,6 +62,7 @@ mod sample;
 mod segment;
 pub mod stream;
 
+pub use dimvec::{DimVec, INLINE_DIMS};
 pub use error::{BatchError, FilterError};
 pub use mse::RegressionSums;
 pub use reconstruct::{GapPolicy, Polyline};

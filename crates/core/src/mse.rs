@@ -21,18 +21,24 @@
 //! Σ (xⱼ−x_z)(tⱼ−t_z) = Suv − a·Sv − b·Su + n·a·b     (b = x_z − x_ref)
 //! ```
 
+use crate::dimvec::DimVec;
+
 /// Running moments of an interval's samples, relative to a fixed reference
 /// sample, supporting O(1)-space least-squares slopes through arbitrary
 /// anchors (one slope per dimension).
+///
+/// Per-dimension state lives in [`DimVec`]s, so constructing or resetting
+/// the sums allocates nothing for `d ≤ 4`; filters additionally recycle
+/// one instance across intervals via [`reset`](Self::reset).
 #[derive(Debug, Clone)]
 pub struct RegressionSums {
     t_ref: f64,
-    x_ref: Vec<f64>,
+    x_ref: DimVec<f64>,
     n: u32,
     su: f64,
     suu: f64,
-    sv: Vec<f64>,
-    suv: Vec<f64>,
+    sv: DimVec<f64>,
+    suv: DimVec<f64>,
 }
 
 impl RegressionSums {
@@ -42,12 +48,12 @@ impl RegressionSums {
     pub fn new(t_ref: f64, x_ref: &[f64]) -> Self {
         Self {
             t_ref,
-            x_ref: x_ref.to_vec(),
+            x_ref: x_ref.into(),
             n: 0,
             su: 0.0,
             suu: 0.0,
-            sv: vec![0.0; x_ref.len()],
-            suv: vec![0.0; x_ref.len()],
+            sv: DimVec::splat(x_ref.len(), 0.0),
+            suv: DimVec::splat(x_ref.len(), 0.0),
         }
     }
 
@@ -71,10 +77,15 @@ impl RegressionSums {
         self.n += 1;
         self.su += u;
         self.suu += u * u;
+        // Slices hoisted out of the loop so the per-dimension accesses
+        // compile to plain indexed loads/stores.
+        let x_ref = self.x_ref.as_slice();
+        let sv = self.sv.as_mut_slice();
+        let suv = self.suv.as_mut_slice();
         for (dim, &xv) in x.iter().enumerate() {
-            let v = xv - self.x_ref[dim];
-            self.sv[dim] += v;
-            self.suv[dim] += u * v;
+            let v = xv - x_ref[dim];
+            sv[dim] += v;
+            suv[dim] += u * v;
         }
     }
 

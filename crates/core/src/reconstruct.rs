@@ -146,9 +146,9 @@ mod tests {
     fn seg(t0: f64, x0: f64, t1: f64, x1: f64, connected: bool) -> Segment {
         Segment {
             t_start: t0,
-            x_start: vec![x0].into_boxed_slice(),
+            x_start: [x0].into(),
             t_end: t1,
-            x_end: vec![x1].into_boxed_slice(),
+            x_end: [x1].into(),
             connected,
             n_points: 2,
             new_recordings: if connected { 1 } else { 2 },

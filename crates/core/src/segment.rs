@@ -9,21 +9,27 @@
 //! segment; filters set [`Segment::new_recordings`] accordingly so the
 //! metric never has to guess.
 
+use crate::dimvec::DimVec;
 use crate::error::FilterError;
 
 /// One line segment of the piece-wise linear (or constant) approximation.
+///
+/// The per-dimension payloads are [`DimVec`]s, so constructing and
+/// cloning a segment is allocation-free for `d ≤`
+/// [`INLINE_DIMS`](crate::INLINE_DIMS) — the filters' hot emission path
+/// relies on this.
 #[derive(Debug, Clone, PartialEq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Segment {
     /// Start time of the segment.
     pub t_start: f64,
     /// Values at the start time, one per dimension.
-    pub x_start: Box<[f64]>,
+    pub x_start: DimVec<f64>,
     /// End time of the segment (`≥ t_start`; equal for a degenerate
     /// single-point segment).
     pub t_end: f64,
     /// Values at the end time, one per dimension.
-    pub x_end: Box<[f64]>,
+    pub x_end: DimVec<f64>,
     /// Whether the start point coincides with the previous segment's end
     /// point (a *connected* segment, needing no start recording of its
     /// own).
@@ -86,9 +92,9 @@ pub struct ProvisionalUpdate {
     /// Anchor time of the committed line.
     pub t_anchor: f64,
     /// Values of the committed line at the anchor time.
-    pub x_anchor: Box<[f64]>,
+    pub x_anchor: DimVec<f64>,
     /// Slope per dimension of the committed line.
-    pub slopes: Box<[f64]>,
+    pub slopes: DimVec<f64>,
     /// Timestamp of the newest point covered when the update was sent.
     pub covers_through: f64,
 }
@@ -163,9 +169,9 @@ mod tests {
     fn seg(t0: f64, x0: f64, t1: f64, x1: f64) -> Segment {
         Segment {
             t_start: t0,
-            x_start: vec![x0].into_boxed_slice(),
+            x_start: [x0].into(),
             t_end: t1,
-            x_end: vec![x1].into_boxed_slice(),
+            x_end: [x1].into(),
             connected: false,
             n_points: 2,
             new_recordings: 2,
@@ -209,8 +215,8 @@ mod tests {
         let mut sink = CollectingSink::default();
         sink.provisional(ProvisionalUpdate {
             t_anchor: 0.0,
-            x_anchor: vec![1.0].into_boxed_slice(),
-            slopes: vec![0.5].into_boxed_slice(),
+            x_anchor: [1.0].into(),
+            slopes: [0.5].into(),
             covers_through: 3.0,
         });
         assert_eq!(sink.provisionals.len(), 1);

@@ -6,7 +6,7 @@
 
 use proptest::prelude::*;
 
-use pla_core::filters::{FilterKind, FilterSpec};
+use pla_core::filters::{FilterKind, FilterSpec, SlideFilter, StreamFilter, SwingFilter};
 use pla_core::{CollectingSink, FilterError, Signal};
 
 /// A 1-D signal with walks, plateaus, and jumps (the same family the core
@@ -79,6 +79,15 @@ fn specs_under_test(eps: f64) -> Vec<FilterSpec> {
     specs
 }
 
+fn run_dyn(f: &mut dyn StreamFilter, signal: &Signal) -> CollectingSink {
+    let mut sink = CollectingSink::default();
+    for (t, x) in signal.iter() {
+        f.push(t, x, &mut sink).unwrap();
+    }
+    f.finish(&mut sink).unwrap();
+    sink
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -108,6 +117,62 @@ proptest! {
             f.push_batch(&samples, &mut sink).unwrap();
             f.finish(&mut sink).unwrap();
             prop_assert_eq!(&sequential.segments, &sink.segments, "{:?}", spec.kind);
+        }
+    }
+
+    /// PR-3 pin: the `d == 1` scalar fast path (dispatched once at
+    /// construction) is byte-identical to the generic per-dimension path
+    /// — same `Segment`s, same `ProvisionalUpdate`s, for plain and
+    /// lag-bounded configurations.
+    #[test]
+    fn scalar_fast_path_is_byte_identical((signal, _) in signal_and_splits(), eps in 0.05f64..20.0) {
+        for max_lag in [None, Some(7usize)] {
+            let mut swing_fast = {
+                let mut b = SwingFilter::builder(&[eps]);
+                if let Some(m) = max_lag { b = b.max_lag(m); }
+                b.build().unwrap()
+            };
+            let mut swing_generic = {
+                let mut b = SwingFilter::builder(&[eps]).force_generic(true);
+                if let Some(m) = max_lag { b = b.max_lag(m); }
+                b.build().unwrap()
+            };
+            let fast = run_dyn(&mut swing_fast, &signal);
+            let generic = run_dyn(&mut swing_generic, &signal);
+            prop_assert_eq!(&fast.segments, &generic.segments, "swing lag={:?}", max_lag);
+            prop_assert_eq!(&fast.provisionals, &generic.provisionals, "swing lag={:?}", max_lag);
+
+            let mut slide_fast = {
+                let mut b = SlideFilter::builder(&[eps]);
+                if let Some(m) = max_lag { b = b.max_lag(m); }
+                b.build().unwrap()
+            };
+            let mut slide_generic = {
+                let mut b = SlideFilter::builder(&[eps]).force_generic(true);
+                if let Some(m) = max_lag { b = b.max_lag(m); }
+                b.build().unwrap()
+            };
+            let fast = run_dyn(&mut slide_fast, &signal);
+            let generic = run_dyn(&mut slide_generic, &signal);
+            prop_assert_eq!(&fast.segments, &generic.segments, "slide lag={:?}", max_lag);
+            prop_assert_eq!(&fast.provisionals, &generic.provisionals, "slide lag={:?}", max_lag);
+        }
+    }
+
+    /// PR-3 pin: the recycled scratch buffers (hulls, raw points,
+    /// regression sums) carry no state across `finish` — a warm filter
+    /// re-compressing a stream emits byte-identical output to a freshly
+    /// built one.
+    #[test]
+    fn recycled_scratch_is_byte_identical((signal, _) in signal_and_splits(), eps in 0.05f64..20.0) {
+        for spec in specs_under_test(eps) {
+            let mut warm = spec.build().unwrap();
+            let first = run_dyn(warm.as_mut(), &signal);
+            let second = run_dyn(warm.as_mut(), &signal);
+            let fresh = run_dyn(spec.build().unwrap().as_mut(), &signal);
+            prop_assert_eq!(&first.segments, &second.segments, "{:?}: warm rerun diverged", spec.kind);
+            prop_assert_eq!(&second.segments, &fresh.segments, "{:?}: warm vs fresh diverged", spec.kind);
+            prop_assert_eq!(&first.provisionals, &second.provisionals, "{:?}", spec.kind);
         }
     }
 }

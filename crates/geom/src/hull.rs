@@ -96,6 +96,19 @@ impl IncrementalHull {
         self.len = 0;
     }
 
+    /// Grows both chains' buffers to hold at least `cap` vertices without
+    /// reallocating. A no-op once the capacity is there, so recycling
+    /// callers (the slide filter) can call it on every interval open with
+    /// their observed worst-case vertex count.
+    pub fn ensure_capacity(&mut self, cap: usize) {
+        if self.upper.capacity() < cap {
+            self.upper.reserve(cap - self.upper.len());
+        }
+        if self.lower.capacity() < cap {
+            self.lower.reserve(cap - self.lower.len());
+        }
+    }
+
     /// Inserts a point.
     ///
     /// # Panics

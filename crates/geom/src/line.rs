@@ -10,7 +10,11 @@
 use crate::point::Point2;
 
 /// A non-vertical line `x(t) = x₀ + slope · (t − t₀)`.
-#[derive(Debug, Clone, Copy, PartialEq)]
+///
+/// The `Default` line is the degenerate `x(t) = 0` through the origin; it
+/// exists so lines can live in fixed-capacity inline storage
+/// (`pla_core`'s `DimVec`) and carries no geometric meaning.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Line {
     /// Anchor time.
     pub t0: f64,

@@ -282,6 +282,27 @@ impl IngestEngine {
     }
 }
 
+/// `(t, x)` pair views over columnar batch storage. `dims == 0` yields
+/// empty value slices (zero-dimension batches are rejected later by the
+/// filter's own validation).
+fn pair_iter<'a>(
+    dims: usize,
+    times: &'a [f64],
+    values: &'a [f64],
+) -> impl Iterator<Item = (f64, &'a [f64])> {
+    times.iter().enumerate().map(move |(i, &t)| {
+        let x = if dims == 0 { &[][..] } else { &values[i * dims..(i + 1) * dims] };
+        (t, x)
+    })
+}
+
+/// Writes the pair views into `out` (the small-batch stack buffer).
+fn fill_pairs<'a>(out: &mut [(f64, &'a [f64])], dims: usize, times: &'a [f64], values: &'a [f64]) {
+    for (slot, pair) in out.iter_mut().zip(pair_iter(dims, times, values)) {
+        *slot = pair;
+    }
+}
+
 fn run_shard(rx: Receiver<Op>, shard_log: bool) -> ShardResult {
     let mut table = StreamTable::new();
     let mut stats = ShardStats::default();
@@ -309,14 +330,24 @@ fn run_shard(rx: Receiver<Op>, shard_log: bool) -> ShardResult {
             }
             Op::PushBatch { stream, dims, times, values } => {
                 stats.samples += times.len() as u64;
-                let result = if dims == 0 {
-                    let pairs: Vec<(f64, &[f64])> = times.iter().map(|&t| (t, &[][..])).collect();
-                    table.push_batch(stream, &pairs)
+                // Rebuild the pair view on a small stack buffer for
+                // small batches (its zero-init is cheaper than an
+                // allocation); larger batches build an exact-capacity
+                // heap Vec whose one allocation amortizes over the
+                // batch. The filters' own scratch reuse in pla-core
+                // keeps the rest of the path allocation-free.
+                const PAIR_STACK: usize = 32;
+                let n = times.len();
+                let mut stack = [(0.0f64, &[][..]); PAIR_STACK];
+                let heap: Vec<(f64, &[f64])>;
+                let pairs: &[(f64, &[f64])] = if n <= PAIR_STACK {
+                    fill_pairs(&mut stack[..n], dims, &times, &values);
+                    &stack[..n]
                 } else {
-                    let pairs: Vec<(f64, &[f64])> =
-                        times.iter().copied().zip(values.chunks_exact(dims)).collect();
-                    table.push_batch(stream, &pairs)
+                    heap = pair_iter(dims, &times, &values).collect();
+                    &heap
                 };
+                let result = table.push_batch(stream, pairs);
                 if let Err(IngestError::UnknownStream(_)) = result {
                     stats.unknown_stream_drops += times.len() as u64;
                 }

@@ -30,9 +30,9 @@ pub fn fit_segment(signal: &Signal, lo: usize, hi: usize, eps: &[f64]) -> (Segme
         return (
             Segment {
                 t_start: t0,
-                x_start: x.to_vec().into_boxed_slice(),
+                x_start: x.into(),
                 t_end: t0,
-                x_end: x.to_vec().into_boxed_slice(),
+                x_end: x.into(),
                 connected: false,
                 n_points: 1,
                 new_recordings: 1,
@@ -79,9 +79,9 @@ pub fn fit_segment(signal: &Signal, lo: usize, hi: usize, eps: &[f64]) -> (Segme
     (
         Segment {
             t_start: t0,
-            x_start: x_start.into_boxed_slice(),
+            x_start: x_start.into(),
             t_end: t1,
-            x_end: x_end.into_boxed_slice(),
+            x_end: x_end.into(),
             connected: false,
             n_points: (hi - lo) as u32,
             new_recordings: 2,

@@ -126,9 +126,9 @@ impl Assembler {
                 }
                 self.segments.push(Segment {
                     t_start: t0,
-                    x_start: x0.into_boxed_slice(),
+                    x_start: x0.into(),
                     t_end: t,
-                    x_end: x.clone().into_boxed_slice(),
+                    x_end: x.as_slice().into(),
                     connected,
                     n_points: 0,
                     new_recordings: if connected { 1 } else { 2 },
@@ -142,9 +142,9 @@ impl Assembler {
                 self.open = None;
                 self.segments.push(Segment {
                     t_start: t,
-                    x_start: x.clone().into_boxed_slice(),
+                    x_start: x.as_slice().into(),
                     t_end: t,
-                    x_end: x.into_boxed_slice(),
+                    x_end: x.into(),
                     connected: false,
                     n_points: 1,
                     new_recordings: 1,
@@ -341,9 +341,9 @@ impl<C: Codec> StreamDemux<C> {
 fn constant_segment(t0: f64, t1: f64, x: &[f64]) -> Segment {
     Segment {
         t_start: t0,
-        x_start: x.to_vec().into_boxed_slice(),
+        x_start: x.into(),
         t_end: t1.max(t0),
-        x_end: x.to_vec().into_boxed_slice(),
+        x_end: x.into(),
         connected: false,
         n_points: 0,
         new_recordings: 1,

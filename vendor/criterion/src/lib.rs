@@ -161,7 +161,23 @@ impl BenchmarkGroup<'_> {
     }
 }
 
+/// Quick mode (`PLA_BENCH_QUICK=1`): clamp warm-up/measurement windows
+/// and sample counts so a full `cargo bench` sweep finishes in seconds.
+/// Used by `scripts/bench_compare.py --quick` for CI regression gating;
+/// numbers are noisier than a default run and must only be compared
+/// against other quick runs at matching thresholds.
+fn quick_mode() -> bool {
+    std::env::var_os("PLA_BENCH_QUICK").is_some_and(|v| v != "0" && !v.is_empty())
+}
+
 fn run_one(label: &str, config: &GroupConfig, mut routine: impl FnMut(&mut Bencher)) {
+    let mut config = config.clone();
+    if quick_mode() {
+        config.warm_up = config.warm_up.min(Duration::from_millis(50));
+        config.measurement = config.measurement.min(Duration::from_millis(200));
+        config.sample_size = config.sample_size.min(3);
+    }
+    let config = &config;
     // Warm-up / calibration pass: single iterations until the warm-up
     // window elapses, to estimate the cost of one iteration.
     let mut bencher = Bencher { iters: 1, elapsed: Duration::ZERO };
