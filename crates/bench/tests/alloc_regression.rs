@@ -18,6 +18,7 @@
 use std::sync::Mutex;
 
 use pla_bench::{alloc_counter, multi_walk, walk_signal, FilterKind, WalkParams};
+use pla_core::filters::StreamFilter;
 use pla_core::metrics::CountingSink;
 use pla_core::INLINE_DIMS;
 
@@ -83,6 +84,42 @@ fn batch_push_is_allocation_free_at_d1() {
             kind.label()
         );
     }
+}
+
+#[test]
+fn spill_regime_allocations_are_bounded_per_interval_close() {
+    let _guard = serial();
+    // Above INLINE_DIMS the per-dimension payloads spill to the heap.
+    // PR 3 documented this regime's alloc headroom; the Pending/Cone
+    // arena now recycles the spill buffers across interval closes, so
+    // steady-state cost is a small constant per close (the segment's
+    // own x_start/x_end payloads, which leave the filter inside the
+    // emitted Segment, plus the connection probe's scratch) — not a
+    // function of how many DimVec payloads the close materializes.
+    let d = 2 * INLINE_DIMS;
+    let signal = multi_walk(d, WalkParams { n: 8_000, p_decrease: 0.5, max_delta: 2.0, seed: 11 });
+    let eps = vec![0.8; d];
+    let mut filter = pla_core::filters::SlideFilter::new(&eps).expect("valid epsilons");
+    let mut sink = CountingSink::default();
+    for (t, x) in signal.iter() {
+        filter.push(t, x, &mut sink).unwrap();
+    }
+    filter.finish(&mut sink).unwrap();
+    let before = sink.segments;
+    let (_, allocs) = alloc_counter::count(|| {
+        for (t, x) in signal.iter() {
+            filter.push(t, x, &mut sink).unwrap();
+        }
+        filter.finish(&mut sink).unwrap();
+    });
+    let closes = sink.segments - before;
+    assert!(closes > 20, "workload sanity: got {closes} closes");
+    let per_close = allocs as f64 / closes as f64;
+    assert!(
+        per_close <= 8.0,
+        "slide d={d}: {allocs} allocations over {closes} interval closes \
+         ({per_close:.1}/close) — spill-regime recycling has regressed"
+    );
 }
 
 #[test]

@@ -87,6 +87,37 @@ pub trait StreamFilter {
     fn name(&self) -> &'static str;
 }
 
+/// Boxed filters (what [`FilterSpec::build`] returns) are filters too,
+/// so they slot directly into generic consumers like
+/// `pla_transport::Transmitter`.
+impl<F: StreamFilter + ?Sized> StreamFilter for Box<F> {
+    fn dims(&self) -> usize {
+        (**self).dims()
+    }
+    fn epsilons(&self) -> &[f64] {
+        (**self).epsilons()
+    }
+    fn push(&mut self, t: f64, x: &[f64], sink: &mut dyn SegmentSink) -> Result<(), FilterError> {
+        (**self).push(t, x, sink)
+    }
+    fn push_batch(
+        &mut self,
+        samples: &[(f64, &[f64])],
+        sink: &mut dyn SegmentSink,
+    ) -> Result<usize, BatchError> {
+        (**self).push_batch(samples, sink)
+    }
+    fn finish(&mut self, sink: &mut dyn SegmentSink) -> Result<(), FilterError> {
+        (**self).finish(sink)
+    }
+    fn pending_points(&self) -> usize {
+        (**self).pending_points()
+    }
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
 /// Validates one incoming sample against filter state; shared by all
 /// filter implementations.
 pub(crate) fn validate_push(

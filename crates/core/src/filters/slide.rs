@@ -125,7 +125,13 @@ struct Interval {
 
 /// A closed interval's segment waiting for its end point, which is only
 /// decided when the *next* interval closes (possibly as a connection).
-#[derive(Debug, Clone)]
+///
+/// For `d >` [`INLINE_DIMS`](crate::INLINE_DIMS) the [`DimVec`] payloads
+/// spill to the heap; retired `Pending`s are therefore pooled on the
+/// filter ([`SlideFilter::retired`]) and their spill buffers recycled at
+/// the next interval close, so the spill regime allocates O(1) small
+/// per close instead of re-buying every payload.
+#[derive(Debug, Clone, Default)]
 struct Pending {
     g: DimVec<Line>,
     start_t: f64,
@@ -150,8 +156,10 @@ enum State {
     Active(Interval),
 }
 
-/// Per-dimension cone of feasible lines at interval close. Built on the
-/// stack ([`DimVec`] inline storage) — no scratch allocation.
+/// Per-dimension cone of feasible lines at interval close. Inline
+/// ([`DimVec`]) for `d ≤ 4`; the spilled buffers above that are recycled
+/// across closes via [`SlideFilter::cone_scratch`].
+#[derive(Debug, Clone, Default)]
 struct Cone {
     /// Envelope intersection per dimension; `None` when the envelopes are
     /// (near-)parallel.
@@ -231,6 +239,8 @@ impl SlideBuilder {
             hulls,
             raw,
             scalar,
+            retired: Vec::new(),
+            cone_scratch: None,
         })
     }
 }
@@ -272,6 +282,12 @@ pub struct SlideFilter {
     sums: RegressionSums,
     /// `d == 1` scalar fast path, decided once at construction.
     scalar: bool,
+    /// Arena of retired [`Pending`]s (at most 2): their spilled `DimVec`
+    /// payloads are reused at the next interval close, covering the
+    /// `d > 4` spill regime's alloc headroom documented in PR 3.
+    retired: Vec<Pending>,
+    /// Recycled [`Cone`] scratch, same purpose.
+    cone_scratch: Option<Cone>,
 }
 
 impl SlideFilter {
@@ -485,26 +501,25 @@ impl SlideFilter {
     }
 
     /// The feasible cone at interval close: per-dimension envelope
-    /// intersection and slope bounds.
-    fn cone_of(&self, iv: &Interval) -> Cone {
-        let d = self.dims_();
-        let mut z = DimVec::new();
-        let mut lo = DimVec::new();
-        let mut hi = DimVec::new();
-        for i in 0..d {
-            lo.push(iv.l[i].slope);
-            hi.push(iv.u[i].slope);
-            z.push(iv.u[i].intersection(&iv.l[i]));
+    /// intersection and slope bounds, filled into recycled scratch.
+    fn fill_cone(&self, iv: &Interval, cone: &mut Cone) {
+        cone.z.clear();
+        cone.lo.clear();
+        cone.hi.clear();
+        for i in 0..self.dims_() {
+            cone.lo.push(iv.l[i].slope);
+            cone.hi.push(iv.u[i].slope);
+            cone.z.push(iv.u[i].intersection(&iv.l[i]));
         }
-        Cone { z, lo, hi }
     }
 
     /// Chooses the MSE-optimal feasible line per dimension, ignoring any
     /// connection opportunity (Algorithm 2 line 17 for the disconnected
-    /// case).
-    fn mse_lines(&self, iv: &Interval, cone: &Cone) -> DimVec<Line> {
-        (0..self.dims_())
-            .map(|i| match cone.z[i] {
+    /// case), filling recycled storage.
+    fn mse_lines_into(&self, iv: &Interval, cone: &Cone, out: &mut DimVec<Line>) {
+        out.clear();
+        for i in 0..self.dims_() {
+            out.push(match cone.z[i] {
                 Some(z) => {
                     let a = self.sums.clamped_slope(z.t, z.x, i, cone.lo[i], cone.hi[i]);
                     Line::new(z, a).anchored_at(iv.first_t)
@@ -516,22 +531,41 @@ impl SlideFilter {
                     let mid = 0.5 * (iv.u[i].eval(iv.last_t) + iv.l[i].eval(iv.last_t));
                     Line::new(Point2::new(iv.last_t, mid), iv.l[i].slope).anchored_at(iv.first_t)
                 }
-            })
-            .collect()
+            });
+        }
     }
 
-    /// Emits the resolved pending segment. `p` is consumed so its start
-    /// payload moves straight into the [`Segment`] — no clone, no heap.
-    fn emit_pending(p: Pending, t_end: f64, x_end: DimVec<f64>, sink: &mut dyn SegmentSink) {
+    /// Emits the resolved pending segment. `p` is consumed: its start
+    /// payload moves straight into the [`Segment`] (no clone, no heap)
+    /// and its remaining `DimVec` payloads retire into the arena for
+    /// the next interval close to reuse.
+    fn emit_pending(
+        &mut self,
+        p: Pending,
+        t_end: f64,
+        x_end: DimVec<f64>,
+        sink: &mut dyn SegmentSink,
+    ) {
+        let Pending { g, start_t, start_x, connected, end_data_t: _, u_env, l_env, n_pts } = p;
         sink.segment(Segment {
-            t_start: p.start_t,
-            x_start: p.start_x,
+            t_start: start_t,
+            x_start: start_x,
             t_end,
             x_end,
-            connected: p.connected,
-            n_points: p.n_pts,
-            new_recordings: if p.connected { 1 } else { 2 },
+            connected,
+            n_points: n_pts,
+            new_recordings: if connected { 1 } else { 2 },
         });
+        if self.retired.len() < 2 {
+            self.retired.push(Pending { g, u_env, l_env, ..Pending::default() });
+        }
+    }
+
+    /// A pooled [`Pending`] whose payload buffers (if any retired) carry
+    /// their spill capacity; fields still hold stale retired values and
+    /// must all be overwritten by the caller.
+    fn take_retired(&mut self) -> Pending {
+        self.retired.pop().unwrap_or_default()
     }
 
     fn note_stats(&mut self, iv: &Interval) {
@@ -550,39 +584,42 @@ impl SlideFilter {
     /// `iv` itself.
     fn close_interval(&mut self, iv: &Interval, sink: &mut dyn SegmentSink) -> Pending {
         self.note_stats(iv);
-        let cone = self.cone_of(iv);
-        if let Some(p) = self.pending.take() {
-            if let Some(conn) = self.try_connect(&p, iv, &cone) {
-                Self::emit_pending(p, conn.t_c, conn.x_c.clone(), sink);
-                return Pending {
-                    g: conn.g,
-                    start_t: conn.t_c,
-                    start_x: conn.x_c,
-                    connected: true,
-                    end_data_t: iv.last_t,
-                    u_env: iv.u.clone(),
-                    l_env: iv.l.clone(),
-                    n_pts: iv.n_pts,
-                };
+        let mut cone = self.cone_scratch.take().unwrap_or_default();
+        self.fill_cone(iv, &mut cone);
+        let next = 'next: {
+            if let Some(p) = self.pending.take() {
+                if let Some(conn) = self.try_connect(&p, iv, &cone) {
+                    self.emit_pending(p, conn.t_c, conn.x_c.clone(), sink);
+                    let mut np = self.take_retired();
+                    np.g = conn.g;
+                    np.start_t = conn.t_c;
+                    np.start_x = conn.x_c;
+                    np.connected = true;
+                    np.end_data_t = iv.last_t;
+                    np.u_env.assign(&iv.u);
+                    np.l_env.assign(&iv.l);
+                    np.n_pts = iv.n_pts;
+                    break 'next np;
+                }
+                // Disconnected: the previous segment ends at its own last
+                // data point (Algorithm 2 line 21).
+                let e = p.end_data_t;
+                let x_e: DimVec<f64> = p.g.iter().map(|g| g.eval(e)).collect();
+                self.emit_pending(p, e, x_e, sink);
             }
-            // Disconnected: the previous segment ends at its own last data
-            // point (Algorithm 2 line 21).
-            let e = p.end_data_t;
-            let x_e: DimVec<f64> = p.g.iter().map(|g| g.eval(e)).collect();
-            Self::emit_pending(p, e, x_e, sink);
-        }
-        let g = self.mse_lines(iv, &cone);
-        let start_x: DimVec<f64> = g.iter().map(|gl| gl.eval(iv.first_t)).collect();
-        Pending {
-            g,
-            start_t: iv.first_t,
-            start_x,
-            connected: false,
-            end_data_t: iv.last_t,
-            u_env: iv.u.clone(),
-            l_env: iv.l.clone(),
-            n_pts: iv.n_pts,
-        }
+            let mut np = self.take_retired();
+            self.mse_lines_into(iv, &cone, &mut np.g);
+            np.start_t = iv.first_t;
+            np.start_x = np.g.iter().map(|gl| gl.eval(iv.first_t)).collect();
+            np.connected = false;
+            np.end_data_t = iv.last_t;
+            np.u_env.assign(&iv.u);
+            np.l_env.assign(&iv.l);
+            np.n_pts = iv.n_pts;
+            np
+        };
+        self.cone_scratch = Some(cone);
+        next
     }
 
     // ----- Lemma 4.4: connection ----------------------------------------------
@@ -813,7 +850,7 @@ impl SlideFilter {
             if let Some(p) = self.pending.take() {
                 let e = p.end_data_t;
                 let x_e: DimVec<f64> = p.g.iter().map(|g| g.eval(e)).collect();
-                Self::emit_pending(p, e, x_e, sink);
+                self.emit_pending(p, e, x_e, sink);
             }
         }
     }
@@ -1051,7 +1088,7 @@ impl StreamFilter for SlideFilter {
                 if let Some(p) = self.pending.take() {
                     let e = p.end_data_t;
                     let x_e: DimVec<f64> = p.g.iter().map(|g| g.eval(e)).collect();
-                    Self::emit_pending(p, e, x_e, sink);
+                    self.emit_pending(p, e, x_e, sink);
                 }
                 sink.segment(point_segment(t, &x, false));
             }
@@ -1064,7 +1101,7 @@ impl StreamFilter for SlideFilter {
                     // with the previous segment still applies.
                     let p = self.close_interval(&iv, sink);
                     let x_e: DimVec<f64> = p.g.iter().map(|g| g.eval(iv.last_t)).collect();
-                    Self::emit_pending(p, iv.last_t, x_e, sink);
+                    self.emit_pending(p, iv.last_t, x_e, sink);
                 }
             }
         }

@@ -6,7 +6,7 @@
 //! ```
 //!
 //! Experiments: fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 joint
-//!              lag hull connect bytes variants multistream
+//!              lag hull connect bytes variants multistream netstream
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -14,7 +14,7 @@ use std::process::ExitCode;
 use pla_eval::experiments::{self, Config};
 use pla_eval::Table;
 
-const ALL: [&str; 18] = [
+const ALL: [&str; 19] = [
     "fig6",
     "fig7",
     "fig8",
@@ -33,6 +33,7 @@ const ALL: [&str; 18] = [
     "swab",
     "kalman",
     "multistream",
+    "netstream",
 ];
 
 fn main() -> ExitCode {
@@ -120,6 +121,7 @@ fn run_one(name: &str, cfg: &Config, csv_dir: Option<&std::path::Path>) {
         "swab" => experiments::swab_experiment(cfg),
         "kalman" => experiments::kalman_experiment(cfg),
         "multistream" => experiments::multistream_throughput(cfg),
+        "netstream" => experiments::netstream_throughput(cfg),
         other => unreachable!("validated experiment name {other}"),
     };
     println!("{}", table.to_text());

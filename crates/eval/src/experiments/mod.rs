@@ -3,6 +3,7 @@
 mod ablations;
 mod extensions;
 mod multistream;
+mod netstream;
 mod overhead;
 mod realdata;
 mod synthetic;
@@ -12,6 +13,7 @@ pub use ablations::{
 };
 pub use extensions::{kalman_experiment, optgap_experiment, swab_experiment};
 pub use multistream::{ingest_run, multistream_throughput, stream_workload};
+pub use netstream::{netstream_throughput, transfer as netstream_transfer};
 pub use overhead::fig13_overhead;
 pub use realdata::{fig6_signal, fig7_compression, fig8_error};
 pub use synthetic::{

@@ -10,7 +10,9 @@
 //! [`IngestError::Backpressure`]) instead of buffering without limit.
 
 use std::collections::BTreeMap;
-use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{self, sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use pla_core::filters::FilterSpec;
@@ -73,6 +75,12 @@ pub struct ShardStats {
     pub streams: usize,
     /// Segments emitted by this shard's filters.
     pub segments: u64,
+    /// [`IngestHandle::try_push`] attempts refused with
+    /// [`IngestError::Backpressure`] because this shard's queue was
+    /// full. Counted on the handle side (the sample never reaches the
+    /// shard), aggregated into the report at shutdown so shed load is
+    /// observable instead of silently vanishing at the call sites.
+    pub backpressure: u64,
 }
 
 /// What the engine hands back at shutdown.
@@ -140,6 +148,9 @@ struct ShardResult {
 #[derive(Clone)]
 pub struct IngestHandle {
     senders: Vec<SyncSender<Op>>,
+    /// Per-shard count of `try_push` rejections, shared by all handle
+    /// clones and read into [`ShardStats::backpressure`] at shutdown.
+    backpressure: Arc<Vec<AtomicU64>>,
 }
 
 impl IngestHandle {
@@ -173,11 +184,16 @@ impl IngestHandle {
     }
 
     /// Sends one sample without blocking; a full shard queue yields
-    /// [`IngestError::Backpressure`].
+    /// [`IngestError::Backpressure`]. Every rejection is counted into
+    /// the owning shard's [`ShardStats::backpressure`].
     pub fn try_push(&self, stream: StreamId, t: f64, x: &[f64]) -> Result<(), IngestError> {
-        match self.sender_for(stream).try_send(Op::Push { stream, t, x: x.into() }) {
+        let shard = shard_of(stream, self.senders.len());
+        match self.senders[shard].try_send(Op::Push { stream, t, x: x.into() }) {
             Ok(()) => Ok(()),
-            Err(TrySendError::Full(_)) => Err(IngestError::Backpressure),
+            Err(TrySendError::Full(_)) => {
+                self.backpressure[shard].fetch_add(1, Ordering::Relaxed);
+                Err(IngestError::Backpressure)
+            }
             Err(TrySendError::Disconnected(_)) => Err(IngestError::Closed),
         }
     }
@@ -222,22 +238,44 @@ pub struct IngestEngine {
 impl IngestEngine {
     /// Spawns the shard workers described by `config`.
     pub fn new(config: IngestConfig) -> Self {
+        Self::build(config, None)
+    }
+
+    /// Spawns the engine with a *segment tap*: every segment any shard's
+    /// filters emit is also sent, live, as `(stream, segment)` over the
+    /// returned channel — the feed `pla-net`'s uplink multiplexes out
+    /// over one connection.
+    ///
+    /// Ordering: segments of one stream arrive in emission order (a
+    /// stream is pinned to one shard); interleaving between streams is
+    /// whatever the shards race to. The channel is unbounded — the tap
+    /// must not be able to deadlock the shards against the engine's own
+    /// bounded queues — so a consumer that stops draining trades memory
+    /// for that safety. The tap closes when the engine finishes.
+    pub fn with_segment_tap(config: IngestConfig) -> (Self, mpsc::Receiver<(StreamId, Segment)>) {
+        let (tap_tx, tap_rx) = mpsc::channel();
+        (Self::build(config, Some(tap_tx)), tap_rx)
+    }
+
+    fn build(config: IngestConfig, tap: Option<mpsc::Sender<(StreamId, Segment)>>) -> Self {
         let shards = config.shards.max(1);
         let depth = config.queue_depth.max(1);
+        let backpressure = Arc::new((0..shards).map(|_| AtomicU64::new(0)).collect::<Vec<_>>());
         let mut senders = Vec::with_capacity(shards);
         let mut workers = Vec::with_capacity(shards);
         for shard in 0..shards {
             let (tx, rx) = sync_channel::<Op>(depth);
             senders.push(tx);
             let shard_log = config.shard_log;
+            let tap = tap.clone();
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("pla-ingest-shard-{shard}"))
-                    .spawn(move || run_shard(rx, shard_log))
+                    .spawn(move || run_shard(rx, shard_log, tap))
                     .expect("spawn shard worker"),
             );
         }
-        Self { handle: IngestHandle { senders }, workers }
+        Self { handle: IngestHandle { senders, backpressure }, workers }
     }
 
     /// A cloneable producer handle.
@@ -255,13 +293,14 @@ impl IngestEngine {
         shard_of(stream, self.shards())
     }
 
-    /// Shuts down: every queued operation is drained, every live stream is
-    /// finished, and the per-stream outputs are collected.
+    /// Shuts down: every queued operation is drained — including
+    /// operations that raced in behind the shutdown marker — every live
+    /// stream is finished, and the per-stream outputs are collected.
     ///
-    /// Producers must stop feeding first: operations a still-live
-    /// [`IngestHandle`] enqueues concurrently with `finish` may be
-    /// silently dropped, and sends after shutdown fail with
-    /// [`IngestError::Closed`].
+    /// Producers should stop feeding first; an operation enqueued
+    /// concurrently with `finish` is still processed if it lands before
+    /// the worker's final queue drain, and sends after shutdown fail
+    /// with [`IngestError::Closed`].
     pub fn finish(self) -> IngestReport {
         for tx in &self.handle.senders {
             // A full queue still accepts the shutdown marker eventually;
@@ -272,8 +311,10 @@ impl IngestEngine {
         let mut streams = BTreeMap::new();
         let mut shards = Vec::with_capacity(self.workers.len());
         let mut shard_logs = Vec::with_capacity(self.workers.len());
-        for worker in self.workers {
-            let result = worker.join().expect("shard worker panicked");
+        for (shard, worker) in self.workers.into_iter().enumerate() {
+            let mut result = worker.join().expect("shard worker panicked");
+            result.stats.backpressure =
+                self.handle.backpressure[shard].load(std::sync::atomic::Ordering::Relaxed);
             streams.extend(result.outputs);
             shards.push(result.stats);
             shard_logs.push(result.log);
@@ -303,33 +344,59 @@ fn fill_pairs<'a>(out: &mut [(f64, &'a [f64])], dims: usize, times: &'a [f64], v
     }
 }
 
-fn run_shard(rx: Receiver<Op>, shard_log: bool) -> ShardResult {
-    let mut table = StreamTable::new();
-    let mut stats = ShardStats::default();
-    let mut log: Vec<(StreamId, Segment)> = Vec::new();
-    while let Ok(op) = rx.recv() {
-        stats.ops += 1;
+/// One shard worker's mutable state, factored out so the main receive
+/// loop and the post-shutdown drain apply operations identically.
+struct ShardWorker {
+    table: StreamTable,
+    stats: ShardStats,
+    log: Vec<(StreamId, Segment)>,
+    shard_log: bool,
+    tap: Option<mpsc::Sender<(StreamId, Segment)>>,
+}
+
+impl ShardWorker {
+    /// Forwards segments emitted since the last call for `stream` into
+    /// the fan-in log and/or the live tap.
+    fn emit_new_segments(&mut self, stream: StreamId) {
+        if !self.shard_log && self.tap.is_none() {
+            return;
+        }
+        let log = &mut self.log;
+        let shard_log = self.shard_log;
+        let tap = &self.tap;
+        self.table.drain_new_segments(stream, |seg| {
+            if shard_log {
+                log.push((stream, seg.clone()));
+            }
+            if let Some(tap) = tap {
+                // A dropped tap consumer is load shedding, not an error.
+                let _ = tap.send((stream, seg.clone()));
+            }
+        });
+    }
+
+    /// Applies one queued operation.
+    fn apply(&mut self, op: Op) {
+        self.stats.ops += 1;
         match op {
             Op::Register { stream, spec } => {
                 // An unbuildable spec is recorded in the table as
                 // quarantine state; a duplicate registration is dropped
                 // (the original filter keeps running) and counted so the
                 // discard is observable.
-                if let Err(IngestError::DuplicateStream(_)) = table.register(stream, &spec) {
-                    stats.duplicate_registers += 1;
+                if let Err(IngestError::DuplicateStream(_)) = self.table.register(stream, &spec) {
+                    self.stats.duplicate_registers += 1;
                 }
             }
             Op::Push { stream, t, x } => {
-                stats.samples += 1;
-                if let Err(IngestError::UnknownStream(_)) = table.push(stream, t, &x) {
-                    stats.unknown_stream_drops += 1;
+                self.stats.samples += 1;
+                if let Err(IngestError::UnknownStream(_)) = self.table.push(stream, t, &x) {
+                    self.stats.unknown_stream_drops += 1;
                 }
-                if shard_log {
-                    table.drain_new_segments(stream, |seg| log.push((stream, seg.clone())));
-                }
+                self.emit_new_segments(stream);
             }
             Op::PushBatch { stream, dims, times, values } => {
-                stats.samples += times.len() as u64;
+                self.stats.samples += times.len() as u64;
                 // Rebuild the pair view on a small stack buffer for
                 // small batches (its zero-init is cheaper than an
                 // allocation); larger batches build an exact-capacity
@@ -347,34 +414,58 @@ fn run_shard(rx: Receiver<Op>, shard_log: bool) -> ShardResult {
                     heap = pair_iter(dims, &times, &values).collect();
                     &heap
                 };
-                let result = table.push_batch(stream, pairs);
+                let result = self.table.push_batch(stream, pairs);
                 if let Err(IngestError::UnknownStream(_)) = result {
-                    stats.unknown_stream_drops += times.len() as u64;
+                    self.stats.unknown_stream_drops += times.len() as u64;
                 }
-                if shard_log {
-                    table.drain_new_segments(stream, |seg| log.push((stream, seg.clone())));
-                }
+                self.emit_new_segments(stream);
             }
             Op::FinishStream { stream } => {
                 // An unknown finish drops no samples; nothing to count.
-                let _ = table.finish_stream(stream);
-                if shard_log {
-                    table.drain_new_segments(stream, |seg| log.push((stream, seg.clone())));
+                let _ = self.table.finish_stream(stream);
+                self.emit_new_segments(stream);
+            }
+            Op::Shutdown => unreachable!("Shutdown is handled by the receive loop"),
+        }
+    }
+}
+
+fn run_shard(
+    rx: Receiver<Op>,
+    shard_log: bool,
+    tap: Option<mpsc::Sender<(StreamId, Segment)>>,
+) -> ShardResult {
+    let mut worker = ShardWorker {
+        table: StreamTable::new(),
+        stats: ShardStats::default(),
+        log: Vec::new(),
+        shard_log,
+        tap,
+    };
+    while let Ok(op) = rx.recv() {
+        if matches!(op, Op::Shutdown) {
+            worker.stats.ops += 1;
+            // Graceful drain: operations that raced into the queue
+            // behind the shutdown marker are still in flight from a
+            // producer's point of view — process them instead of
+            // silently dropping the queue tail with the channel.
+            while let Ok(op) = rx.try_recv() {
+                if !matches!(op, Op::Shutdown) {
+                    worker.apply(op);
                 }
             }
-            Op::Shutdown => break,
+            break;
         }
+        worker.apply(op);
     }
-    table.finish_all();
-    if shard_log {
-        let ids: Vec<StreamId> = table.ids().collect();
-        for stream in ids {
-            table.drain_new_segments(stream, |seg| log.push((stream, seg.clone())));
-        }
+    worker.table.finish_all();
+    let ids: Vec<StreamId> = worker.table.ids().collect();
+    for stream in ids {
+        worker.emit_new_segments(stream);
     }
-    stats.streams = table.len();
-    stats.segments = table.total_segments() as u64;
-    ShardResult { outputs: table.into_outputs(), stats, log }
+    worker.stats.streams = worker.table.len();
+    worker.stats.segments = worker.table.total_segments() as u64;
+    ShardResult { outputs: worker.table.into_outputs(), stats: worker.stats, log: worker.log }
 }
 
 #[cfg(test)]
@@ -469,6 +560,119 @@ mod tests {
         assert_eq!(report.shards[0].duplicate_registers, 1);
         assert_eq!(report.streams.len(), 1);
         assert_eq!(report.streams[&StreamId(1)].samples_in, 2, "first filter keeps running");
+    }
+
+    #[test]
+    fn shutdown_drains_operations_queued_behind_the_marker() {
+        // Deterministic construction of the shutdown race: stall the
+        // single shard with a pipeline of large batches, send the
+        // shutdown marker while it is still chewing, then enqueue more
+        // samples *behind the marker*. The graceful drain must process
+        // them instead of dropping the queue tail.
+        let engine =
+            IngestEngine::new(IngestConfig { shards: 1, queue_depth: 32, shard_log: false });
+        let h = engine.handle();
+        h.register(StreamId(1), spec()).unwrap();
+        let values: Vec<f64> = (0..500_000).map(|j| (j as f64 * 0.01).sin()).collect();
+        let mut t0 = 0.0;
+        for _ in 0..8 {
+            let samples: Vec<(f64, &[f64])> = values
+                .iter()
+                .enumerate()
+                .map(|(j, v)| (t0 + j as f64, std::slice::from_ref(v)))
+                .collect();
+            h.push_batch(StreamId(1), &samples).unwrap();
+            t0 += values.len() as f64;
+        }
+        // The shard is now busy for tens of milliseconds. Shut down from
+        // another thread; its marker enqueues behind the batches.
+        let finisher = std::thread::spawn(move || engine.finish());
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        // These land behind the shutdown marker (the shard is still busy
+        // with the batch pipeline). A push can fail Closed only if the
+        // worker already exited — count the ones that were accepted.
+        let mut late_ok = 0u64;
+        for j in 0..8 {
+            if h.push(StreamId(1), t0 + j as f64, &[0.5]).is_ok() {
+                late_ok += 1;
+            }
+        }
+        let report = finisher.join().expect("finish");
+        assert_eq!(
+            report.total_samples(),
+            8 * 500_000 + late_ok,
+            "samples queued behind the shutdown marker must be drained, not dropped"
+        );
+        assert!(late_ok > 0, "the late pushes should have reached the queue");
+    }
+
+    #[test]
+    fn backpressure_rejections_are_counted_per_shard() {
+        // Stall the single shard with a large batch, fill its depth-1
+        // queue, then watch try_push rejections: every Backpressure the
+        // caller sees must be visible in the report.
+        let engine =
+            IngestEngine::new(IngestConfig { shards: 1, queue_depth: 1, shard_log: false });
+        let h = engine.handle();
+        h.register(StreamId(1), spec()).unwrap();
+        let values: Vec<f64> = (0..1_000_000).map(|j| (j as f64 * 0.01).sin()).collect();
+        let samples: Vec<(f64, &[f64])> =
+            values.iter().enumerate().map(|(j, v)| (j as f64, std::slice::from_ref(v))).collect();
+        h.push_batch(StreamId(1), &samples).unwrap();
+        // Occupy the single queue slot, then push against the full queue.
+        let t1 = values.len() as f64;
+        h.push(StreamId(1), t1, &[0.0]).unwrap();
+        let mut rejected = 0u64;
+        for j in 0..16 {
+            match h.try_push(StreamId(1), t1 + 1.0 + j as f64, &[0.0]) {
+                Err(IngestError::Backpressure) => rejected += 1,
+                Ok(()) => {}
+                Err(other) => panic!("unexpected error: {other}"),
+            }
+        }
+        assert!(rejected > 0, "the depth-1 queue should have pushed back");
+        let report = engine.finish();
+        let counted: u64 = report.shards.iter().map(|s| s.backpressure).sum();
+        assert_eq!(counted, rejected, "every rejection the caller saw must be reported");
+    }
+
+    #[test]
+    fn segment_tap_streams_every_segment_live_in_order() {
+        let (engine, tap) = IngestEngine::with_segment_tap(IngestConfig {
+            shards: 2,
+            queue_depth: 16,
+            shard_log: true,
+        });
+        let h = engine.handle();
+        for id in 0..6u64 {
+            h.register(StreamId(id), spec()).unwrap();
+        }
+        for j in 0..300 {
+            for id in 0..6u64 {
+                h.push(
+                    StreamId(id),
+                    j as f64,
+                    &[(j as f64 * (0.2 + id as f64 * 0.07)).sin() * 3.0],
+                )
+                .unwrap();
+            }
+        }
+        let report = engine.finish();
+        // The tap closed with the engine; collect everything it carried.
+        let mut tapped: BTreeMap<StreamId, Vec<Segment>> = BTreeMap::new();
+        while let Ok((stream, seg)) = tap.recv() {
+            tapped.entry(stream).or_default().push(seg);
+        }
+        assert_eq!(tapped.len(), report.streams.len());
+        for (id, out) in &report.streams {
+            assert_eq!(
+                tapped[id], out.segments,
+                "{id}: tap must carry the exact segment log in emission order"
+            );
+        }
+        // And it coexists with (doesn't replace) the shard fan-in log.
+        let logged: usize = report.shard_logs.iter().map(|l| l.len()).sum();
+        assert_eq!(logged, report.total_segments());
     }
 
     #[test]

@@ -1,0 +1,396 @@
+//! Length-delimited net frames.
+//!
+//! The byte stream between the two endpoints is a sequence of frames,
+//! each `[u32 len LE][u8 kind][fields…]` where `len` counts everything
+//! after the length prefix. Four kinds exist:
+//!
+//! | Kind | Direction | Carries |
+//! |---|---|---|
+//! | [`NetFrame::Data`] | sender → receiver | one stream's `pla-transport` codec bytes (led by that stream's `StreamFrame` header) plus a per-stream sequence number |
+//! | [`NetFrame::Ack`] | receiver → sender | cumulative highest applied sequence number per stream |
+//! | [`NetFrame::Credit`] | receiver → sender | cumulative payload-byte grant per stream (flow control) |
+//! | [`NetFrame::Fin`] | sender → receiver | end of one stream, with its final sequence number |
+//!
+//! Frames never split messages: a `Data` frame's payload is a
+//! self-contained codec unit (the sender resets its codec per frame), so
+//! a replayed frame decodes identically whenever it arrives — the
+//! property the reconnect protocol rests on.
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+/// One frame of the multiplexed connection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetFrame {
+    /// A chunk of one stream's wire messages.
+    Data {
+        /// The stream the payload belongs to.
+        stream: u64,
+        /// Per-stream sequence number, starting at 1.
+        seq: u64,
+        /// `pla-transport` codec bytes, beginning with the stream's own
+        /// `StreamFrame` header.
+        payload: Bytes,
+    },
+    /// Cumulative acknowledgement: every `Data` frame of `stream` with
+    /// `seq <= through_seq` has been applied.
+    Ack {
+        /// The acknowledged stream.
+        stream: u64,
+        /// Highest applied sequence number.
+        through_seq: u64,
+    },
+    /// Cumulative flow-control grant: the sender may have sent at most
+    /// `granted_total` payload bytes on `stream` since stream birth.
+    Credit {
+        /// The granted stream.
+        stream: u64,
+        /// Absolute cumulative byte budget (monotonically increasing).
+        granted_total: u64,
+    },
+    /// The stream is complete; no `Data` frame with `seq > final_seq`
+    /// will ever exist.
+    Fin {
+        /// The finished stream.
+        stream: u64,
+        /// Sequence number of its last `Data` frame (0 if none).
+        final_seq: u64,
+    },
+}
+
+const KIND_DATA: u8 = 1;
+const KIND_ACK: u8 = 2;
+const KIND_CREDIT: u8 = 3;
+const KIND_FIN: u8 = 4;
+
+/// Framing-layer errors. Any of these is fatal for the connection (the
+/// byte stream is no longer trustworthy); the session layer reconnects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// Unknown kind byte.
+    BadKind(u8),
+    /// The length prefix exceeds the configured maximum — a corrupt
+    /// stream or a hostile peer; decoding must not buffer it.
+    Oversized {
+        /// Declared frame length.
+        len: u32,
+        /// Configured maximum.
+        max: u32,
+    },
+    /// The declared length does not match the kind's field layout.
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::BadKind(k) => write!(f, "unknown frame kind {k}"),
+            Self::Oversized { len, max } => write!(f, "frame length {len} exceeds maximum {max}"),
+            Self::Malformed(what) => write!(f, "malformed frame: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+fn put_u32_le(out: &mut BytesMut, n: u32) {
+    out.put_slice(&n.to_le_bytes());
+}
+
+/// Encodes `frame` onto `out`, returning the encoded length.
+pub fn encode(frame: &NetFrame, out: &mut BytesMut) -> usize {
+    let before = out.len();
+    match frame {
+        NetFrame::Data { stream, seq, payload } => {
+            put_u32_le(out, (1 + 16 + payload.len()) as u32);
+            out.put_u8(KIND_DATA);
+            out.put_u64_le(*stream);
+            out.put_u64_le(*seq);
+            out.put_slice(payload);
+        }
+        NetFrame::Ack { stream, through_seq } => {
+            put_u32_le(out, 1 + 16);
+            out.put_u8(KIND_ACK);
+            out.put_u64_le(*stream);
+            out.put_u64_le(*through_seq);
+        }
+        NetFrame::Credit { stream, granted_total } => {
+            put_u32_le(out, 1 + 16);
+            out.put_u8(KIND_CREDIT);
+            out.put_u64_le(*stream);
+            out.put_u64_le(*granted_total);
+        }
+        NetFrame::Fin { stream, final_seq } => {
+            put_u32_le(out, 1 + 16);
+            out.put_u8(KIND_FIN);
+            out.put_u64_le(*stream);
+            out.put_u64_le(*final_seq);
+        }
+    }
+    out.len() - before
+}
+
+/// Incremental frame decoder: feed arbitrary byte chunks, pull complete
+/// frames. Bytes of a partial frame wait in the accumulator until the
+/// rest arrives.
+///
+/// Deliberately no `Default`: a decoder needs a real `max_frame` bound
+/// (a zero bound would reject every frame as oversized).
+#[derive(Debug)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    pos: usize,
+    max_frame: u32,
+}
+
+impl FrameDecoder {
+    /// Creates a decoder enforcing `max_frame` as the largest accepted
+    /// length prefix.
+    pub fn new(max_frame: u32) -> Self {
+        Self { buf: Vec::new(), pos: 0, max_frame }
+    }
+
+    /// Appends raw link bytes.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        // Compact lazily: reclaim consumed prefix once it dominates.
+        if self.pos > 4096 && self.pos * 2 > self.buf.len() {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet decodable into a complete frame.
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Discards any partially received frame — called when a connection
+    /// dies mid-frame and a fresh link will restart the byte stream.
+    pub fn reset(&mut self) {
+        self.buf.clear();
+        self.pos = 0;
+    }
+
+    fn read_u64(body: &[u8], at: usize) -> u64 {
+        u64::from_le_bytes(body[at..at + 8].try_into().expect("8 bytes"))
+    }
+
+    /// Decodes the next complete frame, if a whole one is buffered.
+    pub fn try_next(&mut self) -> Result<Option<NetFrame>, FrameError> {
+        let avail = &self.buf[self.pos..];
+        if avail.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(avail[..4].try_into().expect("4 bytes"));
+        if len > self.max_frame {
+            return Err(FrameError::Oversized { len, max: self.max_frame });
+        }
+        if len < 1 {
+            return Err(FrameError::Malformed("zero-length frame"));
+        }
+        let total = 4 + len as usize;
+        if avail.len() < total {
+            return Ok(None);
+        }
+        let body = &avail[4..total];
+        let kind = body[0];
+        let frame = match kind {
+            KIND_DATA => {
+                if body.len() < 17 {
+                    return Err(FrameError::Malformed("Data frame shorter than its header"));
+                }
+                NetFrame::Data {
+                    stream: Self::read_u64(body, 1),
+                    seq: Self::read_u64(body, 9),
+                    payload: Bytes::from(body[17..].to_vec()),
+                }
+            }
+            KIND_ACK | KIND_CREDIT | KIND_FIN => {
+                if body.len() != 17 {
+                    return Err(FrameError::Malformed("control frame must be exactly 17 bytes"));
+                }
+                let stream = Self::read_u64(body, 1);
+                let value = Self::read_u64(body, 9);
+                match kind {
+                    KIND_ACK => NetFrame::Ack { stream, through_seq: value },
+                    KIND_CREDIT => NetFrame::Credit { stream, granted_total: value },
+                    _ => NetFrame::Fin { stream, final_seq: value },
+                }
+            }
+            other => return Err(FrameError::BadKind(other)),
+        };
+        self.pos += total;
+        Ok(Some(frame))
+    }
+}
+
+/// Staged outbound bytes: whole frames are appended, the link drains
+/// from the front (partial writes allowed). The same offset-compaction
+/// scheme as [`FrameDecoder`].
+#[derive(Debug, Default)]
+pub struct Outbox {
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl Outbox {
+    /// Appends encoded frame bytes.
+    pub fn stage(&mut self, bytes: &[u8]) {
+        if self.pos > 4096 && self.pos * 2 > self.buf.len() {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes not yet handed to the link.
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Whether everything staged has been written.
+    pub fn is_empty(&self) -> bool {
+        self.pending() == 0
+    }
+
+    /// The unwritten bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf[self.pos..]
+    }
+
+    /// Marks `n` leading bytes as written.
+    pub fn consume(&mut self, n: usize) {
+        debug_assert!(n <= self.pending());
+        self.pos += n;
+    }
+
+    /// Takes every pending byte at once (manual pumping, tests).
+    pub fn take(&mut self) -> Vec<u8> {
+        let out = self.buf.split_off(self.pos.min(self.buf.len()));
+        self.buf.clear();
+        self.pos = 0;
+        out
+    }
+
+    /// Discards everything staged (a dead link will never receive it;
+    /// the reconnect path restages what still matters).
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.pos = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_frames() -> Vec<NetFrame> {
+        vec![
+            NetFrame::Data { stream: 7, seq: 1, payload: Bytes::from(vec![9, 8, 7]) },
+            NetFrame::Ack { stream: 7, through_seq: 1 },
+            NetFrame::Credit { stream: 7, granted_total: 65536 },
+            NetFrame::Data { stream: u64::MAX, seq: 2, payload: Bytes::from(vec![]) },
+            NetFrame::Fin { stream: 7, final_seq: 2 },
+        ]
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = BytesMut::new();
+        for f in sample_frames() {
+            encode(&f, &mut buf);
+        }
+        let mut dec = FrameDecoder::new(1024);
+        dec.extend(&buf);
+        for want in sample_frames() {
+            assert_eq!(dec.try_next().unwrap().unwrap(), want);
+        }
+        assert_eq!(dec.try_next().unwrap(), None);
+        assert_eq!(dec.pending(), 0);
+    }
+
+    #[test]
+    fn partial_frames_wait_for_more_bytes() {
+        let mut buf = BytesMut::new();
+        encode(&NetFrame::Ack { stream: 3, through_seq: 9 }, &mut buf);
+        let mut dec = FrameDecoder::new(1024);
+        for (i, &b) in buf.iter().enumerate() {
+            dec.extend(&[b]);
+            let got = dec.try_next().unwrap();
+            if i + 1 < buf.len() {
+                assert_eq!(got, None, "byte {i} must not complete the frame");
+            } else {
+                assert_eq!(got, Some(NetFrame::Ack { stream: 3, through_seq: 9 }));
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_and_bad_kind_are_typed_errors() {
+        let mut dec = FrameDecoder::new(16);
+        dec.extend(&100u32.to_le_bytes());
+        assert_eq!(dec.try_next(), Err(FrameError::Oversized { len: 100, max: 16 }));
+
+        let mut dec = FrameDecoder::new(1024);
+        dec.extend(&1u32.to_le_bytes());
+        dec.extend(&[99u8]);
+        assert_eq!(dec.try_next(), Err(FrameError::BadKind(99)));
+    }
+
+    #[test]
+    fn malformed_control_length_is_rejected() {
+        let mut dec = FrameDecoder::new(1024);
+        dec.extend(&2u32.to_le_bytes());
+        dec.extend(&[super::KIND_ACK, 0]);
+        assert!(matches!(dec.try_next(), Err(FrameError::Malformed(_))));
+    }
+
+    #[test]
+    fn reset_discards_partial_frames() {
+        let mut buf = BytesMut::new();
+        encode(&NetFrame::Fin { stream: 1, final_seq: 4 }, &mut buf);
+        let mut dec = FrameDecoder::new(1024);
+        dec.extend(&buf[..buf.len() - 3]);
+        assert_eq!(dec.try_next().unwrap(), None);
+        assert!(dec.pending() > 0);
+        dec.reset();
+        assert_eq!(dec.pending(), 0);
+        // A fresh, complete frame decodes cleanly after the reset.
+        dec.extend(&buf);
+        assert_eq!(dec.try_next().unwrap(), Some(NetFrame::Fin { stream: 1, final_seq: 4 }));
+    }
+
+    #[test]
+    fn outbox_stages_consumes_and_compacts() {
+        let mut out = Outbox::default();
+        out.stage(b"abc");
+        out.stage(b"def");
+        assert_eq!(out.pending(), 6);
+        assert_eq!(out.as_bytes(), b"abcdef");
+        out.consume(4);
+        assert_eq!(out.as_bytes(), b"ef");
+        let rest = out.take();
+        assert_eq!(rest, b"ef");
+        assert!(out.is_empty());
+        // Compaction keeps memory bounded under sustained traffic.
+        for _ in 0..5000 {
+            out.stage(&[7u8; 8]);
+            out.consume(8);
+        }
+        assert!(out.is_empty());
+        assert!(out.buf.len() < 16 * 1024, "outbox must compact, got {}", out.buf.len());
+    }
+
+    #[test]
+    fn accumulator_compacts_without_losing_data() {
+        let mut buf = BytesMut::new();
+        encode(&NetFrame::Credit { stream: 2, granted_total: 7 }, &mut buf);
+        let mut dec = FrameDecoder::new(1024);
+        for _ in 0..2000 {
+            dec.extend(&buf);
+            assert!(dec.try_next().unwrap().is_some());
+        }
+        assert_eq!(dec.pending(), 0);
+        assert!(dec.buf.len() < 16 * 1024, "accumulator must compact, got {}", dec.buf.len());
+    }
+}

@@ -1,0 +1,280 @@
+//! The receiving endpoint: framed bytes in, per-stream segment logs
+//! out, acks and credit grants back.
+//!
+//! [`NetReceiver`] is the sans-I/O twin of
+//! [`MuxSender`](crate::MuxSender): it owns the
+//! [`FrameDecoder`](crate::frame::FrameDecoder), a
+//! [`StreamDemux`] (which performs the actual segment reconstruction
+//! and the sequence-number dedup that makes replay safe), and one
+//! [`ReceiveWindow`](crate::credit::ReceiveWindow) per stream for
+//! credit scheduling.
+
+use std::collections::BTreeMap;
+
+use bytes::BytesMut;
+
+use pla_transport::wire::Codec;
+use pla_transport::{SeqOutcome, StreamDemux};
+
+use crate::credit::ReceiveWindow;
+use crate::frame::{encode, FrameDecoder, NetFrame, Outbox};
+use crate::{NetConfig, NetError};
+
+/// The multiplexed receiver. Feed it link bytes with
+/// [`on_bytes`](Self::on_bytes); collect its outbound `Ack`/`Credit`
+/// control frames from [`take_staged`](Self::take_staged) (or the
+/// [`driver`](crate::driver) pumps); read the reconstruction from
+/// [`demux`](Self::demux).
+pub struct NetReceiver<C: Codec> {
+    frames: FrameDecoder,
+    demux: StreamDemux<C>,
+    windows: BTreeMap<u64, ReceiveWindow>,
+    /// Streams whose `Fin` arrived, with their final sequence number.
+    finished: BTreeMap<u64, u64>,
+    out: Outbox,
+    config: NetConfig,
+    scratch: BytesMut,
+}
+
+impl<C: Codec> NetReceiver<C> {
+    /// Creates a receiver for `dims`-dimensional streams. `config` must
+    /// match the sender's (the initial credit window is an implicit
+    /// shared constant).
+    pub fn new(codec: C, dims: usize, config: NetConfig) -> Self {
+        Self {
+            frames: FrameDecoder::new(config.max_frame),
+            demux: StreamDemux::new(codec, dims),
+            windows: BTreeMap::new(),
+            finished: BTreeMap::new(),
+            out: Outbox::default(),
+            config,
+            scratch: BytesMut::new(),
+        }
+    }
+
+    fn stage_frame(&mut self, frame: &NetFrame) {
+        self.scratch.clear();
+        encode(frame, &mut self.scratch);
+        self.out.stage(&self.scratch);
+    }
+
+    /// Feeds inbound link bytes, applying every complete frame:
+    ///
+    /// * `Data` → [`StreamDemux::consume_sequenced`]; an applied frame
+    ///   is acknowledged and counted against the stream's credit
+    ///   window (re-granting when half the window is consumed); a
+    ///   duplicate (replay after reconnect) is dropped but *re-acked*,
+    ///   so a sender whose acks were lost with the old connection can
+    ///   still release its replay buffer.
+    /// * `Fin` → the stream is complete; verified against the applied
+    ///   sequence point.
+    /// * `Ack`/`Credit` → protocol error at this endpoint.
+    pub fn on_bytes(&mut self, bytes: &[u8]) -> Result<(), NetError> {
+        self.frames.extend(bytes);
+        while let Some(frame) = self.frames.try_next()? {
+            match frame {
+                NetFrame::Data { stream, seq, payload } => {
+                    let payload_len = payload.len() as u64;
+                    match self.demux.consume_sequenced(stream, seq, payload)? {
+                        SeqOutcome::Applied => {
+                            let window = self
+                                .windows
+                                .entry(stream)
+                                .or_insert_with(|| ReceiveWindow::new(self.config.window));
+                            window.on_delivered(payload_len);
+                            let grant = window.due_grant();
+                            let ack = self.demux.ack_point(stream);
+                            self.stage_frame(&NetFrame::Ack { stream, through_seq: ack });
+                            if let Some(granted_total) = grant {
+                                self.stage_frame(&NetFrame::Credit { stream, granted_total });
+                            }
+                        }
+                        SeqOutcome::Duplicate => {
+                            let ack = self.demux.ack_point(stream);
+                            self.stage_frame(&NetFrame::Ack { stream, through_seq: ack });
+                        }
+                    }
+                }
+                NetFrame::Fin { stream, final_seq } => {
+                    let applied = self.demux.ack_point(stream);
+                    if applied != final_seq {
+                        return Err(NetError::IncompleteFin { stream, final_seq, applied });
+                    }
+                    // Idempotent: a replayed Fin re-records the same fact.
+                    self.finished.insert(stream, final_seq);
+                }
+                NetFrame::Ack { .. } => return Err(NetError::UnexpectedFrame("Ack at receiver")),
+                NetFrame::Credit { .. } => {
+                    return Err(NetError::UnexpectedFrame("Credit at receiver"))
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The connection died: forget the dead link's partial inbound
+    /// frame and its undelivered control bytes, then re-announce this
+    /// side's cumulative state — an `Ack` and a `Credit` per known
+    /// stream — so the reconnected sender can immediately trim its
+    /// replay buffer and resume sending.
+    pub fn on_reconnect(&mut self) {
+        self.frames.reset();
+        self.out.clear();
+        let refresh: Vec<(u64, u64)> = self
+            .demux
+            .streams()
+            .map(|s| (s, self.windows.get(&s).map_or(self.config.window, |w| w.current_grant())))
+            .collect();
+        for (stream, granted_total) in refresh {
+            let ack = self.demux.ack_point(stream);
+            self.stage_frame(&NetFrame::Ack { stream, through_seq: ack });
+            self.stage_frame(&NetFrame::Credit { stream, granted_total });
+        }
+    }
+
+    /// The reconstruction state: per-stream segment logs, coverage,
+    /// counters.
+    pub fn demux(&self) -> &StreamDemux<C> {
+        &self.demux
+    }
+
+    /// Consumes the receiver, handing back the demultiplexer (for
+    /// [`StreamDemux::into_segment_logs`]).
+    pub fn into_demux(self) -> StreamDemux<C> {
+        self.demux
+    }
+
+    /// Streams whose `Fin` has arrived, ascending.
+    pub fn finished_streams(&self) -> impl Iterator<Item = u64> + '_ {
+        self.finished.keys().copied()
+    }
+
+    /// Whether `stream` is complete.
+    pub fn is_finished(&self, stream: u64) -> bool {
+        self.finished.contains_key(&stream)
+    }
+
+    /// Bytes staged for the link (acks, credit grants) but not yet
+    /// written.
+    pub fn staged_bytes(&self) -> usize {
+        self.out.pending()
+    }
+
+    /// Drains every staged control byte (manual pumping).
+    pub fn take_staged(&mut self) -> Vec<u8> {
+        self.out.take()
+    }
+
+    pub(crate) fn outbox(&mut self) -> &mut Outbox {
+        &mut self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use pla_transport::wire::{FixedCodec, Message};
+
+    fn payload(stream: u64, msgs: &[Message]) -> Bytes {
+        let mut codec = FixedCodec;
+        let mut buf = BytesMut::new();
+        codec.encode(&Message::StreamFrame { stream }, 1, &mut buf);
+        for m in msgs {
+            codec.encode(m, 1, &mut buf);
+        }
+        buf.freeze()
+    }
+
+    fn data_bytes(stream: u64, seq: u64, msgs: &[Message]) -> Vec<u8> {
+        let mut buf = BytesMut::new();
+        encode(&NetFrame::Data { stream, seq, payload: payload(stream, msgs) }, &mut buf);
+        buf.to_vec()
+    }
+
+    fn control_frames(rx: &mut NetReceiver<FixedCodec>) -> Vec<NetFrame> {
+        let mut dec = FrameDecoder::new(1 << 20);
+        dec.extend(&rx.take_staged());
+        let mut out = Vec::new();
+        while let Some(f) = dec.try_next().unwrap() {
+            out.push(f);
+        }
+        out
+    }
+
+    #[test]
+    fn applied_data_is_acked_and_counted() {
+        let mut rx = NetReceiver::new(FixedCodec, 1, NetConfig::default());
+        rx.on_bytes(&data_bytes(3, 1, &[Message::Point { t: 0.0, x: vec![1.0] }])).unwrap();
+        let ctl = control_frames(&mut rx);
+        assert_eq!(ctl, vec![NetFrame::Ack { stream: 3, through_seq: 1 }]);
+        assert_eq!(rx.demux().segments(3).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn duplicates_are_dropped_but_reacked() {
+        let mut rx = NetReceiver::new(FixedCodec, 1, NetConfig::default());
+        let frame = data_bytes(3, 1, &[Message::Point { t: 0.0, x: vec![1.0] }]);
+        rx.on_bytes(&frame).unwrap();
+        let _ = control_frames(&mut rx);
+        rx.on_bytes(&frame).unwrap();
+        let ctl = control_frames(&mut rx);
+        assert_eq!(ctl, vec![NetFrame::Ack { stream: 3, through_seq: 1 }], "re-ack the replay");
+        assert_eq!(rx.demux().segments(3).unwrap().len(), 1, "no duplicate segment");
+    }
+
+    #[test]
+    fn consumption_regrants_credit() {
+        let cfg = NetConfig { window: 64, max_frame: 1 << 20 };
+        let mut rx = NetReceiver::new(FixedCodec, 1, cfg);
+        // Each Point frame payload is 9 (header) + 17 = 26 bytes; two of
+        // them cross half the 64-byte window.
+        rx.on_bytes(&data_bytes(1, 1, &[Message::Point { t: 0.0, x: vec![1.0] }])).unwrap();
+        rx.on_bytes(&data_bytes(1, 2, &[Message::Point { t: 1.0, x: vec![2.0] }])).unwrap();
+        let ctl = control_frames(&mut rx);
+        assert!(
+            ctl.contains(&NetFrame::Credit { stream: 1, granted_total: 52 + 64 }),
+            "expected a top-up grant, got {ctl:?}"
+        );
+    }
+
+    #[test]
+    fn fin_requires_every_frame_applied() {
+        let mut rx = NetReceiver::new(FixedCodec, 1, NetConfig::default());
+        rx.on_bytes(&data_bytes(2, 1, &[Message::Point { t: 0.0, x: vec![1.0] }])).unwrap();
+        let mut early_fin = BytesMut::new();
+        encode(&NetFrame::Fin { stream: 2, final_seq: 5 }, &mut early_fin);
+        assert_eq!(
+            rx.on_bytes(&early_fin),
+            Err(NetError::IncompleteFin { stream: 2, final_seq: 5, applied: 1 })
+        );
+        let mut rx = NetReceiver::new(FixedCodec, 1, NetConfig::default());
+        rx.on_bytes(&data_bytes(2, 1, &[Message::Point { t: 0.0, x: vec![1.0] }])).unwrap();
+        let mut fin = BytesMut::new();
+        encode(&NetFrame::Fin { stream: 2, final_seq: 1 }, &mut fin);
+        rx.on_bytes(&fin).unwrap();
+        assert!(rx.is_finished(2));
+        // A replayed Fin is idempotent.
+        rx.on_bytes(&fin).unwrap();
+        assert_eq!(rx.finished_streams().collect::<Vec<_>>(), vec![2]);
+    }
+
+    #[test]
+    fn reconnect_reannounces_cumulative_state() {
+        let mut rx = NetReceiver::new(FixedCodec, 1, NetConfig::default());
+        rx.on_bytes(&data_bytes(7, 1, &[Message::Point { t: 0.0, x: vec![1.0] }])).unwrap();
+        let _ = control_frames(&mut rx); // acks lost with the old link
+        rx.on_reconnect();
+        let ctl = control_frames(&mut rx);
+        assert!(ctl.contains(&NetFrame::Ack { stream: 7, through_seq: 1 }));
+        assert!(ctl.iter().any(|f| matches!(f, NetFrame::Credit { stream: 7, .. })));
+    }
+
+    #[test]
+    fn control_frames_at_the_receiver_are_protocol_errors() {
+        let mut rx = NetReceiver::new(FixedCodec, 1, NetConfig::default());
+        let mut buf = BytesMut::new();
+        encode(&NetFrame::Ack { stream: 1, through_seq: 1 }, &mut buf);
+        assert!(matches!(rx.on_bytes(&buf), Err(NetError::UnexpectedFrame(_))));
+    }
+}

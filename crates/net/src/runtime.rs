@@ -1,0 +1,423 @@
+//! A minimal single-threaded futures runtime: executor, timers, and a
+//! *poll-loop reactor* over non-blocking I/O.
+//!
+//! The offline-build policy that vendors `rand`/`bytes`/`proptest`/
+//! `criterion` as API stand-ins (see `vendor/README.md`) applies to the
+//! async runtime too: no `tokio`, no `mio` — just `std`. The design is
+//! the smallest thing that honestly drives this crate's transport:
+//!
+//! * **Executor** — single-threaded, cooperative. Tasks are `!Send`
+//!   futures boxed on the local heap; wakers carry a task id into a
+//!   mutex-protected ready queue (wakers must be `Send`, the tasks never
+//!   leave the thread). [`block_on`] runs a root future plus everything
+//!   it [`spawn`](Spawner::spawn)s.
+//! * **Poll-loop reactor** — `std` exposes no portable readiness API
+//!   (epoll/kqueue live behind `mio`), so I/O futures that hit
+//!   [`WouldBlock`](std::io::ErrorKind::WouldBlock) register with the
+//!   reactor and the executor re-polls them after a short park interval
+//!   (or as soon as any waker fires). This trades a bounded amount of
+//!   latency (≤ one poll interval, default 200 µs) for zero platform
+//!   code — the right trade for a loopback-tested reference transport;
+//!   an epoll-backed reactor slots in behind the same [`io_op`] seam.
+//! * **Timers** — a deadline list consulted for the park timeout;
+//!   [`sleep`] and [`yield_now`] are the primitives the drivers use for
+//!   backoff.
+//!
+//! ```
+//! use pla_net::runtime;
+//! use std::{cell::Cell, rc::Rc};
+//!
+//! let hits = Rc::new(Cell::new(0u32));
+//! let h = hits.clone();
+//! let out = runtime::block_on(async move {
+//!     let spawner = runtime::spawner();
+//!     let h2 = h.clone();
+//!     spawner.spawn(async move { h2.set(h2.get() + 21) });
+//!     // Turns are FIFO: the first yield queues this task's own wake
+//!     // ahead of the child, so yield twice to see the child's effect.
+//!     runtime::yield_now().await;
+//!     runtime::yield_now().await;
+//!     h.get() + 21
+//! });
+//! assert_eq!(out, 42);
+//! ```
+
+use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
+use std::future::Future;
+use std::io;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::sync::{Arc, Mutex};
+use std::task::{Context, Poll, Wake, Waker};
+use std::thread::Thread;
+use std::time::{Duration, Instant};
+
+/// How long the executor parks when every task is pending on I/O and no
+/// timer is due sooner. The reactor's poll cadence.
+const POLL_INTERVAL: Duration = Duration::from_micros(200);
+
+type LocalFuture = Pin<Box<dyn Future<Output = ()>>>;
+
+/// Wakes the executor thread and marks one task runnable. This is the
+/// only piece that crosses threads, hence the `Mutex` (uncontended in
+/// the single-threaded common case).
+struct TaskWaker {
+    id: u64,
+    ready: Arc<ReadyQueue>,
+}
+
+struct ReadyQueue {
+    ids: Mutex<VecDeque<u64>>,
+    thread: Thread,
+}
+
+impl ReadyQueue {
+    fn push(&self, id: u64) {
+        self.ids.lock().expect("ready queue").push_back(id);
+        self.thread.unpark();
+    }
+
+    fn pop(&self) -> Option<u64> {
+        self.ids.lock().expect("ready queue").pop_front()
+    }
+}
+
+impl Wake for TaskWaker {
+    fn wake(self: Arc<Self>) {
+        self.ready.push(self.id);
+    }
+}
+
+/// Reactor + spawner state shared between the executor and the futures
+/// it polls, installed in a thread-local while the executor runs.
+struct Shared {
+    /// Tasks spawned from inside other tasks, picked up each turn.
+    spawned: RefCell<Vec<LocalFuture>>,
+    /// Wakers parked on I/O readiness: the poll-loop reactor re-fires
+    /// all of them after each park interval.
+    io_waiters: RefCell<Vec<Waker>>,
+    /// Timer deadlines with their wakers.
+    timers: RefCell<Vec<(Instant, Waker)>>,
+}
+
+impl Shared {
+    fn new() -> Rc<Self> {
+        Rc::new(Self {
+            spawned: RefCell::new(Vec::new()),
+            io_waiters: RefCell::new(Vec::new()),
+            timers: RefCell::new(Vec::new()),
+        })
+    }
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<Rc<Shared>>> = const { RefCell::new(None) };
+}
+
+fn with_shared<R>(f: impl FnOnce(&Shared) -> R) -> R {
+    CURRENT.with(|cur| {
+        let cur = cur.borrow();
+        let shared = cur.as_ref().expect(
+            "pla-net runtime primitive used outside runtime::block_on \
+             (sleep/io_op/spawn need a running executor)",
+        );
+        f(shared)
+    })
+}
+
+/// Resets the thread-local runtime slot when `block_on` unwinds.
+struct CurrentGuard;
+
+impl Drop for CurrentGuard {
+    fn drop(&mut self) {
+        CURRENT.with(|cur| *cur.borrow_mut() = None);
+    }
+}
+
+/// Spawns tasks onto the running executor from inside a task.
+#[derive(Clone)]
+pub struct Spawner {
+    shared: Rc<Shared>,
+}
+
+impl Spawner {
+    /// Queues `fut` to run on the current executor. The task is polled
+    /// starting with the executor's next turn.
+    pub fn spawn(&self, fut: impl Future<Output = ()> + 'static) {
+        self.shared.spawned.borrow_mut().push(Box::pin(fut));
+    }
+}
+
+/// A [`Spawner`] for the running executor.
+///
+/// # Panics
+///
+/// Panics outside [`block_on`].
+pub fn spawner() -> Spawner {
+    let shared = CURRENT.with(|cur| {
+        cur.borrow()
+            .as_ref()
+            .expect(
+                "pla-net runtime primitive used outside runtime::block_on \
+                 (sleep/io_op/spawn need a running executor)",
+            )
+            .clone()
+    });
+    Spawner { shared }
+}
+
+/// Runs `root` to completion on the current thread, driving every task
+/// it spawns. Spawned tasks still pending when the root completes are
+/// dropped (structured teardown: the root future owns the session).
+pub fn block_on<F: Future>(root: F) -> F::Output {
+    let shared = Shared::new();
+    CURRENT.with(|cur| {
+        assert!(cur.borrow().is_none(), "nested runtime::block_on on one thread");
+        *cur.borrow_mut() = Some(shared.clone());
+    });
+    let _guard = CurrentGuard;
+
+    let ready =
+        Arc::new(ReadyQueue { ids: Mutex::new(VecDeque::new()), thread: std::thread::current() });
+    const ROOT_ID: u64 = 0;
+    let mut next_id: u64 = 1;
+    let mut tasks: HashMap<u64, LocalFuture> = HashMap::new();
+    let mut root = Box::pin(root);
+    ready.push(ROOT_ID);
+
+    // Adopt tasks spawned since the last check: queueing them right
+    // after the spawning task's poll keeps turns FIFO-fair (a task that
+    // spawns then self-wakes cannot starve its children).
+    let mut adopt = |tasks: &mut HashMap<u64, LocalFuture>| {
+        for fut in shared.spawned.borrow_mut().drain(..) {
+            let id = next_id;
+            next_id += 1;
+            tasks.insert(id, fut);
+            ready.push(id);
+        }
+    };
+
+    loop {
+        adopt(&mut tasks);
+
+        // Fire due timers.
+        let now = Instant::now();
+        shared.timers.borrow_mut().retain(|(deadline, waker)| {
+            if *deadline <= now {
+                waker.wake_by_ref();
+                false
+            } else {
+                true
+            }
+        });
+
+        // Poll everything runnable.
+        let mut polled_any = false;
+        while let Some(id) = ready.pop() {
+            polled_any = true;
+            let waker = Waker::from(Arc::new(TaskWaker { id, ready: ready.clone() }));
+            let mut cx = Context::from_waker(&waker);
+            if id == ROOT_ID {
+                if let Poll::Ready(out) = root.as_mut().poll(&mut cx) {
+                    return out;
+                }
+            } else if let Some(mut fut) = tasks.remove(&id) {
+                if fut.as_mut().poll(&mut cx).is_pending() {
+                    tasks.insert(id, fut);
+                }
+            }
+            adopt(&mut tasks);
+        }
+        if polled_any {
+            continue;
+        }
+
+        // Nothing runnable: this is the reactor turn. Wake I/O waiters
+        // after a bounded park (the poll-loop), or earlier if a timer is
+        // due or a cross-thread waker unparks us.
+        let io_pending = !shared.io_waiters.borrow().is_empty();
+        let next_timer = shared.timers.borrow().iter().map(|(d, _)| *d).min();
+        let mut timeout = match next_timer {
+            Some(deadline) => deadline.saturating_duration_since(Instant::now()),
+            None => Duration::from_millis(50),
+        };
+        if io_pending {
+            timeout = timeout.min(POLL_INTERVAL);
+        }
+        if !timeout.is_zero() {
+            std::thread::park_timeout(timeout);
+        }
+        for waker in shared.io_waiters.borrow_mut().drain(..) {
+            waker.wake();
+        }
+    }
+}
+
+/// Completes after the given duration (while other tasks keep running).
+pub fn sleep(duration: Duration) -> impl Future<Output = ()> {
+    let deadline = Instant::now() + duration;
+    let mut registered = false;
+    std::future::poll_fn(move |cx| {
+        if Instant::now() >= deadline {
+            Poll::Ready(())
+        } else {
+            if !registered {
+                with_shared(|s| s.timers.borrow_mut().push((deadline, cx.waker().clone())));
+                registered = true;
+            }
+            Poll::Pending
+        }
+    })
+}
+
+/// Yields once, letting every other runnable task take a turn.
+pub fn yield_now() -> impl Future<Output = ()> {
+    let mut yielded = false;
+    std::future::poll_fn(move |cx| {
+        if yielded {
+            Poll::Ready(())
+        } else {
+            yielded = true;
+            cx.waker().wake_by_ref();
+            Poll::Pending
+        }
+    })
+}
+
+/// Suspends until the reactor's next poll turn: resumes as soon as any
+/// waker fires, or after at most one poll interval. This is the "wait
+/// for I/O readiness" primitive of the poll-loop design — a pump loop
+/// that made no progress awaits this instead of spinning.
+pub fn reactor_tick() -> impl Future<Output = ()> {
+    let mut registered = false;
+    std::future::poll_fn(move |cx| {
+        if registered {
+            Poll::Ready(())
+        } else {
+            registered = true;
+            with_shared(|s| s.io_waiters.borrow_mut().push(cx.waker().clone()));
+            Poll::Pending
+        }
+    })
+}
+
+/// Adapts a non-blocking I/O operation into a future: runs `op`; on
+/// [`WouldBlock`](io::ErrorKind::WouldBlock) registers with the
+/// poll-loop reactor and suspends, resolving once the operation
+/// eventually returns ready or fails. [`Interrupted`](io::ErrorKind::Interrupted)
+/// retries immediately.
+///
+/// This is the seam between the sans-I/O protocol endpoints and the
+/// runtime: `op` typically borrows a [`Link`](crate::Link) through a
+/// `RefCell` and attempts one `try_read`/`try_write`.
+pub fn io_op<T>(mut op: impl FnMut() -> io::Result<T>) -> impl Future<Output = io::Result<T>> {
+    std::future::poll_fn(move |cx| match op() {
+        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+            with_shared(|s| s.io_waiters.borrow_mut().push(cx.waker().clone()));
+            Poll::Pending
+        }
+        Err(e) if e.kind() == io::ErrorKind::Interrupted => {
+            cx.waker().wake_by_ref();
+            Poll::Pending
+        }
+        other => Poll::Ready(other),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+
+    #[test]
+    fn block_on_returns_root_value() {
+        assert_eq!(block_on(async { 7 }), 7);
+    }
+
+    #[test]
+    fn spawned_tasks_run_and_interleave() {
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let out = block_on({
+            let log = log.clone();
+            async move {
+                let spawner = spawner();
+                for id in 0..3 {
+                    let log = log.clone();
+                    spawner.spawn(async move {
+                        log.borrow_mut().push(id);
+                        yield_now().await;
+                        log.borrow_mut().push(id + 10);
+                    });
+                }
+                // Give the children two turns.
+                yield_now().await;
+                yield_now().await;
+                yield_now().await;
+                log.borrow().len()
+            }
+        });
+        assert_eq!(out, 6, "all three tasks completed both halves");
+        let log = log.borrow();
+        // First halves all ran before any second half (cooperative turns).
+        assert_eq!(&log[..3], &[0, 1, 2]);
+    }
+
+    #[test]
+    fn sleep_orders_by_deadline() {
+        let order = Rc::new(RefCell::new(Vec::new()));
+        block_on({
+            let order = order.clone();
+            async move {
+                let spawner = spawner();
+                let o1 = order.clone();
+                spawner.spawn(async move {
+                    sleep(Duration::from_millis(20)).await;
+                    o1.borrow_mut().push("late");
+                });
+                let o2 = order.clone();
+                spawner.spawn(async move {
+                    sleep(Duration::from_millis(1)).await;
+                    o2.borrow_mut().push("early");
+                });
+                sleep(Duration::from_millis(40)).await;
+            }
+        });
+        assert_eq!(*order.borrow(), vec!["early", "late"]);
+    }
+
+    #[test]
+    fn io_op_retries_would_block_until_ready() {
+        let attempts = Rc::new(Cell::new(0));
+        let result = block_on({
+            let attempts = attempts.clone();
+            async move {
+                io_op(move || {
+                    attempts.set(attempts.get() + 1);
+                    if attempts.get() < 4 {
+                        Err(io::Error::new(io::ErrorKind::WouldBlock, "not yet"))
+                    } else {
+                        Ok(99u32)
+                    }
+                })
+                .await
+            }
+        });
+        assert_eq!(result.unwrap(), 99);
+        assert_eq!(attempts.get(), 4);
+    }
+
+    #[test]
+    fn io_op_propagates_real_errors() {
+        let result: io::Result<()> = block_on(async {
+            io_op(|| Err(io::Error::new(io::ErrorKind::ConnectionReset, "gone"))).await
+        });
+        assert_eq!(result.unwrap_err().kind(), io::ErrorKind::ConnectionReset);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside runtime::block_on")]
+    fn primitives_outside_block_on_panic() {
+        with_shared(|_| ());
+    }
+}

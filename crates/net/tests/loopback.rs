@@ -1,0 +1,186 @@
+//! The tentpole acceptance test: 64 streams over one multiplexed
+//! connection, with a forced mid-stream disconnect/reconnect, must
+//! reconstruct per-stream segment logs *identical* to what a dedicated
+//! point-to-point transmitter/receiver pair produces for each stream.
+//!
+//! The sending side is the real production path: an `IngestEngine`
+//! (shard-per-core) whose live segment tap feeds the `EngineUplink`,
+//! which multiplexes into a `MuxSender` under credit backpressure over
+//! a deliberately tiny `MemoryLink`.
+
+use std::collections::BTreeMap;
+
+use pla_core::filters::{FilterKind, FilterSpec};
+use pla_core::{Segment, Signal};
+use pla_ingest::{IngestConfig, IngestEngine, StreamId};
+use pla_net::driver::{pump_receiver, pump_sender, DriveError};
+use pla_net::uplink::{EngineUplink, UplinkStatus};
+use pla_net::{MemoryLink, MuxSender, NetConfig, NetReceiver};
+use pla_signal::{random_walk, WalkParams};
+use pla_transport::wire::{Codec, FixedCodec};
+use pla_transport::{Receiver, Transmitter};
+
+const STREAMS: u64 = 64;
+const SAMPLES: usize = 400;
+
+fn spec_for(id: u64) -> FilterSpec {
+    // Mix filter families across the population.
+    let kind = match id % 3 {
+        0 => FilterKind::Swing,
+        1 => FilterKind::Slide,
+        _ => FilterKind::Cache,
+    };
+    FilterSpec::new(kind, &[0.5])
+}
+
+fn signal_for(id: u64) -> Signal {
+    random_walk(WalkParams {
+        n: SAMPLES,
+        p_decrease: 0.5,
+        max_delta: 1.5,
+        seed: 0x7E72 ^ id.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+    })
+}
+
+/// The reference: each stream over its own dedicated point-to-point
+/// transport link, as the paper deploys it.
+fn direct_reference<C: Codec + Clone>(codec: C) -> BTreeMap<u64, Vec<Segment>> {
+    let mut out = BTreeMap::new();
+    for id in 0..STREAMS {
+        let filter = spec_for(id).build().expect("valid spec");
+        let mut tx = Transmitter::new(filter, codec.clone());
+        let mut rx = Receiver::new(codec.clone(), 1);
+        for (t, x) in signal_for(id).iter() {
+            tx.push(t, x).expect("valid sample");
+            rx.consume(tx.take_bytes()).expect("lossless link");
+        }
+        tx.finish().expect("flush");
+        rx.consume(tx.take_bytes()).expect("lossless link");
+        out.insert(id, rx.into_segments());
+    }
+    out
+}
+
+/// Runs the full multiplexed pipeline, severing the connection once
+/// mid-stream, and returns the demultiplexed per-stream logs.
+fn multiplexed_run<C: Codec + Clone>(codec: C, cfg: NetConfig) -> BTreeMap<u64, Vec<Segment>> {
+    // Production sending side: engine + tap.
+    let (engine, tap) = IngestEngine::with_segment_tap(IngestConfig {
+        shards: 4,
+        queue_depth: 256,
+        shard_log: false,
+    });
+    let handle = engine.handle();
+    for id in 0..STREAMS {
+        handle.register(StreamId(id), spec_for(id)).expect("register");
+    }
+    for id in 0..STREAMS {
+        let signal = signal_for(id);
+        let samples: Vec<(f64, &[f64])> = signal.iter().collect();
+        handle.push_batch(StreamId(id), &samples).expect("feed");
+    }
+    let report = engine.finish();
+    assert_eq!(report.quarantined(), 0);
+    let total_segments = report.total_segments() as u64;
+
+    // One multiplexed connection over a deliberately tiny pipe, so
+    // partial writes and credit stalls are routine, not rare.
+    let mut tx = MuxSender::new(codec.clone(), 1, cfg);
+    let mut rx = NetReceiver::new(codec, 1, cfg);
+    let mut uplink = EngineUplink::new(tap);
+    let (mut la, mut lb) = MemoryLink::pair(193);
+
+    let mut severed_once = false;
+    let mut finned = false;
+    let mut stalled = 0;
+    loop {
+        let status = uplink.pump(&mut tx).expect("uplink");
+        if status == UplinkStatus::Drained && !finned {
+            tx.finish_all();
+            finned = true;
+        }
+        let moved_tx = match pump_sender(&mut tx, &mut la) {
+            Ok(n) => n,
+            Err(DriveError::Io(_)) => 0, // dead link; reconnect below
+            Err(DriveError::Net(e)) => panic!("sender protocol error: {e}"),
+        };
+        let moved_rx = match pump_receiver(&mut rx, &mut lb) {
+            Ok(n) => n,
+            Err(DriveError::Io(_)) => 0,
+            Err(DriveError::Net(e)) => panic!("receiver protocol error: {e}"),
+        };
+
+        // Force the disconnect once the receiver has applied roughly
+        // half the traffic: bytes in flight are lost, a frame may be
+        // cut in half, staged acks vanish.
+        if !severed_once && rx.demux().messages() >= total_segments / 2 {
+            la.sever();
+            // Both pumps must now surface the dead link as an I/O error.
+            assert!(matches!(pump_sender(&mut tx, &mut la), Err(DriveError::Io(_))));
+            assert!(matches!(pump_receiver(&mut rx, &mut lb), Err(DriveError::Io(_))));
+            let (na, nb) = MemoryLink::pair(193);
+            la = na;
+            lb = nb;
+            tx.on_reconnect();
+            rx.on_reconnect();
+            severed_once = true;
+            continue;
+        }
+
+        let done = finned
+            && tx.is_idle()
+            && rx.finished_streams().count() as u64 == STREAMS
+            && rx.staged_bytes() == 0;
+        if done {
+            break;
+        }
+        stalled = if moved_tx + moved_rx == 0 && status == UplinkStatus::Drained {
+            stalled + 1
+        } else {
+            0
+        };
+        assert!(stalled < 64, "transfer deadlocked (severed_once={severed_once})");
+    }
+    assert!(severed_once, "the disconnect must actually have happened");
+    assert_eq!(uplink.forwarded(), total_segments);
+    rx.into_demux().into_segment_logs()
+}
+
+#[test]
+fn sixty_four_streams_with_reconnect_match_direct_filtering_exactly() {
+    let reference = direct_reference(FixedCodec);
+    let logs = multiplexed_run(FixedCodec, NetConfig { window: 512, max_frame: 1 << 20 });
+    assert_eq!(logs.len(), STREAMS as usize);
+    for (id, want) in &reference {
+        let got = &logs[id];
+        assert_eq!(
+            got, want,
+            "stream {id}: multiplexed reconstruction must be byte-identical \
+             to the dedicated point-to-point link"
+        );
+    }
+}
+
+#[test]
+fn reconnect_run_survives_the_compact_codec_too() {
+    // The compact codec's delta predictor is stateful; the per-frame
+    // reset contract keeps replays decodable. Quantization is applied
+    // per value, so the multiplexed logs still match a direct compact
+    // link exactly.
+    let make = || pla_transport::wire::CompactCodec::new(0.01, &[0.01]);
+    let reference = direct_reference(make());
+    let logs = multiplexed_run(make(), NetConfig { window: 384, max_frame: 1 << 20 });
+    for (id, want) in &reference {
+        let got = &logs[id];
+        assert_eq!(got.len(), want.len(), "stream {id}: segment counts diverge");
+        for (g, w) in got.iter().zip(want) {
+            assert_eq!(g.connected, w.connected, "stream {id}");
+            assert!((g.t_start - w.t_start).abs() < 1e-9, "stream {id}");
+            assert!((g.t_end - w.t_end).abs() < 1e-9, "stream {id}");
+            for d in 0..1 {
+                assert!((g.x_start[d] - w.x_start[d]).abs() < 1e-9, "stream {id}");
+                assert!((g.x_end[d] - w.x_end[d]).abs() < 1e-9, "stream {id}");
+            }
+        }
+    }
+}

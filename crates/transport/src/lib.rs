@@ -32,5 +32,5 @@ mod transmitter;
 pub mod wire;
 
 pub use channel::simulate_lag;
-pub use receiver::{ReceiveError, Receiver, StreamDemux};
+pub use receiver::{ReceiveError, Receiver, SeqOutcome, StreamDemux};
 pub use transmitter::{Transmitter, TransmitterStats};

@@ -26,6 +26,17 @@ pub enum ReceiveError {
     /// Messages arrived in an order no transmitter produces (e.g. an
     /// `End` with no open segment).
     Protocol(&'static str),
+    /// A sequenced frame skipped ahead: frames for one stream must arrive
+    /// in contiguous sequence order (duplicates are tolerated and
+    /// dropped; gaps mean the transport lost data).
+    SequenceGap {
+        /// The stream whose sequence jumped.
+        stream: u64,
+        /// The sequence number the demultiplexer expected next.
+        expected: u64,
+        /// The sequence number that actually arrived.
+        got: u64,
+    },
 }
 
 impl std::fmt::Display for ReceiveError {
@@ -33,6 +44,9 @@ impl std::fmt::Display for ReceiveError {
         match self {
             Self::Wire(e) => write!(f, "wire error: {e}"),
             Self::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+            Self::SequenceGap { stream, expected, got } => {
+                write!(f, "stream#{stream}: expected frame seq {expected}, got {got}")
+            }
         }
     }
 }
@@ -268,12 +282,33 @@ pub struct StreamDemux<C> {
     current: Option<u64>,
     streams: BTreeMap<u64, Assembler>,
     frames: u64,
+    /// Per-stream next expected frame sequence number (sequenced mode,
+    /// see [`consume_sequenced`](Self::consume_sequenced)). Streams only
+    /// ever fed through plain [`consume`](Self::consume) have no entry.
+    next_seq: BTreeMap<u64, u64>,
+}
+
+/// What [`StreamDemux::consume_sequenced`] did with a frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeqOutcome {
+    /// The frame was new and its messages were applied.
+    Applied,
+    /// The frame's sequence number was already applied (a replay after
+    /// reconnect); its bytes were dropped without touching any state.
+    Duplicate,
 }
 
 impl<C: Codec> StreamDemux<C> {
     /// Creates a demultiplexer for `dims`-dimensional streams.
     pub fn new(codec: C, dims: usize) -> Self {
-        Self { codec, dims, current: None, streams: BTreeMap::new(), frames: 0 }
+        Self {
+            codec,
+            dims,
+            current: None,
+            streams: BTreeMap::new(),
+            frames: 0,
+            next_seq: BTreeMap::new(),
+        }
     }
 
     /// Decodes and applies every message in `bytes`, routing by the
@@ -296,6 +331,85 @@ impl<C: Codec> StreamDemux<C> {
             self.streams.get_mut(&stream).expect("current stream is registered").apply(msg)?;
         }
         Ok(())
+    }
+
+    /// Applies one *sequenced frame*: a self-contained chunk of codec
+    /// bytes for a single stream, tagged with a per-stream sequence
+    /// number. This is the resumable-delivery entry point `pla-net`'s
+    /// multiplexed transport uses: after a reconnect the sender replays
+    /// every unacknowledged frame, and the sequence numbers let this side
+    /// drop the ones it already applied, so the reconstruction is
+    /// identical to an uninterrupted run.
+    ///
+    /// The contract, enforced here:
+    ///
+    /// * `seq` starts at 1 and increments by 1 per frame per stream.
+    ///   `seq < expected` is a replay → [`SeqOutcome::Duplicate`], bytes
+    ///   dropped untouched. `seq > expected` means the transport lost a
+    ///   frame → [`ReceiveError::SequenceGap`].
+    /// * The payload must begin with a [`Message::StreamFrame`] naming
+    ///   `stream`, and every header inside the frame must name `stream`
+    ///   too (one frame, one stream — otherwise dropping a duplicate
+    ///   would also drop other streams' messages).
+    /// * Each frame is decoded from a fresh codec state
+    ///   ([`Codec::reset`]), so replayed frames decode identically no
+    ///   matter what was decoded in between.
+    ///
+    /// On any error the frame is *not* counted as applied.
+    pub fn consume_sequenced(
+        &mut self,
+        stream: u64,
+        seq: u64,
+        mut bytes: Bytes,
+    ) -> Result<SeqOutcome, ReceiveError> {
+        if seq == 0 {
+            return Err(ReceiveError::Protocol("frame sequence numbers start at 1"));
+        }
+        let expected = self.next_seq.get(&stream).copied().unwrap_or(1);
+        if seq < expected {
+            return Ok(SeqOutcome::Duplicate);
+        }
+        if seq > expected {
+            return Err(ReceiveError::SequenceGap { stream, expected, got: seq });
+        }
+        // Frames are coded independently (the sender resets its codec per
+        // frame) so a replay decodes byte-identically regardless of what
+        // arrived in between.
+        self.codec.reset();
+        let mut first = true;
+        while bytes.remaining() > 0 {
+            let msg = self.codec.decode(&mut bytes, self.dims)?;
+            if let Message::StreamFrame { stream: s } = msg {
+                if s != stream {
+                    return Err(ReceiveError::Protocol(
+                        "sequenced frame contains a header for a different stream",
+                    ));
+                }
+                self.frames += 1;
+                self.current = Some(s);
+                self.streams.entry(s).or_default();
+                first = false;
+                continue;
+            }
+            if first {
+                return Err(ReceiveError::Protocol(
+                    "sequenced frame must begin with its own StreamFrame header",
+                ));
+            }
+            self.streams.get_mut(&stream).expect("header registered above").apply(msg)?;
+        }
+        if first {
+            return Err(ReceiveError::Protocol("sequenced frame carries no messages"));
+        }
+        self.next_seq.insert(stream, expected + 1);
+        Ok(SeqOutcome::Applied)
+    }
+
+    /// Highest frame sequence number applied for `stream` (0 when none) —
+    /// the cumulative acknowledgement point a transport should report
+    /// back to the sender.
+    pub fn ack_point(&self, stream: u64) -> u64 {
+        self.next_seq.get(&stream).map_or(0, |n| n - 1)
     }
 
     /// Stream ids seen so far, ascending.
@@ -510,6 +624,99 @@ mod tests {
         );
         let mut demux = StreamDemux::new(FixedCodec, 1);
         assert!(matches!(demux.consume(bytes), Err(ReceiveError::Protocol(_))));
+    }
+
+    fn frame_bytes(stream: u64, msgs: &[Message]) -> Bytes {
+        let mut codec = FixedCodec;
+        let mut buf = BytesMut::new();
+        codec.encode(&Message::StreamFrame { stream }, 1, &mut buf);
+        for m in msgs {
+            codec.encode(m, 1, &mut buf);
+        }
+        buf.freeze()
+    }
+
+    #[test]
+    fn sequenced_frames_apply_in_order_and_drop_duplicates() {
+        let mut demux = StreamDemux::new(FixedCodec, 1);
+        let f1 = frame_bytes(5, &[Message::Start { t: 0.0, x: vec![0.0] }]);
+        let f2 = frame_bytes(5, &[Message::End { t: 4.0, x: vec![4.0] }]);
+        assert_eq!(demux.consume_sequenced(5, 1, f1.clone()).unwrap(), SeqOutcome::Applied);
+        assert_eq!(demux.ack_point(5), 1);
+        // Replay of frame 1 (e.g. after a reconnect): dropped untouched.
+        assert_eq!(demux.consume_sequenced(5, 1, f1).unwrap(), SeqOutcome::Duplicate);
+        assert_eq!(demux.ack_point(5), 1);
+        assert_eq!(demux.consume_sequenced(5, 2, f2.clone()).unwrap(), SeqOutcome::Applied);
+        assert_eq!(demux.consume_sequenced(5, 2, f2).unwrap(), SeqOutcome::Duplicate);
+        assert_eq!(demux.ack_point(5), 2);
+        let logs = demux.into_segment_logs();
+        assert_eq!(logs[&5].len(), 1, "duplicates must not duplicate segments");
+    }
+
+    #[test]
+    fn sequence_gaps_are_typed_errors() {
+        let mut demux = StreamDemux::new(FixedCodec, 1);
+        let f = frame_bytes(9, &[Message::Point { t: 0.0, x: vec![1.0] }]);
+        assert_eq!(
+            demux.consume_sequenced(9, 3, f.clone()),
+            Err(ReceiveError::SequenceGap { stream: 9, expected: 1, got: 3 })
+        );
+        assert_eq!(
+            demux.consume_sequenced(9, 0, f),
+            Err(ReceiveError::Protocol("frame sequence numbers start at 1"))
+        );
+        assert_eq!(demux.ack_point(9), 0);
+    }
+
+    #[test]
+    fn sequenced_frames_must_be_single_stream_and_self_labelled() {
+        let mut demux = StreamDemux::new(FixedCodec, 1);
+        // Payload whose header names a different stream.
+        let mislabelled = frame_bytes(8, &[Message::Point { t: 0.0, x: vec![1.0] }]);
+        assert!(matches!(
+            demux.consume_sequenced(7, 1, mislabelled),
+            Err(ReceiveError::Protocol(_))
+        ));
+        // Payload with no leading header at all.
+        let headerless = encode(&[Message::Point { t: 0.0, x: vec![1.0] }], 1);
+        assert!(matches!(
+            demux.consume_sequenced(7, 1, headerless),
+            Err(ReceiveError::Protocol(_))
+        ));
+        // Empty payload.
+        assert!(matches!(
+            demux.consume_sequenced(7, 1, Bytes::from_static(&[])),
+            Err(ReceiveError::Protocol(_))
+        ));
+        // A failed frame is not counted as applied.
+        assert_eq!(demux.ack_point(7), 0);
+    }
+
+    #[test]
+    fn sequenced_compact_codec_replay_is_idempotent() {
+        // The compact codec's delta predictor is reset per frame, so a
+        // replayed frame decodes identically even though other frames
+        // were decoded in between.
+        let enc_frame = |stream: u64, msgs: &[Message]| {
+            let mut codec = CompactCodec::new(0.01, &[0.01]);
+            let mut buf = BytesMut::new();
+            codec.encode(&Message::StreamFrame { stream }, 1, &mut buf);
+            for m in msgs {
+                codec.encode(m, 1, &mut buf);
+            }
+            buf.freeze()
+        };
+        let a1 = enc_frame(1, &[Message::Start { t: 0.0, x: vec![1.0] }]);
+        let b1 = enc_frame(2, &[Message::Start { t: 0.0, x: vec![-1.0] }]);
+        let a2 = enc_frame(1, &[Message::End { t: 8.0, x: vec![3.0] }]);
+        let mut demux = StreamDemux::new(CompactCodec::new(0.01, &[0.01]), 1);
+        demux.consume_sequenced(1, 1, a1.clone()).unwrap();
+        demux.consume_sequenced(2, 1, b1).unwrap();
+        assert_eq!(demux.consume_sequenced(1, 1, a1).unwrap(), SeqOutcome::Duplicate);
+        demux.consume_sequenced(1, 2, a2).unwrap();
+        let logs = demux.into_segment_logs();
+        assert_eq!(logs[&1].len(), 1);
+        assert!((logs[&1][0].x_end[0] - 3.0).abs() <= 0.005 + 1e-12);
     }
 
     #[test]

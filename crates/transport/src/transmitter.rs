@@ -5,7 +5,7 @@ use bytes::BytesMut;
 use pla_core::filters::StreamFilter;
 use pla_core::{FilterError, ProvisionalUpdate, Segment, SegmentSink};
 
-use crate::wire::{Codec, Message};
+use crate::wire::{provisional_message, segment_messages, Codec, Message};
 
 /// Counters describing what a transmitter has sent so far.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -78,29 +78,23 @@ impl<C: Codec> WireSink<'_, C> {
 
 impl<C: Codec> SegmentSink for WireSink<'_, C> {
     fn segment(&mut self, seg: Segment) {
-        let degenerate = seg.t_start == seg.t_end;
-        let constant = seg.x_start == seg.x_end && !seg.connected && seg.new_recordings == 1;
-        if degenerate {
-            self.send(&Message::Point { t: seg.t_start, x: seg.x_start.to_vec() });
-        } else if constant && !seg.connected {
-            // Piece-wise constant (cache) segment: one Hold message.
-            self.send(&Message::Hold { t: seg.t_start, x: seg.x_start.to_vec() });
-        } else {
-            if !seg.connected {
-                self.send(&Message::Start { t: seg.t_start, x: seg.x_start.to_vec() });
-            }
-            self.send(&Message::End { t: seg.t_end, x: seg.x_end.to_vec() });
+        // The segment→message mapping is shared with pla-net's uplink
+        // (`wire::segment_messages`), so both paths produce identical
+        // reconstructions.
+        let mut msgs: [Option<Message>; 2] = [None, None];
+        let mut n = 0;
+        segment_messages(&seg, |m| {
+            msgs[n] = Some(m);
+            n += 1;
+        });
+        for m in msgs.iter().flatten() {
+            self.send(m);
         }
         self.last_end = Some((seg.t_end, seg.x_end.to_vec()));
     }
 
     fn provisional(&mut self, update: ProvisionalUpdate) {
-        self.send(&Message::Provisional {
-            t_anchor: update.t_anchor,
-            x_anchor: update.x_anchor.to_vec(),
-            slopes: update.slopes.to_vec(),
-            covers_through: update.covers_through,
-        });
+        self.send(&provisional_message(&update));
     }
 }
 

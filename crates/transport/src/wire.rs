@@ -24,6 +24,8 @@
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
+use pla_core::{ProvisionalUpdate, Segment};
+
 /// One protocol message.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Message {
@@ -99,6 +101,42 @@ impl Message {
             Self::Provisional { x_anchor, slopes, .. } => 2 + x_anchor.len() + slopes.len(),
             Self::StreamFrame { .. } => 0,
         }
+    }
+}
+
+/// Maps one finalized [`Segment`] onto the wire messages that carry it —
+/// the single canonical mapping, shared by the
+/// [`Transmitter`](crate::Transmitter)'s sink and by `pla-net`'s
+/// multiplexed uplink, so a segment shipped over either path decodes to
+/// the same reconstruction:
+///
+/// * degenerate (`t_start == t_end`) → [`Message::Point`];
+/// * piece-wise constant with one recording (a cache run) →
+///   [`Message::Hold`];
+/// * otherwise a [`Message::Start`] (disconnected segments only) followed
+///   by a [`Message::End`].
+pub fn segment_messages(seg: &Segment, mut emit: impl FnMut(Message)) {
+    let degenerate = seg.t_start == seg.t_end;
+    let constant = seg.x_start == seg.x_end && !seg.connected && seg.new_recordings == 1;
+    if degenerate {
+        emit(Message::Point { t: seg.t_start, x: seg.x_start.to_vec() });
+    } else if constant {
+        emit(Message::Hold { t: seg.t_start, x: seg.x_start.to_vec() });
+    } else {
+        if !seg.connected {
+            emit(Message::Start { t: seg.t_start, x: seg.x_start.to_vec() });
+        }
+        emit(Message::End { t: seg.t_end, x: seg.x_end.to_vec() });
+    }
+}
+
+/// Maps a [`ProvisionalUpdate`] onto its wire message.
+pub fn provisional_message(update: &ProvisionalUpdate) -> Message {
+    Message::Provisional {
+        t_anchor: update.t_anchor,
+        x_anchor: update.x_anchor.to_vec(),
+        slopes: update.slopes.to_vec(),
+        covers_through: update.covers_through,
     }
 }
 
