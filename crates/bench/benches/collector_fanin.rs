@@ -1,0 +1,53 @@
+//! Collector fan-in throughput: segments/second from N multiplexed
+//! connections into one shared `SegmentStore` (per-connection
+//! `NetReceiver`s, batched acks, store publication), sweeping the
+//! connection count over a fixed 64-stream population.
+//!
+//! Each iteration is one complete end-to-end fan-in of every stream's
+//! full segment log — the unit a base station pays per collection
+//! round. `connections=1` is the PR 4 single-uplink shape; more
+//! connections split the same streams across more links.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use pla_core::filters::run_filter;
+use pla_core::Segment;
+use pla_eval::experiments::{collector_transfer, stream_workload};
+use pla_eval::FilterKind;
+
+/// Samples per cell, split evenly across the population.
+const TOTAL_SAMPLES: usize = 64_000;
+const STREAMS: usize = 64;
+
+fn segment_logs() -> Vec<Vec<Segment>> {
+    stream_workload(STREAMS, TOTAL_SAMPLES / STREAMS, 0xC011)
+        .iter()
+        .map(|signal| {
+            let mut filter = FilterKind::Swing.build(&[0.5]).expect("valid eps");
+            run_filter(filter.as_mut(), signal).expect("valid signal")
+        })
+        .collect()
+}
+
+fn collector_fanin(c: &mut Criterion) {
+    let mut group = c.benchmark_group("collector_fanin");
+    group
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+        .sample_size(10);
+    let logs = segment_logs();
+    let total: u64 = logs.iter().map(|l| l.len() as u64).sum();
+    group.throughput(Throughput::Elements(total));
+    for &conns in &[1usize, 4, 16] {
+        group.bench_function(BenchmarkId::new("streams=64", format!("conns={conns}")), |b| {
+            b.iter(|| black_box(collector_transfer(&logs, conns, 16 * 1024)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, collector_fanin);
+criterion_main!(benches);

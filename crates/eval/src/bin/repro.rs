@@ -7,6 +7,7 @@
 //!
 //! Experiments: fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 joint
 //!              lag hull connect bytes variants multistream netstream
+//!              collector
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -14,7 +15,7 @@ use std::process::ExitCode;
 use pla_eval::experiments::{self, Config};
 use pla_eval::Table;
 
-const ALL: [&str; 19] = [
+const ALL: [&str; 20] = [
     "fig6",
     "fig7",
     "fig8",
@@ -34,6 +35,7 @@ const ALL: [&str; 19] = [
     "kalman",
     "multistream",
     "netstream",
+    "collector",
 ];
 
 fn main() -> ExitCode {
@@ -122,6 +124,7 @@ fn run_one(name: &str, cfg: &Config, csv_dir: Option<&std::path::Path>) {
         "kalman" => experiments::kalman_experiment(cfg),
         "multistream" => experiments::multistream_throughput(cfg),
         "netstream" => experiments::netstream_throughput(cfg),
+        "collector" => experiments::collector_fanin(cfg),
         other => unreachable!("validated experiment name {other}"),
     };
     println!("{}", table.to_text());

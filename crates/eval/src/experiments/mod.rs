@@ -1,6 +1,7 @@
 //! Experiment implementations, one per figure (see the crate docs).
 
 mod ablations;
+mod collector;
 mod extensions;
 mod multistream;
 mod netstream;
@@ -11,6 +12,7 @@ mod synthetic;
 pub use ablations::{
     bytes_ablation, connect_ablation, hull_ablation, lag_ablation, variants_ablation,
 };
+pub use collector::{collector_fanin, collector_transfer};
 pub use extensions::{kalman_experiment, optgap_experiment, swab_experiment};
 pub use multistream::{ingest_run, multistream_throughput, stream_workload};
 pub use netstream::{netstream_throughput, transfer as netstream_transfer};

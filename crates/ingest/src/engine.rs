@@ -18,6 +18,7 @@ use std::thread::JoinHandle;
 use pla_core::filters::FilterSpec;
 use pla_core::Segment;
 
+use crate::store::SegmentStore;
 use crate::table::{IngestError, StreamOutput, StreamTable};
 use crate::StreamId;
 
@@ -230,6 +231,29 @@ impl IngestHandle {
 }
 
 /// The multi-stream ingest engine. See the crate docs for the model.
+///
+/// ```
+/// use pla_core::filters::{FilterKind, FilterSpec};
+/// use pla_ingest::{IngestConfig, IngestEngine, SegmentStore, StreamId};
+/// use std::sync::Arc;
+///
+/// // Shard-per-core ingest, emitting straight into a shared store.
+/// let store = Arc::new(SegmentStore::new());
+/// let engine = IngestEngine::with_segment_store(
+///     IngestConfig { shards: 2, ..Default::default() },
+///     store.clone(),
+///     0, // this engine's source watermark id
+/// );
+/// let handle = engine.handle();
+/// handle.register(StreamId(7), FilterSpec::new(FilterKind::Swing, &[0.5])).unwrap();
+/// for j in 0..100 {
+///     handle.push(StreamId(7), j as f64, &[j as f64 * 0.1]).unwrap();
+/// }
+/// let report = engine.finish();
+/// // The store saw exactly what the report accounts for.
+/// assert_eq!(store.total_segments(), report.total_segments() as u64);
+/// assert_eq!(store.watermark(0).unwrap().segments, store.total_segments());
+/// ```
 pub struct IngestEngine {
     handle: IngestHandle,
     workers: Vec<JoinHandle<ShardResult>>,
@@ -238,7 +262,7 @@ pub struct IngestEngine {
 impl IngestEngine {
     /// Spawns the shard workers described by `config`.
     pub fn new(config: IngestConfig) -> Self {
-        Self::build(config, None)
+        Self::build(config, None, None)
     }
 
     /// Spawns the engine with a *segment tap*: every segment any shard's
@@ -254,10 +278,32 @@ impl IngestEngine {
     /// for that safety. The tap closes when the engine finishes.
     pub fn with_segment_tap(config: IngestConfig) -> (Self, mpsc::Receiver<(StreamId, Segment)>) {
         let (tap_tx, tap_rx) = mpsc::channel();
-        (Self::build(config, Some(tap_tx)), tap_rx)
+        (Self::build(config, Some(tap_tx), None), tap_rx)
     }
 
-    fn build(config: IngestConfig, tap: Option<mpsc::Sender<(StreamId, Segment)>>) -> Self {
+    /// Spawns the engine wired straight into a shared [`SegmentStore`]:
+    /// every segment any shard emits is appended live (in per-stream
+    /// emission order) under the given `source` watermark id — the
+    /// local-ingest counterpart of a `pla-net` collector connection
+    /// writing into the same store.
+    ///
+    /// Unlike the tap there is no channel in between: shards take the
+    /// store's write lock directly per emitted segment. Segment
+    /// emission is filter-rate-limited (hundreds of samples per
+    /// segment), so the lock is quiet even at high sample rates.
+    pub fn with_segment_store(
+        config: IngestConfig,
+        store: std::sync::Arc<SegmentStore>,
+        source: u64,
+    ) -> Self {
+        Self::build(config, None, Some((store, source)))
+    }
+
+    fn build(
+        config: IngestConfig,
+        tap: Option<mpsc::Sender<(StreamId, Segment)>>,
+        store: Option<(std::sync::Arc<SegmentStore>, u64)>,
+    ) -> Self {
         let shards = config.shards.max(1);
         let depth = config.queue_depth.max(1);
         let backpressure = Arc::new((0..shards).map(|_| AtomicU64::new(0)).collect::<Vec<_>>());
@@ -268,10 +314,11 @@ impl IngestEngine {
             senders.push(tx);
             let shard_log = config.shard_log;
             let tap = tap.clone();
+            let store = store.clone();
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("pla-ingest-shard-{shard}"))
-                    .spawn(move || run_shard(rx, shard_log, tap))
+                    .spawn(move || run_shard(rx, shard_log, tap, store))
                     .expect("spawn shard worker"),
             );
         }
@@ -352,18 +399,22 @@ struct ShardWorker {
     log: Vec<(StreamId, Segment)>,
     shard_log: bool,
     tap: Option<mpsc::Sender<(StreamId, Segment)>>,
+    /// Live append target with its source watermark id
+    /// ([`IngestEngine::with_segment_store`]).
+    store: Option<(std::sync::Arc<SegmentStore>, u64)>,
 }
 
 impl ShardWorker {
     /// Forwards segments emitted since the last call for `stream` into
-    /// the fan-in log and/or the live tap.
+    /// the fan-in log, the live tap, and/or the shared store.
     fn emit_new_segments(&mut self, stream: StreamId) {
-        if !self.shard_log && self.tap.is_none() {
+        if !self.shard_log && self.tap.is_none() && self.store.is_none() {
             return;
         }
         let log = &mut self.log;
         let shard_log = self.shard_log;
         let tap = &self.tap;
+        let store = &self.store;
         self.table.drain_new_segments(stream, |seg| {
             if shard_log {
                 log.push((stream, seg.clone()));
@@ -371,6 +422,9 @@ impl ShardWorker {
             if let Some(tap) = tap {
                 // A dropped tap consumer is load shedding, not an error.
                 let _ = tap.send((stream, seg.clone()));
+            }
+            if let Some((store, source)) = store {
+                store.append(*source, stream, seg.clone());
             }
         });
     }
@@ -434,6 +488,7 @@ fn run_shard(
     rx: Receiver<Op>,
     shard_log: bool,
     tap: Option<mpsc::Sender<(StreamId, Segment)>>,
+    store: Option<(std::sync::Arc<SegmentStore>, u64)>,
 ) -> ShardResult {
     let mut worker = ShardWorker {
         table: StreamTable::new(),
@@ -441,6 +496,7 @@ fn run_shard(
         log: Vec::new(),
         shard_log,
         tap,
+        store,
     };
     while let Ok(op) = rx.recv() {
         if matches!(op, Op::Shutdown) {
@@ -673,6 +729,42 @@ mod tests {
         // And it coexists with (doesn't replace) the shard fan-in log.
         let logged: usize = report.shard_logs.iter().map(|l| l.len()).sum();
         assert_eq!(logged, report.total_segments());
+    }
+
+    #[test]
+    fn segment_store_wiring_carries_every_segment_in_order() {
+        let store = std::sync::Arc::new(SegmentStore::new());
+        let engine = IngestEngine::with_segment_store(
+            IngestConfig { shards: 2, queue_depth: 16, shard_log: true },
+            store.clone(),
+            42,
+        );
+        let h = engine.handle();
+        for id in 0..6u64 {
+            h.register(StreamId(id), spec()).unwrap();
+        }
+        for j in 0..300 {
+            for id in 0..6u64 {
+                h.push(
+                    StreamId(id),
+                    j as f64,
+                    &[(j as f64 * (0.2 + id as f64 * 0.07)).sin() * 3.0],
+                )
+                .unwrap();
+            }
+        }
+        let report = engine.finish();
+        let snap = store.snapshot();
+        assert_eq!(snap.streams.len(), report.streams.len());
+        for (id, out) in &report.streams {
+            assert_eq!(
+                snap.streams[id], out.segments,
+                "{id}: store must carry the exact segment log in emission order"
+            );
+        }
+        let mark = snap.sources[&42];
+        assert_eq!(mark.segments, report.total_segments() as u64);
+        assert!(mark.covered_through.is_finite());
     }
 
     #[test]

@@ -19,6 +19,12 @@
 //! * Backpressure — the channels are bounded: [`IngestHandle::push`]
 //!   blocks when a shard is saturated, [`IngestHandle::try_push`] returns
 //!   [`IngestError::Backpressure`] instead, letting the caller shed load.
+//! * [`SegmentStore`] — the shared, concurrently-appendable home for
+//!   segment logs, with per-source watermarks and consistent
+//!   [`snapshot`](SegmentStore::snapshot)s. Fed directly by an engine
+//!   ([`IngestEngine::with_segment_store`]) or, at the base station, by
+//!   `pla-net`'s many-connection collector funneling every connection's
+//!   reconstruction into one queryable place.
 //!
 //! ```
 //! use pla_core::filters::{FilterKind, FilterSpec};
@@ -44,9 +50,11 @@
 #![warn(clippy::all)]
 
 mod engine;
+mod store;
 mod table;
 
 pub use engine::{shard_of, IngestConfig, IngestEngine, IngestHandle, IngestReport, ShardStats};
+pub use store::{SegmentStore, SourceWatermark, StoreSnapshot};
 pub use table::{IngestError, Quarantine, StreamOutput, StreamTable};
 
 /// Identity of one logical stream.

@@ -1,0 +1,274 @@
+//! The shared segment store: one concurrently-appendable home for every
+//! reconstructed (or locally emitted) segment log.
+//!
+//! The deployment picture behind it is the paper's: many sensors
+//! compress at the edge, one base station reconstructs — and Ferragina
+//! & Lari (arXiv:2509.07827) argue the reconstructed logs should land
+//! in a *queryable shared structure*, not per-connection buffers. A
+//! `pla-net` collector funnels every connection's `(ConnId, StreamId,
+//! Segment)` output here; an [`IngestEngine`](crate::IngestEngine) can
+//! append its shards' emissions directly
+//! ([`with_segment_store`](crate::IngestEngine::with_segment_store));
+//! readers take consistent [`snapshot`](SegmentStore::snapshot)s while
+//! appends continue.
+//!
+//! Design choices, in order of importance:
+//!
+//! * **Appends are totally ordered per stream.** One `RwLock` over the
+//!   whole store (writers append, readers snapshot) is deliberate:
+//!   appends are tiny (one `Vec::push`), segment production is filter-
+//!   rate-limited, and a coarse lock keeps snapshots trivially
+//!   consistent — a snapshot never shows stream A ahead of the append
+//!   that preceded stream B's. Per-stream sharding can come later
+//!   behind the same API if a profile demands it.
+//! * **A stream has one owner.** Stream ids are expected to be written
+//!   by a single source (connection or engine); the store does not
+//!   merge-sort interleaved owners, it appends in arrival order.
+//!   Multi-owner writes are not an error — they are recorded in arrival
+//!   order — but no cross-source ordering is promised.
+//! * **Watermarks are per source.** Each source id carries how many
+//!   segments it appended and the highest `t_end` it reached —
+//!   enough for a collector to report per-connection progress and for
+//!   load-shed decisions to stay observable.
+
+use std::collections::BTreeMap;
+use std::sync::RwLock;
+
+use pla_core::Segment;
+
+use crate::StreamId;
+
+/// Progress watermark for one append source (a collector connection, an
+/// engine, a backfill job).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SourceWatermark {
+    /// Segments this source has appended.
+    pub segments: u64,
+    /// Highest `t_end` this source has appended (`-inf` before the
+    /// first append).
+    pub covered_through: f64,
+}
+
+impl Default for SourceWatermark {
+    fn default() -> Self {
+        Self { segments: 0, covered_through: f64::NEG_INFINITY }
+    }
+}
+
+#[derive(Debug, Default)]
+struct StoreInner {
+    streams: BTreeMap<StreamId, Vec<Segment>>,
+    sources: BTreeMap<u64, SourceWatermark>,
+    total_segments: u64,
+}
+
+/// A point-in-time copy of the store: per-stream logs plus per-source
+/// watermarks, internally consistent (taken under one read lock, so it
+/// reflects a prefix of the append history — never a torn mix).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StoreSnapshot {
+    /// Per-stream segment logs, ordered by stream id, each in append
+    /// order.
+    pub streams: BTreeMap<StreamId, Vec<Segment>>,
+    /// Per-source progress watermarks, ordered by source id.
+    pub sources: BTreeMap<u64, SourceWatermark>,
+    /// Total segments across all streams.
+    pub total_segments: u64,
+}
+
+/// The concurrently-appendable segment store. Cheap to share:
+/// construct once, wrap in an `Arc`, and hand clones to every appender
+/// and reader.
+///
+/// ```
+/// use pla_core::Segment;
+/// use pla_ingest::{SegmentStore, StreamId};
+///
+/// let store = SegmentStore::new();
+/// let seg = Segment {
+///     t_start: 0.0,
+///     x_start: [1.0].into(),
+///     t_end: 4.0,
+///     x_end: [3.0].into(),
+///     connected: false,
+///     n_points: 5,
+///     new_recordings: 2,
+/// };
+/// store.append(7, StreamId(42), seg.clone());
+/// let snap = store.snapshot();
+/// assert_eq!(snap.streams[&StreamId(42)], vec![seg]);
+/// assert_eq!(snap.sources[&7].segments, 1);
+/// assert_eq!(snap.sources[&7].covered_through, 4.0);
+/// ```
+#[derive(Debug, Default)]
+pub struct SegmentStore {
+    inner: RwLock<StoreInner>,
+}
+
+impl SegmentStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one segment to `stream`'s log, crediting `source`'s
+    /// watermark.
+    pub fn append(&self, source: u64, stream: StreamId, segment: Segment) {
+        let mut inner = self.inner.write().expect("segment store lock");
+        let mark = inner.sources.entry(source).or_default();
+        mark.segments += 1;
+        if segment.t_end > mark.covered_through {
+            mark.covered_through = segment.t_end;
+        }
+        inner.total_segments += 1;
+        inner.streams.entry(stream).or_default().push(segment);
+    }
+
+    /// Appends a batch under one lock acquisition (what a collector's
+    /// pump round publishes per stream).
+    pub fn append_batch(&self, source: u64, stream: StreamId, segments: &[Segment]) {
+        if segments.is_empty() {
+            return;
+        }
+        let mut inner = self.inner.write().expect("segment store lock");
+        let mark = inner.sources.entry(source).or_default();
+        mark.segments += segments.len() as u64;
+        for seg in segments {
+            if seg.t_end > mark.covered_through {
+                mark.covered_through = seg.t_end;
+            }
+        }
+        inner.total_segments += segments.len() as u64;
+        inner.streams.entry(stream).or_default().extend_from_slice(segments);
+    }
+
+    /// A consistent point-in-time copy of everything (logs and
+    /// watermarks). Readers query the copy lock-free; see the module
+    /// docs for the consistency contract.
+    pub fn snapshot(&self) -> StoreSnapshot {
+        let inner = self.inner.read().expect("segment store lock");
+        StoreSnapshot {
+            streams: inner.streams.clone(),
+            sources: inner.sources.clone(),
+            total_segments: inner.total_segments,
+        }
+    }
+
+    /// One stream's log (cloned), or `None` if nothing was ever
+    /// appended to it.
+    pub fn stream_segments(&self, stream: StreamId) -> Option<Vec<Segment>> {
+        self.inner.read().expect("segment store lock").streams.get(&stream).cloned()
+    }
+
+    /// Stream ids present, ascending.
+    pub fn stream_ids(&self) -> Vec<StreamId> {
+        self.inner.read().expect("segment store lock").streams.keys().copied().collect()
+    }
+
+    /// Number of distinct streams.
+    pub fn len(&self) -> usize {
+        self.inner.read().expect("segment store lock").streams.len()
+    }
+
+    /// Whether the store holds no streams at all.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total segments across all streams.
+    pub fn total_segments(&self) -> u64 {
+        self.inner.read().expect("segment store lock").total_segments
+    }
+
+    /// `source`'s progress watermark, or `None` if it never appended.
+    pub fn watermark(&self, source: u64) -> Option<SourceWatermark> {
+        self.inner.read().expect("segment store lock").sources.get(&source).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn seg(t0: f64, t1: f64) -> Segment {
+        Segment {
+            t_start: t0,
+            x_start: [t0].into(),
+            t_end: t1,
+            x_end: [t1].into(),
+            connected: false,
+            n_points: 2,
+            new_recordings: 2,
+        }
+    }
+
+    #[test]
+    fn appends_accumulate_in_order_with_watermarks() {
+        let store = SegmentStore::new();
+        store.append(1, StreamId(5), seg(0.0, 2.0));
+        store.append(1, StreamId(5), seg(2.0, 7.0));
+        store.append(2, StreamId(9), seg(0.0, 3.0));
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.total_segments(), 3);
+        let log = store.stream_segments(StreamId(5)).unwrap();
+        assert_eq!(log.len(), 2);
+        assert_eq!(log[1].t_end, 7.0);
+        assert_eq!(store.watermark(1).unwrap().segments, 2);
+        assert_eq!(store.watermark(1).unwrap().covered_through, 7.0);
+        assert_eq!(store.watermark(2).unwrap().covered_through, 3.0);
+        assert_eq!(store.watermark(3), None);
+    }
+
+    #[test]
+    fn batch_append_equals_singles() {
+        let a = SegmentStore::new();
+        let b = SegmentStore::new();
+        let segs = [seg(0.0, 1.0), seg(1.0, 4.0), seg(4.0, 9.0)];
+        a.append_batch(3, StreamId(1), &segs);
+        for s in &segs {
+            b.append(3, StreamId(1), s.clone());
+        }
+        assert_eq!(a.snapshot(), b.snapshot());
+    }
+
+    #[test]
+    fn snapshot_is_a_stable_copy() {
+        let store = SegmentStore::new();
+        store.append(1, StreamId(1), seg(0.0, 1.0));
+        let snap = store.snapshot();
+        store.append(1, StreamId(1), seg(1.0, 2.0));
+        assert_eq!(snap.streams[&StreamId(1)].len(), 1, "snapshot must not see later appends");
+        assert_eq!(store.snapshot().streams[&StreamId(1)].len(), 2);
+    }
+
+    #[test]
+    fn concurrent_appenders_lose_nothing() {
+        let store = Arc::new(SegmentStore::new());
+        let threads: Vec<_> = (0..4u64)
+            .map(|source| {
+                let store = store.clone();
+                std::thread::spawn(move || {
+                    for i in 0..250 {
+                        let t = i as f64;
+                        store.append(source, StreamId(source), seg(t, t + 1.0));
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let snap = store.snapshot();
+        assert_eq!(snap.total_segments, 1000);
+        for source in 0..4u64 {
+            assert_eq!(snap.sources[&source].segments, 250);
+            let log = &snap.streams[&StreamId(source)];
+            assert_eq!(log.len(), 250);
+            // Per-stream order is the single owner's append order.
+            for (i, s) in log.iter().enumerate() {
+                assert_eq!(s.t_start, i as f64);
+            }
+        }
+    }
+}

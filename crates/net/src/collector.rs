@@ -1,0 +1,745 @@
+//! The many-connection collector: N inbound links, one shared store.
+//!
+//! This is the base-station half of the paper's deployment picture —
+//! many sensors compress at the edge ([`MuxSender`](crate::MuxSender)
+//! over whatever uplink they have), one collector reconstructs
+//! everything with the precision guarantee intact. Duvignau et al.
+//! (arXiv:1808.08877) evaluate exactly this many-producer streaming-PLA
+//! topology; the collector turns PR 4's point-to-point demo into it:
+//!
+//! * an [`Acceptor`] yields inbound [`Link`]s (a TCP listener in
+//!   production, a [`MemoryAcceptor`](crate::listen::MemoryAcceptor)
+//!   for deterministic tests);
+//! * every connection gets its **own** [`NetReceiver`] — its own frame
+//!   decoder, demultiplexer, sequence state, and credit windows, so one
+//!   slow or replaying sender cannot corrupt another's reconstruction;
+//! * every reconstructed segment is published, in per-stream order, to
+//!   one shared [`SegmentStore`] as `(ConnId, StreamId, Segment)` —
+//!   per-connection buffers exist only transiently inside the demux;
+//!   queries read consistent store snapshots while ingest continues.
+//!
+//! The collector is a sans-I/O-style state machine like the endpoints
+//! it hosts: [`pump`](Collector::pump) does one non-blocking round
+//! (tests drive it deterministically, interleaving and severing however
+//! they like), and [`drive_collector`] runs it on the
+//! [`runtime`] — one accept task plus one spawned task
+//! per connection, each parking on its link's readiness source (epoll-
+//! precise for TCP).
+//!
+//! Reconnect: a dead link *detaches* its connection (state retained)
+//! rather than destroying it. [`reattach`](Collector::reattach) hands
+//! the connection a fresh link and replays the standard recovery — the
+//! receiver re-announces cumulative acks/credits, the sender replays
+//! unacked frames, duplicates are dropped by sequence number — so the
+//! store ends up byte-identical to an uninterrupted run.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::io;
+use std::rc::Rc;
+use std::sync::Arc;
+
+use pla_ingest::{SegmentStore, StreamId};
+use pla_transport::wire::Codec;
+
+use crate::driver::{pump_receiver, stall_interest, DriveError};
+use crate::link::Link;
+use crate::listen::Acceptor;
+use crate::receiver::{NetReceiver, ReceiverStats};
+use crate::runtime;
+use crate::{NetConfig, NetError};
+
+/// Identity of one accepted connection, assigned in accept order
+/// (starting at 1). Doubles as the [`SegmentStore`] source id for the
+/// connection's watermark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ConnId(pub u64);
+
+impl std::fmt::Display for ConnId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "conn#{}", self.0)
+    }
+}
+
+/// A fatal collector failure: one connection's byte stream violated the
+/// protocol (reconnecting cannot help; I/O failures are *not* errors —
+/// they detach the connection for [`Collector::reattach`]).
+#[derive(Debug)]
+pub struct CollectorError {
+    /// The connection whose stream failed.
+    pub conn: ConnId,
+    /// The protocol violation.
+    pub error: NetError,
+}
+
+impl std::fmt::Display for CollectorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.conn, self.error)
+    }
+}
+
+impl std::error::Error for CollectorError {}
+
+/// Point-in-time counters for one connection — the per-connection ack
+/// state [`StreamDemux`](pla_transport::StreamDemux) keeps per demux,
+/// surfaced per connection so shed load stays observable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConnStats {
+    /// The connection.
+    pub conn: ConnId,
+    /// Whether a link is currently attached (false = detached, awaiting
+    /// reconnect).
+    pub attached: bool,
+    /// The connection's receiving-endpoint counters (frames applied,
+    /// duplicate replays dropped, control frames staged after
+    /// batching).
+    pub receiver: ReceiverStats,
+    /// Segments published to the shared store.
+    pub published: u64,
+    /// Pump rounds that could not fully flush staged control bytes to
+    /// the link — the peer (or the pipe) is slow draining our acks,
+    /// i.e. backpressure against the collector itself.
+    pub backpressure: u64,
+    /// Bytes moved over the link (read + written) across the
+    /// connection's lifetime, including across reattaches.
+    pub bytes_moved: u64,
+    /// The protocol violation that quarantined this connection, if any.
+    pub failed: Option<NetError>,
+    /// Per-stream cumulative ack points `(stream, through_seq)` — what
+    /// this connection's demux has durably applied.
+    pub ack_points: Vec<(u64, u64)>,
+}
+
+/// Aggregate counters across the collector, `IngestReport`-style
+/// (`pla_ingest::IngestReport`): totals first, per-connection detail
+/// attached.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CollectorStats {
+    /// Connections accepted over the collector's lifetime.
+    pub connections: usize,
+    /// Connections currently holding a live link.
+    pub attached: usize,
+    /// `Data` frames applied across all connections.
+    pub frames: u64,
+    /// Duplicate frames dropped across all connections (replays after
+    /// reconnect — shed load).
+    pub dup_drops: u64,
+    /// Segments published to the shared store.
+    pub segments: u64,
+    /// Total backpressured pump rounds (see [`ConnStats::backpressure`]).
+    pub backpressure: u64,
+    /// Connections quarantined by a protocol violation.
+    pub failed: usize,
+    /// Per-connection detail, in accept order.
+    pub conns: Vec<ConnStats>,
+}
+
+/// Per-connection state: the receiver plus publish bookkeeping.
+struct Connection<C: Codec, L: Link> {
+    rx: NetReceiver<C>,
+    /// `None` while detached (link died; awaiting reattach).
+    link: Option<L>,
+    /// Set when this connection's byte stream violated the protocol:
+    /// the connection is quarantined (link dropped, no reattach) but
+    /// every other connection keeps running — the collector-level
+    /// analogue of `pla-ingest`'s per-stream quarantine.
+    failed: Option<NetError>,
+    /// Per-stream count of segments already published to the store.
+    published: BTreeMap<u64, usize>,
+    /// Streams whose end-of-stream flush has run (Fin seen, trailing
+    /// hold closed and published).
+    flushed: std::collections::BTreeSet<u64>,
+    published_total: u64,
+    backpressure: u64,
+    bytes_moved: u64,
+}
+
+/// The many-connection collector. See the [module docs](self) for the
+/// model and [`drive_collector`] for the async form.
+///
+/// ```
+/// use pla_ingest::{SegmentStore, StreamId};
+/// use pla_net::listen::MemoryAcceptor;
+/// use pla_net::{Collector, MuxSender, NetConfig};
+/// use pla_transport::wire::FixedCodec;
+/// use std::sync::Arc;
+///
+/// let store = Arc::new(SegmentStore::new());
+/// let acceptor = MemoryAcceptor::new();
+/// let connector = acceptor.connector();
+/// let cfg = NetConfig::default();
+/// let mut collector = Collector::new(FixedCodec, 1, cfg, acceptor, store.clone());
+///
+/// // Two edge senders dial in, each with its own streams.
+/// let mut links = Vec::new();
+/// let mut senders = Vec::new();
+/// for id in 0..2u64 {
+///     links.push(connector.connect(4096));
+///     let mut tx = MuxSender::new(FixedCodec, 1, cfg);
+///     tx.try_send_segment(
+///         id,
+///         &pla_core::Segment {
+///             t_start: 0.0,
+///             x_start: [1.0].into(),
+///             t_end: 4.0,
+///             x_end: [5.0].into(),
+///             connected: false,
+///             n_points: 5,
+///             new_recordings: 2,
+///         },
+///     )
+///     .unwrap();
+///     tx.finish_all();
+///     senders.push(tx);
+/// }
+/// // Senders write, the collector pumps, acks flow back.
+/// for (tx, link) in senders.iter_mut().zip(&mut links) {
+///     pla_net::driver::pump_sender(tx, link).unwrap();
+/// }
+/// collector.pump().unwrap();
+/// for (tx, link) in senders.iter_mut().zip(&mut links) {
+///     pla_net::driver::pump_sender(tx, link).unwrap();
+/// }
+/// assert!(senders.iter().all(|tx| tx.all_acked()));
+/// let snap = store.snapshot();
+/// assert_eq!(snap.streams.len(), 2);
+/// assert_eq!(snap.total_segments, 2);
+/// assert_eq!(collector.stats().connections, 2);
+/// ```
+pub struct Collector<C: Codec + Clone, A: Acceptor> {
+    codec: C,
+    dims: usize,
+    config: NetConfig,
+    acceptor: A,
+    store: Arc<SegmentStore>,
+    conns: BTreeMap<u64, Connection<C, A::Link>>,
+    next_conn: u64,
+}
+
+impl<C: Codec + Clone, A: Acceptor> Collector<C, A> {
+    /// Creates a collector for `dims`-dimensional streams. Every
+    /// accepted connection gets a receiver cloned from `codec` and
+    /// `config` — as always, `config.window` must match what the
+    /// senders were built with.
+    pub fn new(
+        codec: C,
+        dims: usize,
+        config: NetConfig,
+        acceptor: A,
+        store: Arc<SegmentStore>,
+    ) -> Self {
+        Self { codec, dims, config, acceptor, store, conns: BTreeMap::new(), next_conn: 1 }
+    }
+
+    /// The shared store this collector publishes into.
+    pub fn store(&self) -> &Arc<SegmentStore> {
+        &self.store
+    }
+
+    /// Accepts every pending connection, returning the ids of the new
+    /// ones (empty when nothing was waiting).
+    pub fn poll_accept(&mut self) -> io::Result<Vec<ConnId>> {
+        let mut fresh = Vec::new();
+        while let Some(link) = self.acceptor.try_accept()? {
+            let id = self.next_conn;
+            self.next_conn += 1;
+            self.conns.insert(
+                id,
+                Connection {
+                    rx: NetReceiver::new(self.codec.clone(), self.dims, self.config),
+                    link: Some(link),
+                    failed: None,
+                    published: BTreeMap::new(),
+                    flushed: std::collections::BTreeSet::new(),
+                    published_total: 0,
+                    backpressure: 0,
+                    bytes_moved: 0,
+                },
+            );
+            fresh.push(ConnId(id));
+        }
+        Ok(fresh)
+    }
+
+    /// One non-blocking round for one connection: absorb inbound
+    /// frames, flush the round's batched acks, write them back, and
+    /// publish newly reconstructed segments to the store. Returns bytes
+    /// moved.
+    ///
+    /// An I/O failure **detaches** the connection (its reconstruction
+    /// state is retained for [`reattach`](Self::reattach)) and counts
+    /// as no progress. A protocol violation **quarantines** the
+    /// connection — link dropped, [`reattach`](Self::reattach) refused,
+    /// failure recorded in [`ConnStats::failed`] — and is returned once
+    /// to the caller; every *other* connection is unaffected.
+    pub fn pump_conn(&mut self, conn: ConnId) -> Result<usize, CollectorError> {
+        let Some(c) = self.conns.get_mut(&conn.0) else { return Ok(0) };
+        if c.failed.is_some() {
+            return Ok(0);
+        }
+        let Some(link) = c.link.as_mut() else { return Ok(0) };
+        match pump_receiver(&mut c.rx, link) {
+            Ok(0) => Ok(0),
+            Ok(moved) => {
+                if c.rx.staged_bytes() > 0 {
+                    c.backpressure += 1;
+                }
+                c.bytes_moved += moved as u64;
+                self.publish_conn(conn.0);
+                Ok(moved)
+            }
+            Err(DriveError::Io(_)) => {
+                c.link = None;
+                // Frames applied before the link died may have produced
+                // segments; publish them before going quiet.
+                self.publish_conn(conn.0);
+                Ok(0)
+            }
+            Err(DriveError::Net(error)) => {
+                c.link = None;
+                c.failed = Some(error.clone());
+                self.publish_conn(conn.0);
+                Err(CollectorError { conn, error })
+            }
+        }
+    }
+
+    /// Publishes `conn`'s newly reconstructed segments (and, for
+    /// streams whose `Fin` arrived, the flushed trailing hold) to the
+    /// store.
+    fn publish_conn(&mut self, conn: u64) {
+        let Some(c) = self.conns.get_mut(&conn) else { return };
+        let streams: Vec<u64> = c.rx.demux().streams().collect();
+        for stream in streams {
+            if c.rx.is_finished(stream) && !c.flushed.contains(&stream) {
+                c.rx.demux_mut().flush_stream(stream);
+                c.flushed.insert(stream);
+            }
+            let log = c.rx.demux().segments(stream).unwrap_or(&[]);
+            let from = c.published.get(&stream).copied().unwrap_or(0);
+            if log.len() > from {
+                self.store.append_batch(conn, StreamId(stream), &log[from..]);
+                c.published_total += (log.len() - from) as u64;
+                c.published.insert(stream, log.len());
+            }
+        }
+    }
+
+    /// One non-blocking round over the whole collector: accept pending
+    /// connections, pump every attached one. Returns total bytes moved.
+    pub fn pump(&mut self) -> Result<usize, CollectorError> {
+        // Accept errors mean the listener died; surface as no progress
+        // (existing connections keep running) — a deployment would
+        // rebind and swap the acceptor.
+        let _ = self.poll_accept();
+        let ids: Vec<u64> = self.conns.keys().copied().collect();
+        let mut moved = 0;
+        let mut first_failure = None;
+        for id in ids {
+            match self.pump_conn(ConnId(id)) {
+                Ok(n) => moved += n,
+                // Quarantine already happened; keep pumping the others
+                // and report the first failure once at the end.
+                Err(e) => {
+                    first_failure.get_or_insert(e);
+                }
+            }
+        }
+        match first_failure {
+            Some(e) => Err(e),
+            None => Ok(moved),
+        }
+    }
+
+    /// Re-attaches a fresh link to a detached (or still-attached —
+    /// the old link is dropped) connection, running the receiver's
+    /// reconnect protocol: partial frames are discarded and cumulative
+    /// `Ack`/`Credit` state is restaged for the replaying sender.
+    /// Returns false if the connection id was never accepted or is
+    /// quarantined after a protocol violation (a corrupted session must
+    /// not resume).
+    pub fn reattach(&mut self, conn: ConnId, link: A::Link) -> bool {
+        match self.conns.get_mut(&conn.0) {
+            Some(c) if c.failed.is_none() => {
+                c.rx.on_reconnect();
+                c.link = Some(link);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Ids of connections whose link died and await
+    /// [`reattach`](Self::reattach), ascending (quarantined
+    /// connections are not reattachable and not listed).
+    pub fn detached(&self) -> Vec<ConnId> {
+        self.conns
+            .iter()
+            .filter(|(_, c)| c.link.is_none() && c.failed.is_none())
+            .map(|(&id, _)| ConnId(id))
+            .collect()
+    }
+
+    /// Whether `conn`'s sender has finished every stream it opened and
+    /// nothing remains staged — the connection's session is complete.
+    pub fn conn_complete(&self, conn: ConnId) -> bool {
+        self.conns.get(&conn.0).is_some_and(|c| {
+            let streams = c.rx.demux().streams().count();
+            streams > 0
+                && c.rx.finished_streams().count() == streams
+                && c.rx.staged_bytes() == 0
+                && !c.rx.control_dirty()
+        })
+    }
+
+    /// The first quarantined connection's failure, if any — a protocol
+    /// violation poisons only its own connection, so an async `done`
+    /// predicate (or a post-run check) decides whether one bad sensor
+    /// aborts the collection round or merely gets reported.
+    pub fn failure(&self) -> Option<CollectorError> {
+        self.conns.iter().find_map(|(&id, c)| {
+            c.failed.clone().map(|error| CollectorError { conn: ConnId(id), error })
+        })
+    }
+
+    /// Counters for one connection.
+    pub fn conn_stats(&self, conn: ConnId) -> Option<ConnStats> {
+        self.conns.get(&conn.0).map(|c| ConnStats {
+            conn,
+            attached: c.link.is_some(),
+            receiver: c.rx.stats(),
+            published: c.published_total,
+            backpressure: c.backpressure,
+            bytes_moved: c.bytes_moved,
+            failed: c.failed.clone(),
+            ack_points: c.rx.demux().streams().map(|s| (s, c.rx.demux().ack_point(s))).collect(),
+        })
+    }
+
+    /// Aggregate counters plus per-connection detail.
+    pub fn stats(&self) -> CollectorStats {
+        let conns: Vec<ConnStats> =
+            self.conns.keys().filter_map(|&id| self.conn_stats(ConnId(id))).collect();
+        CollectorStats {
+            connections: conns.len(),
+            attached: conns.iter().filter(|c| c.attached).count(),
+            frames: conns.iter().map(|c| c.receiver.frames_applied).sum(),
+            dup_drops: conns.iter().map(|c| c.receiver.dup_drops).sum(),
+            segments: conns.iter().map(|c| c.published).sum(),
+            backpressure: conns.iter().map(|c| c.backpressure).sum(),
+            failed: conns.iter().filter(|c| c.failed.is_some()).count(),
+            conns,
+        }
+    }
+
+    /// What a connection's async task should do after a no-progress
+    /// round: park on the link's readiness source, back off while
+    /// detached, or exit after quarantine.
+    fn conn_wait_hint(&self, conn: u64) -> ConnWait {
+        match self.conns.get(&conn) {
+            Some(c) if c.failed.is_some() => ConnWait::Gone,
+            Some(c) => match &c.link {
+                Some(link) => ConnWait::Ready(link.event_source(), c.rx.staged_bytes()),
+                None => ConnWait::Detached,
+            },
+            None => ConnWait::Gone,
+        }
+    }
+}
+
+/// How a connection task should wait after an idle round.
+enum ConnWait {
+    /// Attached: park on the link's source (with staged-byte count for
+    /// the interest choice).
+    Ready(Option<runtime::EventSource>, usize),
+    /// Detached, awaiting [`Collector::reattach`]: back off on a timer.
+    Detached,
+    /// Quarantined or removed: the task exits.
+    Gone,
+}
+
+/// Drives a collector on the [`runtime`]: one accept
+/// task (parking on the listener's readiness source where it has one)
+/// plus one spawned task per accepted connection, each pumping its own
+/// [`NetReceiver`] and parking on its own link. Returns `Ok(())` when
+/// `done(&collector)` is satisfied — spawned tasks are dropped with the
+/// root (structured teardown) — or the first failure once **every**
+/// connection has been quarantined (nothing left to drive). A protocol
+/// violation on one connection quarantines only that connection; put
+/// [`Collector::failure`]/[`CollectorStats::failed`] in the `done`
+/// predicate to abort earlier.
+///
+/// The `done` predicate is re-evaluated on a millisecond timer (the
+/// per-connection I/O itself is event-driven; only this completion
+/// check polls).
+pub async fn drive_collector<C, A>(
+    collector: Rc<RefCell<Collector<C, A>>>,
+    mut done: impl FnMut(&Collector<C, A>) -> bool,
+) -> Result<(), CollectorError>
+where
+    C: Codec + Clone + 'static,
+    A: Acceptor + 'static,
+{
+    let spawner = runtime::spawner();
+    // Accept task: adopt new connections, spawn one pump task each.
+    spawner.spawn({
+        let collector = collector.clone();
+        let spawner = spawner.clone();
+        async move {
+            loop {
+                let (fresh, source) = {
+                    let mut coll = collector.borrow_mut();
+                    let fresh = coll.poll_accept().unwrap_or_default();
+                    (fresh, coll.acceptor.event_source())
+                };
+                for conn in fresh {
+                    spawner.spawn(drive_connection(collector.clone(), conn));
+                }
+                runtime::io_ready(source, runtime::Interest::Read).await;
+            }
+        }
+    });
+    loop {
+        {
+            let coll = collector.borrow();
+            if done(&coll) {
+                return Ok(());
+            }
+            let stats = coll.stats();
+            if stats.connections > 0 && stats.failed == stats.connections {
+                let failure = coll.failure().expect("every connection failed");
+                return Err(failure);
+            }
+        }
+        runtime::sleep(std::time::Duration::from_millis(1)).await;
+    }
+}
+
+/// One connection's pump loop (the spawned per-connection task).
+async fn drive_connection<C, A>(collector: Rc<RefCell<Collector<C, A>>>, conn: ConnId)
+where
+    C: Codec + Clone + 'static,
+    A: Acceptor + 'static,
+{
+    loop {
+        let moved = match collector.borrow_mut().pump_conn(conn) {
+            Ok(n) => n,
+            // Quarantined: the failure is recorded in the connection's
+            // stats; this task has nothing left to drive.
+            Err(_) => return,
+        };
+        if moved == 0 {
+            let hint = collector.borrow().conn_wait_hint(conn.0);
+            match hint {
+                ConnWait::Ready(source, staged) => {
+                    runtime::io_ready(source, stall_interest(staged)).await
+                }
+                // Awaiting reattach: a timer backoff, not a poll-cadence
+                // spin (a dead connection must not keep the reactor hot).
+                ConnWait::Detached => runtime::sleep(std::time::Duration::from_millis(5)).await,
+                ConnWait::Gone => return,
+            }
+        } else {
+            runtime::yield_now().await;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::pump_sender;
+    use crate::link::MemoryLink;
+    use crate::listen::MemoryAcceptor;
+    use crate::MuxSender;
+    use pla_core::Segment;
+    use pla_transport::wire::FixedCodec;
+
+    fn seg(i: usize) -> Segment {
+        let t = i as f64 * 10.0;
+        Segment {
+            t_start: t,
+            x_start: [t].into(),
+            t_end: t + 5.0,
+            x_end: [t + 1.0].into(),
+            connected: false,
+            n_points: 2,
+            new_recordings: 2,
+        }
+    }
+
+    fn make(
+        cfg: NetConfig,
+    ) -> (Collector<FixedCodec, MemoryAcceptor>, crate::listen::MemoryConnector, Arc<SegmentStore>)
+    {
+        let store = Arc::new(SegmentStore::new());
+        let acceptor = MemoryAcceptor::new();
+        let connector = acceptor.connector();
+        (Collector::new(FixedCodec, 1, cfg, acceptor, store.clone()), connector, store)
+    }
+
+    #[test]
+    fn two_connections_funnel_into_one_store() {
+        let cfg = NetConfig::default();
+        let (mut coll, connector, store) = make(cfg);
+        let mut senders: Vec<(MuxSender<FixedCodec>, MemoryLink)> = (0..2u64)
+            .map(|c| {
+                let link = connector.connect(4096);
+                let mut tx = MuxSender::new(FixedCodec, 1, cfg);
+                for s in 0..3u64 {
+                    let stream = c * 3 + s;
+                    for i in 0..4 {
+                        tx.try_send_segment(stream, &seg(i)).unwrap();
+                    }
+                    tx.finish_stream(stream).unwrap();
+                }
+                (tx, link)
+            })
+            .collect();
+        let mut stalled = 0;
+        while !senders.iter().all(|(tx, _)| tx.all_acked()) {
+            let mut moved = coll.pump().unwrap();
+            for (tx, link) in &mut senders {
+                moved += pump_sender(tx, link).unwrap();
+            }
+            stalled = if moved == 0 { stalled + 1 } else { 0 };
+            assert!(stalled < 10, "fan-in deadlocked");
+        }
+        let snap = store.snapshot();
+        assert_eq!(snap.streams.len(), 6, "both connections' streams landed");
+        assert_eq!(snap.total_segments, 6 * 4);
+        for log in snap.streams.values() {
+            assert_eq!(log.len(), 4);
+        }
+        // Watermarks are per connection.
+        assert_eq!(snap.sources[&1].segments, 12);
+        assert_eq!(snap.sources[&2].segments, 12);
+        let stats = coll.stats();
+        assert_eq!(stats.connections, 2);
+        assert_eq!(stats.segments, 24);
+        assert_eq!(stats.frames, 24);
+        assert_eq!(stats.dup_drops, 0);
+        assert!(coll.conn_complete(ConnId(1)) && coll.conn_complete(ConnId(2)));
+        // Per-connection ack state is exposed.
+        let c1 = coll.conn_stats(ConnId(1)).unwrap();
+        assert_eq!(c1.ack_points, vec![(0, 4), (1, 4), (2, 4)]);
+    }
+
+    #[test]
+    fn protocol_violation_quarantines_only_its_own_connection() {
+        let cfg = NetConfig::default();
+        let (mut coll, connector, store) = make(cfg);
+        // Conn 1 will turn hostile; conn 2 stays healthy.
+        let mut bad_link = connector.connect(4096);
+        let good_link = connector.connect(4096);
+        let mut good_tx = MuxSender::new(FixedCodec, 1, cfg);
+        for i in 0..4 {
+            good_tx.try_send_segment(7, &seg(i)).unwrap();
+        }
+        good_tx.finish_stream(7).unwrap();
+        coll.poll_accept().unwrap();
+        // A frame with an unknown kind byte: framing-fatal for conn 1.
+        bad_link.try_write(&[1u8, 0, 0, 0, 99]).unwrap();
+        let err = coll.pump().expect_err("the violation must surface once");
+        assert_eq!(err.conn, ConnId(1));
+        // Conn 1 is quarantined: no reattach, no further pump errors,
+        // and the failure is visible in stats.
+        assert!(!coll.reattach(ConnId(1), MemoryLink::pair(8).0), "quarantine refuses reattach");
+        assert!(coll.detached().is_empty(), "quarantined conns are not 'awaiting reattach'");
+        let stats = coll.stats();
+        assert_eq!(stats.failed, 1);
+        assert!(coll.conn_stats(ConnId(1)).unwrap().failed.is_some());
+        assert_eq!(coll.failure().unwrap().conn, ConnId(1));
+        // Conn 2's session completes untouched.
+        let mut good = (good_tx, good_link);
+        let mut stalled = 0;
+        while !(good.0.all_acked() && coll.conn_complete(ConnId(2))) {
+            let moved = coll.pump().expect("no further errors after quarantine")
+                + pump_sender(&mut good.0, &mut good.1).unwrap();
+            stalled = if moved == 0 { stalled + 1 } else { 0 };
+            assert!(stalled < 10, "healthy connection starved by the quarantined one");
+        }
+        assert_eq!(store.stream_segments(StreamId(7)).unwrap().len(), 4);
+    }
+
+    #[test]
+    fn dead_link_detaches_and_reattach_resumes() {
+        let cfg = NetConfig::default();
+        let (mut coll, connector, store) = make(cfg);
+        let link = connector.connect(256);
+        let mut tx = MuxSender::new(FixedCodec, 1, cfg);
+        let mut link = link;
+        for i in 0..6 {
+            tx.try_send_segment(9, &seg(i)).unwrap();
+        }
+        // First exchange: some frames land.
+        let _ = pump_sender(&mut tx, &mut link);
+        coll.pump().unwrap();
+        let before = store.total_segments();
+        assert!(before > 0);
+        // Kill the pipe mid-stream.
+        link.sever();
+        coll.pump().unwrap();
+        assert_eq!(coll.detached(), vec![ConnId(1)], "dead link detaches, state retained");
+        assert_eq!(coll.pump().unwrap(), 0, "detached connections pump nothing");
+        // Fresh pipe, same connection: replay finishes the job.
+        let (mut client, server) = MemoryLink::pair(256);
+        assert!(coll.reattach(ConnId(1), server));
+        tx.on_reconnect();
+        tx.finish_stream(9).unwrap();
+        let mut stalled = 0;
+        while !(tx.all_acked() && coll.conn_complete(ConnId(1))) {
+            let moved = coll.pump().unwrap() + pump_sender(&mut tx, &mut client).unwrap_or(0);
+            stalled = if moved == 0 { stalled + 1 } else { 0 };
+            assert!(stalled < 10, "reconnect transfer deadlocked");
+        }
+        let log = store.stream_segments(StreamId(9)).unwrap();
+        assert_eq!(log.len(), 6, "no loss, no duplication across the reconnect");
+        assert!(coll.stats().dup_drops > 0, "the replay was partially duplicate");
+        assert!(!coll.reattach(ConnId(99), MemoryLink::pair(8).0), "unknown conn refused");
+    }
+
+    #[test]
+    fn async_driver_spawns_a_task_per_connection() {
+        let cfg = NetConfig::default();
+        let (coll, connector, store) = make(cfg);
+        let coll = Rc::new(RefCell::new(coll));
+        const CONNS: u64 = 4;
+        // Sender threads dial in and push concurrently — the memory
+        // connector is Send, so this exercises real cross-thread wakes.
+        let senders: Vec<_> = (0..CONNS)
+            .map(|c| {
+                let connector = connector.clone();
+                std::thread::spawn(move || {
+                    let mut link = connector.connect(512);
+                    let mut tx = MuxSender::new(FixedCodec, 1, cfg);
+                    for i in 0..5 {
+                        tx.try_send_segment(c, &seg(i)).unwrap();
+                    }
+                    tx.finish_stream(c).unwrap();
+                    let mut stalled = 0;
+                    while !tx.all_acked() {
+                        match pump_sender(&mut tx, &mut link) {
+                            Ok(0) => {
+                                stalled += 1;
+                                assert!(stalled < 4000, "sender starved");
+                                std::thread::sleep(std::time::Duration::from_micros(200));
+                            }
+                            Ok(_) => stalled = 0,
+                            Err(e) => panic!("sender link failed: {e}"),
+                        }
+                    }
+                })
+            })
+            .collect();
+        runtime::block_on(drive_collector(coll.clone(), |c| c.stats().segments == CONNS * 5))
+            .expect("collector");
+        for s in senders {
+            s.join().unwrap();
+        }
+        let snap = store.snapshot();
+        assert_eq!(snap.streams.len(), CONNS as usize);
+        assert_eq!(snap.total_segments, CONNS * 5);
+        assert_eq!(coll.borrow().stats().connections, CONNS as usize);
+    }
+}

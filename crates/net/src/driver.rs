@@ -6,8 +6,9 @@
 //! deterministic tests call directly, in whatever interleaving they
 //! want to probe. The async [`drive_sender`]/[`drive_receiver`] wrap
 //! those rounds in runtime tasks: pump, and when nothing moved, suspend
-//! on [`runtime::reactor_tick`] until the poll-loop reactor's next
-//! turn.
+//! on [`runtime::io_ready`] — parked on the link's fd where it has one
+//! (kernel-precise under the epoll reactor), at bounded poll cadence
+//! otherwise.
 
 use std::cell::RefCell;
 use std::io;
@@ -116,20 +117,37 @@ pub fn pump_sender<C: Codec, L: Link>(
 }
 
 /// One non-blocking pump round for the receiver: absorb inbound frames,
-/// then push staged acks and credit grants. Returns total bytes moved.
+/// flush the round's batched `Ack`/`Credit` control
+/// ([`NetReceiver::flush_control`] — one cumulative frame per touched
+/// stream, however many `Data` frames the round applied), then push the
+/// staged bytes. Returns total bytes moved.
 pub fn pump_receiver<C: Codec, L: Link>(
     rx: &mut NetReceiver<C>,
     link: &mut L,
 ) -> Result<usize, DriveError> {
     let read = pump_in(link, |bytes| rx.on_bytes(bytes))?;
+    rx.flush_control();
     let written = pump_out(rx.outbox(), link)?;
     Ok(read + written)
 }
 
+/// The readiness to wait for after a round that moved nothing: always
+/// reads; adds write interest only while bytes are actually staged (a
+/// socket is almost always writable, so unconditional write interest
+/// would turn an epoll sleep into a busy loop).
+pub(crate) fn stall_interest(staged: usize) -> runtime::Interest {
+    if staged > 0 {
+        runtime::Interest::ReadWrite
+    } else {
+        runtime::Interest::Read
+    }
+}
+
 /// Pumps the sender as an async task until `done(tx)` says the session
 /// is over (typically: everything fed, finished, and
-/// [`MuxSender::is_idle`]). Suspends on the reactor whenever a round
-/// moves no bytes.
+/// [`MuxSender::is_idle`]). A round that moves no bytes suspends on the
+/// link's readiness source (kernel-precise under the epoll reactor;
+/// bounded poll cadence otherwise).
 pub async fn drive_sender<C: Codec, L: Link>(
     tx: &RefCell<MuxSender<C>>,
     link: &RefCell<L>,
@@ -141,7 +159,9 @@ pub async fn drive_sender<C: Codec, L: Link>(
             return Ok(());
         }
         if moved == 0 {
-            runtime::reactor_tick().await;
+            let source = link.borrow().event_source();
+            let interest = stall_interest(tx.borrow().staged_bytes());
+            runtime::io_ready(source, interest).await;
         } else {
             runtime::yield_now().await;
         }
@@ -162,7 +182,9 @@ pub async fn drive_receiver<C: Codec, L: Link>(
             return Ok(());
         }
         if moved == 0 {
-            runtime::reactor_tick().await;
+            let source = link.borrow().event_source();
+            let interest = stall_interest(rx.borrow().staged_bytes());
+            runtime::io_ready(source, interest).await;
         } else {
             runtime::yield_now().await;
         }

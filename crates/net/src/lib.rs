@@ -31,7 +31,7 @@
 //! * Reconnect — both endpoints survive losing their link: the sender
 //!   retains un-acknowledged frames and replays them on
 //!   [`MuxSender::on_reconnect`]; the receiver drops replayed duplicates
-//!   by sequence number ([`StreamDemux::consume_sequenced`]) and
+//!   by sequence number ([`StreamDemux::consume_sequenced`](pla_transport::StreamDemux::consume_sequenced)) and
 //!   re-announces its ack/credit state, so the reconstruction is
 //!   byte-identical to an uninterrupted run.
 //! * [`uplink`] — the `pla-ingest` integration: an engine's live segment
@@ -68,18 +68,22 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod collector;
 pub mod credit;
 pub mod driver;
 pub mod frame;
 pub mod link;
+pub mod listen;
 mod mux;
 mod receiver;
 pub mod runtime;
 pub mod uplink;
 
+pub use collector::{drive_collector, Collector, CollectorStats, ConnId, ConnStats};
 pub use link::{Link, MemoryLink, TcpLink};
+pub use listen::{Acceptor, MemoryAcceptor, MemoryConnector, TcpAcceptor};
 pub use mux::{MuxSender, SendStreamStats};
-pub use receiver::NetReceiver;
+pub use receiver::{NetReceiver, ReceiverStats};
 
 use crate::frame::FrameError;
 use pla_transport::ReceiveError;

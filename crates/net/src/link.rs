@@ -17,6 +17,8 @@ use std::io;
 use std::net::{TcpStream, ToSocketAddrs};
 use std::sync::{Arc, Mutex};
 
+use crate::runtime::EventSource;
+
 /// A non-blocking, connection-oriented byte stream.
 ///
 /// Both methods follow `std::io` conventions: `WouldBlock` means "try
@@ -32,6 +34,16 @@ pub trait Link {
     /// finished and closed); `Err(WouldBlock)` when no bytes are
     /// available yet.
     fn try_read(&mut self, buf: &mut [u8]) -> io::Result<usize>;
+
+    /// The OS-level readiness source (raw fd) backing this link, if it
+    /// has one. Drivers pass it to
+    /// [`runtime::io_ready`](crate::runtime::io_ready) so the epoll
+    /// reactor can sleep until the kernel reports the link ready;
+    /// in-process links return `None` and fall back to the bounded
+    /// poll-loop cadence under either reactor.
+    fn event_source(&self) -> Option<EventSource> {
+        None
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -164,6 +176,12 @@ impl Link for TcpLink {
 
     fn try_read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
         io::Read::read(&mut self.stream, buf)
+    }
+
+    #[cfg(unix)]
+    fn event_source(&self) -> Option<EventSource> {
+        use std::os::unix::io::AsRawFd;
+        Some(self.stream.as_raw_fd())
     }
 }
 

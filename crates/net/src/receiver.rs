@@ -8,8 +8,19 @@
 //! and the sequence-number dedup that makes replay safe), and one
 //! [`ReceiveWindow`](crate::credit::ReceiveWindow) per stream for
 //! credit scheduling.
+//!
+//! # Batched acknowledgements
+//!
+//! Applying a `Data` frame records the stream as *ack-dirty* but stages
+//! nothing. [`flush_control`](NetReceiver::flush_control) — called once
+//! per pump round by the [`driver`](crate::driver) pumps and by
+//! [`take_staged`](NetReceiver::take_staged) — then emits **one**
+//! cumulative `Ack` (and at most one `Credit` top-up) per dirty stream,
+//! however many of its frames the round applied. Cumulative counters
+//! make the coalescing free: acking `through_seq = 7` acknowledges
+//! frames 1–7 at once, and a replayed ack is a no-op at the sender.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use bytes::BytesMut;
 
@@ -20,6 +31,26 @@ use crate::credit::ReceiveWindow;
 use crate::frame::{encode, FrameDecoder, NetFrame, Outbox};
 use crate::{NetConfig, NetError};
 
+/// Point-in-time counters for one receiving endpoint, for the
+/// collector's per-connection observability and for tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReceiverStats {
+    /// `Data` frames applied to the demultiplexer.
+    pub frames_applied: u64,
+    /// `Data` frames dropped as duplicates (replays after reconnect) —
+    /// shed load that must stay observable, mirroring
+    /// `pla_ingest::ShardStats::backpressure`.
+    pub dup_drops: u64,
+    /// Streams seen on this connection.
+    pub streams: usize,
+    /// Streams whose `Fin` has arrived.
+    pub finished_streams: usize,
+    /// `Ack` frames staged (after batching).
+    pub acks_staged: u64,
+    /// `Credit` frames staged.
+    pub credits_staged: u64,
+}
+
 /// The multiplexed receiver. Feed it link bytes with
 /// [`on_bytes`](Self::on_bytes); collect its outbound `Ack`/`Credit`
 /// control frames from [`take_staged`](Self::take_staged) (or the
@@ -29,11 +60,18 @@ pub struct NetReceiver<C: Codec> {
     frames: FrameDecoder,
     demux: StreamDemux<C>,
     windows: BTreeMap<u64, ReceiveWindow>,
+    /// Streams whose ack state advanced since the last
+    /// [`flush_control`](Self::flush_control).
+    ack_dirty: BTreeSet<u64>,
     /// Streams whose `Fin` arrived, with their final sequence number.
     finished: BTreeMap<u64, u64>,
     out: Outbox,
     config: NetConfig,
     scratch: BytesMut,
+    frames_applied: u64,
+    dup_drops: u64,
+    acks_staged: u64,
+    credits_staged: u64,
 }
 
 impl<C: Codec> NetReceiver<C> {
@@ -45,10 +83,15 @@ impl<C: Codec> NetReceiver<C> {
             frames: FrameDecoder::new(config.max_frame),
             demux: StreamDemux::new(codec, dims),
             windows: BTreeMap::new(),
+            ack_dirty: BTreeSet::new(),
             finished: BTreeMap::new(),
             out: Outbox::default(),
             config,
             scratch: BytesMut::new(),
+            frames_applied: 0,
+            dup_drops: 0,
+            acks_staged: 0,
+            credits_staged: 0,
         }
     }
 
@@ -61,11 +104,12 @@ impl<C: Codec> NetReceiver<C> {
     /// Feeds inbound link bytes, applying every complete frame:
     ///
     /// * `Data` → [`StreamDemux::consume_sequenced`]; an applied frame
-    ///   is acknowledged and counted against the stream's credit
-    ///   window (re-granting when half the window is consumed); a
-    ///   duplicate (replay after reconnect) is dropped but *re-acked*,
-    ///   so a sender whose acks were lost with the old connection can
-    ///   still release its replay buffer.
+    ///   is counted against the stream's credit window, a duplicate
+    ///   (replay after reconnect) is dropped — and either way the
+    ///   stream is marked ack-dirty, so the next
+    ///   [`flush_control`](Self::flush_control) re-announces its
+    ///   cumulative ack (a sender whose acks were lost with the old
+    ///   connection can still release its replay buffer).
     /// * `Fin` → the stream is complete; verified against the applied
     ///   sequence point.
     /// * `Ack`/`Credit` → protocol error at this endpoint.
@@ -77,23 +121,15 @@ impl<C: Codec> NetReceiver<C> {
                     let payload_len = payload.len() as u64;
                     match self.demux.consume_sequenced(stream, seq, payload)? {
                         SeqOutcome::Applied => {
-                            let window = self
-                                .windows
+                            self.frames_applied += 1;
+                            self.windows
                                 .entry(stream)
-                                .or_insert_with(|| ReceiveWindow::new(self.config.window));
-                            window.on_delivered(payload_len);
-                            let grant = window.due_grant();
-                            let ack = self.demux.ack_point(stream);
-                            self.stage_frame(&NetFrame::Ack { stream, through_seq: ack });
-                            if let Some(granted_total) = grant {
-                                self.stage_frame(&NetFrame::Credit { stream, granted_total });
-                            }
+                                .or_insert_with(|| ReceiveWindow::new(self.config.window))
+                                .on_delivered(payload_len);
                         }
-                        SeqOutcome::Duplicate => {
-                            let ack = self.demux.ack_point(stream);
-                            self.stage_frame(&NetFrame::Ack { stream, through_seq: ack });
-                        }
+                        SeqOutcome::Duplicate => self.dup_drops += 1,
                     }
+                    self.ack_dirty.insert(stream);
                 }
                 NetFrame::Fin { stream, final_seq } => {
                     let applied = self.demux.ack_point(stream);
@@ -112,6 +148,28 @@ impl<C: Codec> NetReceiver<C> {
         Ok(())
     }
 
+    /// Stages the batched control traffic for everything applied since
+    /// the last flush: per ack-dirty stream, one cumulative `Ack` and —
+    /// only when the grant schedule says one is due — one `Credit`.
+    ///
+    /// The [`driver`](crate::driver) pumps call this once per round
+    /// (and [`take_staged`](Self::take_staged) calls it for manual
+    /// pumping), which is what turns per-frame control chatter into
+    /// per-round batches: a round that applies 20 frames of one stream
+    /// acks them with a single 21-byte frame.
+    pub fn flush_control(&mut self) {
+        while let Some(stream) = self.ack_dirty.pop_first() {
+            let ack = self.demux.ack_point(stream);
+            self.stage_frame(&NetFrame::Ack { stream, through_seq: ack });
+            self.acks_staged += 1;
+            let grant = self.windows.get_mut(&stream).and_then(|w| w.due_grant());
+            if let Some(granted_total) = grant {
+                self.stage_frame(&NetFrame::Credit { stream, granted_total });
+                self.credits_staged += 1;
+            }
+        }
+    }
+
     /// The connection died: forget the dead link's partial inbound
     /// frame and its undelivered control bytes, then re-announce this
     /// side's cumulative state — an `Ack` and a `Credit` per known
@@ -120,6 +178,7 @@ impl<C: Codec> NetReceiver<C> {
     pub fn on_reconnect(&mut self) {
         self.frames.reset();
         self.out.clear();
+        self.ack_dirty.clear();
         let refresh: Vec<(u64, u64)> = self
             .demux
             .streams()
@@ -129,6 +188,8 @@ impl<C: Codec> NetReceiver<C> {
             let ack = self.demux.ack_point(stream);
             self.stage_frame(&NetFrame::Ack { stream, through_seq: ack });
             self.stage_frame(&NetFrame::Credit { stream, granted_total });
+            self.acks_staged += 1;
+            self.credits_staged += 1;
         }
     }
 
@@ -136,6 +197,13 @@ impl<C: Codec> NetReceiver<C> {
     /// counters.
     pub fn demux(&self) -> &StreamDemux<C> {
         &self.demux
+    }
+
+    /// Mutable access to the reconstruction state — the collector uses
+    /// it to flush a finished stream's trailing hold segment
+    /// ([`StreamDemux::flush_stream`]) before publishing.
+    pub fn demux_mut(&mut self) -> &mut StreamDemux<C> {
+        &mut self.demux
     }
 
     /// Consumes the receiver, handing back the demultiplexer (for
@@ -154,14 +222,38 @@ impl<C: Codec> NetReceiver<C> {
         self.finished.contains_key(&stream)
     }
 
+    /// Current endpoint counters (frames applied, duplicates dropped,
+    /// control frames staged).
+    pub fn stats(&self) -> ReceiverStats {
+        ReceiverStats {
+            frames_applied: self.frames_applied,
+            dup_drops: self.dup_drops,
+            streams: self.demux.streams().count(),
+            finished_streams: self.finished.len(),
+            acks_staged: self.acks_staged,
+            credits_staged: self.credits_staged,
+        }
+    }
+
     /// Bytes staged for the link (acks, credit grants) but not yet
-    /// written.
+    /// written. Control for freshly applied frames is staged by
+    /// [`flush_control`](Self::flush_control) — the driver pumps run it
+    /// every round, so after a pump this is an exact "nothing left to
+    /// send" test.
     pub fn staged_bytes(&self) -> usize {
         self.out.pending()
     }
 
-    /// Drains every staged control byte (manual pumping).
+    /// Whether an un-flushed batched ack is pending
+    /// ([`flush_control`](Self::flush_control) would stage bytes).
+    pub fn control_dirty(&self) -> bool {
+        !self.ack_dirty.is_empty()
+    }
+
+    /// Flushes batched control and drains every staged byte (manual
+    /// pumping).
     pub fn take_staged(&mut self) -> Vec<u8> {
+        self.flush_control();
         self.out.take()
     }
 
@@ -206,9 +298,40 @@ mod tests {
     fn applied_data_is_acked_and_counted() {
         let mut rx = NetReceiver::new(FixedCodec, 1, NetConfig::default());
         rx.on_bytes(&data_bytes(3, 1, &[Message::Point { t: 0.0, x: vec![1.0] }])).unwrap();
+        assert!(rx.control_dirty());
         let ctl = control_frames(&mut rx);
         assert_eq!(ctl, vec![NetFrame::Ack { stream: 3, through_seq: 1 }]);
         assert_eq!(rx.demux().segments(3).unwrap().len(), 1);
+        assert_eq!(rx.stats().frames_applied, 1);
+        assert!(!rx.control_dirty());
+    }
+
+    #[test]
+    fn acks_batch_to_one_frame_per_stream_per_flush() {
+        let mut rx = NetReceiver::new(FixedCodec, 1, NetConfig::default());
+        // Five frames for stream 3, two for stream 8, in one round.
+        for seq in 1..=5 {
+            let t = seq as f64;
+            rx.on_bytes(&data_bytes(3, seq, &[Message::Point { t, x: vec![1.0] }])).unwrap();
+        }
+        for seq in 1..=2 {
+            let t = seq as f64;
+            rx.on_bytes(&data_bytes(8, seq, &[Message::Point { t, x: vec![2.0] }])).unwrap();
+        }
+        let ctl = control_frames(&mut rx);
+        let acks: Vec<&NetFrame> =
+            ctl.iter().filter(|f| matches!(f, NetFrame::Ack { .. })).collect();
+        assert_eq!(
+            acks,
+            vec![
+                &NetFrame::Ack { stream: 3, through_seq: 5 },
+                &NetFrame::Ack { stream: 8, through_seq: 2 },
+            ],
+            "one cumulative ack per stream per round, not per frame"
+        );
+        assert_eq!(rx.stats().acks_staged, 2);
+        // Nothing new ⇒ the next flush stages nothing.
+        assert!(control_frames(&mut rx).is_empty());
     }
 
     #[test]
@@ -221,6 +344,7 @@ mod tests {
         let ctl = control_frames(&mut rx);
         assert_eq!(ctl, vec![NetFrame::Ack { stream: 3, through_seq: 1 }], "re-ack the replay");
         assert_eq!(rx.demux().segments(3).unwrap().len(), 1, "no duplicate segment");
+        assert_eq!(rx.stats().dup_drops, 1, "the dropped replay is counted");
     }
 
     #[test]
@@ -236,6 +360,7 @@ mod tests {
             ctl.contains(&NetFrame::Credit { stream: 1, granted_total: 52 + 64 }),
             "expected a top-up grant, got {ctl:?}"
         );
+        assert_eq!(rx.stats().credits_staged, 1);
     }
 
     #[test]
@@ -257,6 +382,7 @@ mod tests {
         // A replayed Fin is idempotent.
         rx.on_bytes(&fin).unwrap();
         assert_eq!(rx.finished_streams().collect::<Vec<_>>(), vec![2]);
+        assert_eq!(rx.stats().finished_streams, 1);
     }
 
     #[test]
@@ -268,6 +394,20 @@ mod tests {
         let ctl = control_frames(&mut rx);
         assert!(ctl.contains(&NetFrame::Ack { stream: 7, through_seq: 1 }));
         assert!(ctl.iter().any(|f| matches!(f, NetFrame::Credit { stream: 7, .. })));
+    }
+
+    #[test]
+    fn reconnect_supersedes_pending_batched_acks() {
+        let mut rx = NetReceiver::new(FixedCodec, 1, NetConfig::default());
+        rx.on_bytes(&data_bytes(7, 1, &[Message::Point { t: 0.0, x: vec![1.0] }])).unwrap();
+        // Ack still batched (dirty) when the link dies: the reconnect
+        // refresh must not double-stage it.
+        assert!(rx.control_dirty());
+        rx.on_reconnect();
+        assert!(!rx.control_dirty());
+        let ctl = control_frames(&mut rx);
+        let acks = ctl.iter().filter(|f| matches!(f, NetFrame::Ack { .. })).count();
+        assert_eq!(acks, 1, "exactly one ack after the refresh, got {ctl:?}");
     }
 
     #[test]

@@ -1,0 +1,284 @@
+//! The Linux `epoll` reactor.
+//!
+//! Same offline policy as the rest of the runtime: no `libc` crate, no
+//! `mio` — the four syscalls this file needs (`epoll_create1`,
+//! `epoll_ctl`, `epoll_wait`, `eventfd`, plus `read`/`write`/`close` on
+//! the wake fd) are declared directly against the C library `std`
+//! already links.
+//!
+//! Shape:
+//!
+//! * Futures waiting on a real fd ([`Interest::Read`]/[`Write`]) are
+//!   armed in the epoll set and sleep until the kernel reports that fd
+//!   ready — no periodic polling, wake latency is the syscall's.
+//! * Futures with no fd (a [`MemoryLink`](crate::MemoryLink), a bare
+//!   [`io_op`](super::io_op)) keep PR 4's poll-loop semantics: while
+//!   any exists, the `epoll_wait` timeout is clamped to the poll
+//!   interval and they are all re-fired after each wait. Caveat:
+//!   `epoll_wait` counts whole milliseconds, so the sub-millisecond
+//!   poll interval rounds up to 1 ms here — sourceless futures poll
+//!   ~5× less often than under the poll-loop reactor. Fd-backed and
+//!   cross-thread wakes are unaffected (they interrupt the wait);
+//!   latency-sensitive sourceless workloads should pick
+//!   [`ReactorKind::PollLoop`](super::ReactorKind::PollLoop).
+//! * Cross-thread wakes write an `eventfd` that lives permanently in
+//!   the epoll set, so a remote [`Waker`] interrupts the wait instead
+//!   of riding out its timeout.
+//!
+//! Registration is level-triggered and rebuilt lazily: each `wait`
+//! syncs the epoll set to the union of current waiters' interests per
+//! fd (`EPOLL_CTL_ADD`/`MOD`/`DEL`), which keeps the waiter bookkeeping
+//! trivially correct across fds closing mid-session (a failed `ctl` on
+//! a dead fd is ignored; its waiters fire on the next poll bound).
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::io;
+use std::os::raw::{c_int, c_void};
+use std::sync::Arc;
+use std::task::Waker;
+use std::time::Duration;
+
+use super::reactor::{EventSource, Interest, POLL_INTERVAL};
+
+const EPOLL_CLOEXEC: c_int = 0x8_0000;
+const EPOLL_CTL_ADD: c_int = 1;
+const EPOLL_CTL_DEL: c_int = 2;
+const EPOLL_CTL_MOD: c_int = 3;
+const EPOLLIN: u32 = 0x1;
+const EPOLLOUT: u32 = 0x4;
+const EPOLLERR: u32 = 0x8;
+const EPOLLHUP: u32 = 0x10;
+const EFD_CLOEXEC: c_int = 0x8_0000;
+const EFD_NONBLOCK: c_int = 0x800;
+
+/// Mirror of the kernel's `struct epoll_event`. x86-64 is the one ABI
+/// where it is packed; every other Linux target lays it out naturally.
+#[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+#[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+#[derive(Clone, Copy)]
+struct EpollEvent {
+    events: u32,
+    /// Kernel-opaque cookie; this reactor stores the fd itself.
+    data: u64,
+}
+
+extern "C" {
+    fn epoll_create1(flags: c_int) -> c_int;
+    fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+    fn epoll_wait(epfd: c_int, events: *mut EpollEvent, maxevents: c_int, timeout: c_int) -> c_int;
+    fn eventfd(initval: u32, flags: c_int) -> c_int;
+    fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+    fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+    fn close(fd: c_int) -> c_int;
+}
+
+fn interest_mask(interest: Interest) -> u32 {
+    match interest {
+        Interest::Read => EPOLLIN,
+        Interest::Write => EPOLLOUT,
+        Interest::ReadWrite => EPOLLIN | EPOLLOUT,
+    }
+}
+
+/// The wake eventfd, shared between the reactor (which drains it) and
+/// every cross-thread [`Notifier`](super::reactor::Notifier) clone
+/// (which signals it). `Arc` ownership keeps the fd alive for as long
+/// as any waker that might write it exists, so a late wake after
+/// `block_on` returns hits a still-open (merely unread) eventfd rather
+/// than a recycled descriptor.
+pub(crate) struct WakeFd {
+    fd: c_int,
+}
+
+// SAFETY: signalling/draining an eventfd is thread-safe by kernel
+// contract; the struct holds nothing but the descriptor.
+unsafe impl Send for WakeFd {}
+unsafe impl Sync for WakeFd {}
+
+impl WakeFd {
+    /// Makes the executor's next (or current) `epoll_wait` return.
+    pub(crate) fn signal(&self) {
+        let one: u64 = 1;
+        // A full eventfd counter (EAGAIN) is already signalled — both
+        // outcomes mean "the wait will wake"; nothing to handle.
+        unsafe { write(self.fd, (&one as *const u64).cast(), 8) };
+    }
+
+    fn drain(&self) {
+        let mut buf: u64 = 0;
+        unsafe { read(self.fd, (&mut buf as *mut u64).cast(), 8) };
+    }
+}
+
+impl Drop for WakeFd {
+    fn drop(&mut self) {
+        unsafe { close(self.fd) };
+    }
+}
+
+/// One parked fd-waiter.
+struct FdWaiter {
+    fd: EventSource,
+    mask: u32,
+    waker: Waker,
+}
+
+pub(crate) struct EpollReactor {
+    epfd: c_int,
+    wake: Arc<WakeFd>,
+    /// Waiters with a readiness source, woken selectively.
+    fd_waiters: RefCell<Vec<FdWaiter>>,
+    /// Sourceless waiters, woken after every wait (poll-loop cadence).
+    poll_waiters: RefCell<Vec<Waker>>,
+    /// Event mask currently armed in the kernel, per fd.
+    armed: RefCell<HashMap<EventSource, u32>>,
+}
+
+impl EpollReactor {
+    pub(crate) fn new() -> io::Result<Self> {
+        let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+        if epfd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        let wfd = unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) };
+        if wfd < 0 {
+            let err = io::Error::last_os_error();
+            unsafe { close(epfd) };
+            return Err(err);
+        }
+        let wake = Arc::new(WakeFd { fd: wfd });
+        let mut ev = EpollEvent { events: EPOLLIN, data: wfd as u64 };
+        if unsafe { epoll_ctl(epfd, EPOLL_CTL_ADD, wfd, &mut ev) } < 0 {
+            let err = io::Error::last_os_error();
+            unsafe { close(epfd) };
+            return Err(err);
+        }
+        Ok(Self {
+            epfd,
+            wake,
+            fd_waiters: RefCell::new(Vec::new()),
+            poll_waiters: RefCell::new(Vec::new()),
+            armed: RefCell::new(HashMap::new()),
+        })
+    }
+
+    pub(crate) fn wake_handle(&self) -> Arc<WakeFd> {
+        self.wake.clone()
+    }
+
+    pub(crate) fn register(&self, source: Option<(EventSource, Interest)>, waker: Waker) {
+        match source {
+            Some((fd, interest)) => self.fd_waiters.borrow_mut().push(FdWaiter {
+                fd,
+                mask: interest_mask(interest),
+                waker,
+            }),
+            None => self.poll_waiters.borrow_mut().push(waker),
+        }
+    }
+
+    /// Syncs the kernel's armed set to the union of waiter interests.
+    fn sync_registrations(&self) {
+        let waiters = self.fd_waiters.borrow();
+        let mut desired: HashMap<EventSource, u32> = HashMap::new();
+        for w in waiters.iter() {
+            *desired.entry(w.fd).or_insert(0) |= w.mask;
+        }
+        let mut armed = self.armed.borrow_mut();
+        armed.retain(|&fd, _| {
+            if desired.contains_key(&fd) {
+                true
+            } else {
+                // Ignore failures: the fd may already be closed, which
+                // removed it from the set implicitly.
+                unsafe { epoll_ctl(self.epfd, EPOLL_CTL_DEL, fd, std::ptr::null_mut()) };
+                false
+            }
+        });
+        for (&fd, &mask) in &desired {
+            let mut ev = EpollEvent { events: mask, data: fd as u64 };
+            match armed.get(&fd) {
+                Some(&cur) if cur == mask => {}
+                Some(_) => {
+                    if unsafe { epoll_ctl(self.epfd, EPOLL_CTL_MOD, fd, &mut ev) } == 0 {
+                        armed.insert(fd, mask);
+                    } else {
+                        armed.remove(&fd);
+                    }
+                }
+                None => {
+                    if unsafe { epoll_ctl(self.epfd, EPOLL_CTL_ADD, fd, &mut ev) } == 0 {
+                        armed.insert(fd, mask);
+                    }
+                    // A refused ADD (dead or unpollable fd) leaves the
+                    // waiter to the poll bound below.
+                }
+            }
+        }
+        // Any waiter whose fd could not be armed must not sleep
+        // unboundedly; the poll bound in wait() covers it.
+    }
+
+    /// Whether every fd-waiter is actually armed in the kernel (an
+    /// unarmed waiter forces the poll-loop bound so it cannot be lost).
+    fn fully_armed(&self) -> bool {
+        let armed = self.armed.borrow();
+        self.fd_waiters.borrow().iter().all(|w| armed.contains_key(&w.fd))
+    }
+
+    pub(crate) fn wait(&self, timeout: Duration) {
+        self.sync_registrations();
+        let poll_bound = !self.poll_waiters.borrow().is_empty() || !self.fully_armed();
+        let timeout = if poll_bound { timeout.min(POLL_INTERVAL) } else { timeout };
+        // epoll_wait counts in whole milliseconds; round a short
+        // non-zero bound up so it stays a sleep, not a spin.
+        let ms: c_int = if timeout.is_zero() {
+            0
+        } else {
+            timeout.as_millis().clamp(1, c_int::MAX as u128) as c_int
+        };
+        let mut events = [EpollEvent { events: 0, data: 0 }; 64];
+        let n = unsafe { epoll_wait(self.epfd, events.as_mut_ptr(), events.len() as c_int, ms) };
+        // EINTR or any other failure: treat as a timeout tick; the
+        // executor loop re-enters and the poll bound guarantees
+        // progress.
+        for ev in events.iter().take(n.max(0) as usize) {
+            let fd = ev.data as EventSource;
+            if fd == self.wake.fd {
+                self.wake.drain();
+                continue;
+            }
+            let ready = ev.events
+                | if ev.events & (EPOLLERR | EPOLLHUP) != 0 {
+                    // Errors and hangups wake both directions: the waiter
+                    // must observe the failure from its own try_read/write.
+                    EPOLLIN | EPOLLOUT
+                } else {
+                    0
+                };
+            let mut due = Vec::new();
+            self.fd_waiters.borrow_mut().retain(|w| {
+                if w.fd == fd && w.mask & ready != 0 {
+                    due.push(w.waker.clone());
+                    false
+                } else {
+                    true
+                }
+            });
+            for waker in due {
+                waker.wake();
+            }
+        }
+        for waker in self.poll_waiters.borrow_mut().drain(..) {
+            waker.wake();
+        }
+    }
+}
+
+impl Drop for EpollReactor {
+    fn drop(&mut self) {
+        unsafe { close(self.epfd) };
+        // self.wake closes via Arc<WakeFd> once the last notifier drops.
+    }
+}

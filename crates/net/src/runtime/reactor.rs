@@ -1,0 +1,195 @@
+//! The reactor seam: how suspended I/O futures get woken.
+//!
+//! Two implementations stand behind one interface, selected when the
+//! executor is constructed ([`block_on_with`](super::block_on_with)):
+//!
+//! * [`PollLoopReactor`] — the portable fallback (and the deterministic
+//!   test substrate): wakers parked on I/O are *all* re-fired after a
+//!   bounded park (≤ [`POLL_INTERVAL`]), trading a little latency and
+//!   some spurious polls for zero platform code. This is PR 4's
+//!   original design, unchanged.
+//! * `EpollReactor` (Linux, [`epoll`](super::epoll)) — wakers that name
+//!   an OS readiness source (a raw fd plus an [`Interest`]) sleep on
+//!   `epoll_wait` and are woken only when their fd is actually ready;
+//!   sourceless wakers (in-process [`MemoryLink`](crate::MemoryLink)s
+//!   have no fd) keep the poll-loop cadence as an upper bound on the
+//!   wait.
+//!
+//! The executor interacts with the reactor at exactly three points:
+//! suspended futures [`register`](Reactor::register) a waker, the idle
+//! executor [`wait`](Reactor::wait)s, and cross-thread wakes go through
+//! the [`Notifier`] (which must be able to interrupt the wait).
+
+use std::cell::RefCell;
+use std::task::Waker;
+use std::thread::Thread;
+use std::time::Duration;
+
+#[cfg(target_os = "linux")]
+use super::epoll::EpollReactor;
+
+/// How long the executor parks when pollable (sourceless) waiters are
+/// pending and no timer is due sooner — the poll-loop cadence, and the
+/// epoll reactor's upper bound while any sourceless waiter exists.
+pub(crate) const POLL_INTERVAL: Duration = Duration::from_micros(200);
+
+/// An OS-level readiness source: a raw file descriptor on unix. The
+/// alias keeps non-unix builds compiling (only the Linux epoll reactor
+/// ever dereferences one).
+#[cfg(unix)]
+pub type EventSource = std::os::unix::io::RawFd;
+/// An OS-level readiness source (unused placeholder off unix).
+#[cfg(not(unix))]
+pub type EventSource = i32;
+
+/// Which readiness a suspended I/O future is waiting for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Interest {
+    /// Wake when the source has bytes to read (or is at EOF/error).
+    Read,
+    /// Wake when the source can accept more bytes.
+    Write,
+    /// Wake on either direction.
+    ReadWrite,
+}
+
+/// Which reactor implementation drives I/O wake-ups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReactorKind {
+    /// Portable bounded-park polling (PR 4's original reactor); always
+    /// available, and the deterministic choice for tests.
+    PollLoop,
+    /// `epoll`-backed readiness (Linux only). Construction falls back
+    /// to [`ReactorKind::PollLoop`] if the kernel refuses the epoll or
+    /// eventfd descriptors.
+    #[cfg(target_os = "linux")]
+    Epoll,
+}
+
+impl Default for ReactorKind {
+    /// The host's best reactor: epoll on Linux, the poll loop elsewhere.
+    fn default() -> Self {
+        #[cfg(target_os = "linux")]
+        {
+            Self::Epoll
+        }
+        #[cfg(not(target_os = "linux"))]
+        {
+            Self::PollLoop
+        }
+    }
+}
+
+/// Wakes the executor thread from another thread (the only cross-thread
+/// edge in the runtime). The poll loop unparks the executor thread; the
+/// epoll reactor additionally writes an eventfd so a wake interrupts
+/// `epoll_wait` instead of waiting out its timeout.
+#[derive(Clone)]
+pub(crate) enum Notifier {
+    /// Unpark the executor thread (poll-loop reactor).
+    Thread(Thread),
+    /// Write the wake eventfd, then unpark for good measure (epoll).
+    #[cfg(target_os = "linux")]
+    EventFd(std::sync::Arc<super::epoll::WakeFd>, Thread),
+}
+
+impl Notifier {
+    pub(crate) fn notify(&self) {
+        match self {
+            Self::Thread(t) => t.unpark(),
+            #[cfg(target_os = "linux")]
+            Self::EventFd(fd, t) => {
+                fd.signal();
+                t.unpark();
+            }
+        }
+    }
+}
+
+/// The reactor behind the running executor. Dispatch is a plain enum —
+/// two variants do not justify a vtable.
+pub(crate) enum Reactor {
+    PollLoop(PollLoopReactor),
+    #[cfg(target_os = "linux")]
+    Epoll(EpollReactor),
+}
+
+impl Reactor {
+    /// Builds the requested reactor, falling back to the poll loop when
+    /// the platform refuses (e.g. `epoll_create1` failing under an
+    /// exotic sandbox) — callers always get a working runtime.
+    pub(crate) fn new(kind: ReactorKind) -> Self {
+        match kind {
+            ReactorKind::PollLoop => Self::PollLoop(PollLoopReactor::default()),
+            #[cfg(target_os = "linux")]
+            ReactorKind::Epoll => match EpollReactor::new() {
+                Ok(ep) => Self::Epoll(ep),
+                Err(_) => Self::PollLoop(PollLoopReactor::default()),
+            },
+        }
+    }
+
+    /// Which implementation actually runs (after any fallback).
+    pub(crate) fn kind(&self) -> ReactorKind {
+        match self {
+            Self::PollLoop(_) => ReactorKind::PollLoop,
+            #[cfg(target_os = "linux")]
+            Self::Epoll(_) => ReactorKind::Epoll,
+        }
+    }
+
+    /// The cross-thread wake handle for the ready queue.
+    pub(crate) fn notifier(&self) -> Notifier {
+        match self {
+            Self::PollLoop(_) => Notifier::Thread(std::thread::current()),
+            #[cfg(target_os = "linux")]
+            Self::Epoll(ep) => Notifier::EventFd(ep.wake_handle(), std::thread::current()),
+        }
+    }
+
+    /// Parks `waker` until `source` is ready (or until the next poll
+    /// turn when the future has no OS-level source to wait on).
+    pub(crate) fn register(&self, source: Option<(EventSource, Interest)>, waker: Waker) {
+        match self {
+            Self::PollLoop(p) => p.register(waker),
+            #[cfg(target_os = "linux")]
+            Self::Epoll(ep) => ep.register(source, waker),
+        }
+    }
+
+    /// Blocks until something interesting happens (readiness, a
+    /// notifier wake, or the deadline), then fires the wakers that are
+    /// due. `timeout` is the timer-derived bound; the reactor tightens
+    /// it to [`POLL_INTERVAL`] while pollable waiters exist.
+    pub(crate) fn wait(&self, timeout: Duration) {
+        match self {
+            Self::PollLoop(p) => p.wait(timeout),
+            #[cfg(target_os = "linux")]
+            Self::Epoll(ep) => ep.wait(timeout),
+        }
+    }
+}
+
+/// The portable reactor: every registered waker re-fires after one
+/// bounded park. See the module docs for the trade.
+#[derive(Default)]
+pub(crate) struct PollLoopReactor {
+    waiters: RefCell<Vec<Waker>>,
+}
+
+impl PollLoopReactor {
+    fn register(&self, waker: Waker) {
+        self.waiters.borrow_mut().push(waker);
+    }
+
+    fn wait(&self, timeout: Duration) {
+        let timeout =
+            if self.waiters.borrow().is_empty() { timeout } else { timeout.min(POLL_INTERVAL) };
+        if !timeout.is_zero() {
+            std::thread::park_timeout(timeout);
+        }
+        for waker in self.waiters.borrow_mut().drain(..) {
+            waker.wake();
+        }
+    }
+}

@@ -1,7 +1,8 @@
 //! The `pla-ingest` integration: an engine's shard fan-in flows
 //! straight out over one multiplexed connection.
 //!
-//! [`IngestEngine::with_segment_tap`] hands back a live channel of
+//! [`IngestEngine::with_segment_tap`](pla_ingest::IngestEngine::with_segment_tap)
+//! hands back a live channel of
 //! `(StreamId, Segment)` in emission order; [`EngineUplink`] drains it
 //! into a [`MuxSender`], honoring credit backpressure by parking the
 //! head-of-line segment until the receiver grants more. The far end's

@@ -1,0 +1,222 @@
+//! The collector acceptance test: 8 connections × 16 streams each — a
+//! fleet of edge senders multiplexing into one shared `SegmentStore` —
+//! with every link severed and reconnected mid-transfer, must leave the
+//! store *byte-identical* to 128 dedicated point-to-point
+//! transmitter/receiver links.
+//!
+//! Each sending side is the full production path: an `IngestEngine`
+//! (the edge node's shard-per-core filtering) whose live segment tap
+//! feeds an `EngineUplink` into a `MuxSender` over a deliberately tiny
+//! `MemoryLink`, so partial writes and credit stalls are routine.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use pla_core::filters::{FilterKind, FilterSpec};
+use pla_core::{Segment, Signal};
+use pla_ingest::{IngestConfig, IngestEngine, SegmentStore, StreamId};
+use pla_net::driver::{pump_sender, DriveError};
+use pla_net::listen::MemoryAcceptor;
+use pla_net::uplink::{EngineUplink, UplinkStatus};
+use pla_net::{Collector, ConnId, MemoryLink, MuxSender, NetConfig};
+use pla_signal::{random_walk, WalkParams};
+use pla_transport::wire::FixedCodec;
+use pla_transport::{Receiver, Transmitter};
+
+const CONNS: u64 = 8;
+const STREAMS_PER_CONN: u64 = 16;
+const SAMPLES: usize = 300;
+const LINK_CAPACITY: usize = 211;
+
+fn spec_for(id: u64) -> FilterSpec {
+    let kind = match id % 3 {
+        0 => FilterKind::Swing,
+        1 => FilterKind::Slide,
+        _ => FilterKind::Cache,
+    };
+    FilterSpec::new(kind, &[0.5])
+}
+
+fn signal_for(id: u64) -> Signal {
+    random_walk(WalkParams {
+        n: SAMPLES,
+        p_decrease: 0.5,
+        max_delta: 1.5,
+        seed: 0xC011 ^ id.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+    })
+}
+
+/// The reference: every stream over its own dedicated point-to-point
+/// link, as the paper deploys it.
+fn direct_reference() -> BTreeMap<u64, Vec<Segment>> {
+    let mut out = BTreeMap::new();
+    for id in 0..CONNS * STREAMS_PER_CONN {
+        let filter = spec_for(id).build().expect("valid spec");
+        let mut tx = Transmitter::new(filter, FixedCodec);
+        let mut rx = Receiver::new(FixedCodec, 1);
+        for (t, x) in signal_for(id).iter() {
+            tx.push(t, x).expect("valid sample");
+            rx.consume(tx.take_bytes()).expect("lossless link");
+        }
+        tx.finish().expect("flush");
+        rx.consume(tx.take_bytes()).expect("lossless link");
+        out.insert(id, rx.into_segments());
+    }
+    out
+}
+
+/// One edge node: engine-filtered segments multiplexed up a flaky link.
+struct EdgeSender {
+    tx: MuxSender<FixedCodec>,
+    uplink: EngineUplink,
+    link: MemoryLink,
+    finned: bool,
+    severed_once: bool,
+    expected_segments: u64,
+}
+
+impl EdgeSender {
+    /// Builds the node for connection `conn`, running its engine to
+    /// completion up front (the tap buffers; the uplink then drains it
+    /// under credit control).
+    fn new(conn: u64, cfg: NetConfig, link: MemoryLink) -> Self {
+        let (engine, tap) = IngestEngine::with_segment_tap(IngestConfig {
+            shards: 2,
+            queue_depth: 128,
+            shard_log: false,
+        });
+        let handle = engine.handle();
+        let base = conn * STREAMS_PER_CONN;
+        for s in 0..STREAMS_PER_CONN {
+            let id = base + s;
+            handle.register(StreamId(id), spec_for(id)).expect("register");
+            let signal = signal_for(id);
+            let samples: Vec<(f64, &[f64])> = signal.iter().collect();
+            handle.push_batch(StreamId(id), &samples).expect("feed");
+        }
+        let report = engine.finish();
+        assert_eq!(report.quarantined(), 0);
+        Self {
+            tx: MuxSender::new(FixedCodec, 1, cfg),
+            uplink: EngineUplink::new(tap),
+            link,
+            finned: false,
+            severed_once: false,
+            expected_segments: report.total_segments() as u64,
+        }
+    }
+
+    /// One sender round: drain the tap as credit allows, fin when
+    /// drained, pump the link. Dead links report no progress (the test
+    /// harness reconnects).
+    fn round(&mut self) -> usize {
+        let status = self.uplink.pump(&mut self.tx).expect("uplink");
+        if status == UplinkStatus::Drained && !self.finned {
+            self.tx.finish_all();
+            self.finned = true;
+        }
+        match pump_sender(&mut self.tx, &mut self.link) {
+            Ok(n) => n,
+            Err(DriveError::Io(_)) => 0,
+            Err(DriveError::Net(e)) => panic!("sender protocol error: {e}"),
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.finned && self.tx.is_idle()
+    }
+}
+
+#[test]
+fn eight_connections_with_reconnects_match_direct_links_exactly() {
+    let cfg = NetConfig { window: 512, max_frame: 1 << 20 };
+    let store = Arc::new(SegmentStore::new());
+    let acceptor = MemoryAcceptor::new();
+    let connector = acceptor.connector();
+    let mut collector = Collector::new(FixedCodec, 1, cfg, acceptor, store.clone());
+
+    let mut edges: Vec<EdgeSender> =
+        (0..CONNS).map(|c| EdgeSender::new(c, cfg, connector.connect(LINK_CAPACITY))).collect();
+    let expected_total: u64 = edges.iter().map(|e| e.expected_segments).sum();
+
+    let mut stalled = 0;
+    loop {
+        let mut moved = collector.pump().expect("collector");
+
+        // Sever every connection once, staggered: connection c dies
+        // when the store holds c+1 ninths of its expected traffic —
+        // different links die at different phases of the transfer. The
+        // cut lands *after* the collector staged its acks but before
+        // the sender read them, so the freshly written acks die in the
+        // pipe and the replay is partially duplicate — the worst case
+        // the dedup must absorb.
+        for (c, edge) in edges.iter_mut().enumerate() {
+            let threshold = edge.expected_segments * (c as u64 + 1) / (CONNS + 1);
+            let conn = ConnId(c as u64 + 1); // accept order follows dial order
+            let published = store.watermark(conn.0).map_or(0, |w| w.segments);
+            if !edge.severed_once && published >= threshold.max(1) {
+                edge.link.sever();
+                // Both sides observe the dead pipe...
+                assert_eq!(edge.round(), 0);
+                collector.pump().expect("collector survives dead links");
+                assert!(
+                    collector.detached().contains(&conn),
+                    "{conn} must be detached after its link died"
+                );
+                // ...then a fresh pipe re-attaches the same session.
+                let (client, server) = MemoryLink::pair(LINK_CAPACITY);
+                assert!(collector.reattach(conn, server));
+                edge.link = client;
+                edge.tx.on_reconnect();
+                edge.severed_once = true;
+                moved += 1; // a reconnect is progress
+            }
+        }
+
+        for edge in &mut edges {
+            moved += edge.round();
+        }
+
+        if edges.iter().all(|e| e.done()) && (1..=CONNS).all(|c| collector.conn_complete(ConnId(c)))
+        {
+            break;
+        }
+        stalled = if moved == 0 { stalled + 1 } else { 0 };
+        assert!(stalled < 64, "fan-in deadlocked");
+    }
+    assert!(edges.iter().all(|e| e.severed_once), "every link must have died once");
+
+    // The store must be byte-identical to 128 dedicated links.
+    let reference = direct_reference();
+    let snap = store.snapshot();
+    assert_eq!(snap.streams.len(), (CONNS * STREAMS_PER_CONN) as usize);
+    assert_eq!(snap.total_segments, expected_total);
+    for (id, want) in &reference {
+        let got = &snap.streams[&StreamId(*id)];
+        assert_eq!(
+            got, want,
+            "stream {id}: collector reconstruction must be byte-identical \
+             to the dedicated point-to-point link"
+        );
+    }
+
+    // Observability: replays were dropped and counted, per connection.
+    let stats = collector.stats();
+    assert_eq!(stats.connections, CONNS as usize);
+    assert_eq!(stats.segments, expected_total);
+    assert!(stats.dup_drops > 0, "staggered severs must have forced duplicate replays");
+    for conn in &stats.conns {
+        assert_eq!(conn.ack_points.len(), STREAMS_PER_CONN as usize);
+        assert!(
+            conn.ack_points.iter().all(|&(_, ack)| ack > 0),
+            "{}: every stream fully acked",
+            conn.conn
+        );
+        assert_eq!(conn.receiver.finished_streams, STREAMS_PER_CONN as usize);
+    }
+    // Per-connection watermarks cover the whole signal span.
+    for c in 1..=CONNS {
+        let mark = store.watermark(c).expect("every connection appended");
+        assert!(mark.covered_through >= (SAMPLES - 1) as f64);
+    }
+}

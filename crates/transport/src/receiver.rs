@@ -417,6 +417,24 @@ impl<C: Codec> StreamDemux<C> {
         self.streams.keys().copied()
     }
 
+    /// Flushes one stream's reconstruction — closes its active hold, if
+    /// any, appending the trailing constant segment to its log.
+    ///
+    /// [`into_segment_logs`](Self::into_segment_logs) does this for
+    /// every stream at teardown; an *incremental* consumer (pla-net's
+    /// collector publishes segments into a shared store as they
+    /// reconstruct) calls this per stream the moment that stream's
+    /// end-of-stream marker arrives, so the published log matches what
+    /// a dedicated single-stream [`Receiver::into_segments`] would have
+    /// produced. Flushing a stream mid-flight is *not* idempotent in
+    /// effect (a later `Hold` would open a new hold), so callers flush
+    /// only streams that are complete. Unknown streams are a no-op.
+    pub fn flush_stream(&mut self, stream: u64) {
+        if let Some(asm) = self.streams.get_mut(&stream) {
+            asm.flush();
+        }
+    }
+
     /// Segments reconstructed so far for one stream (`None` if no frame
     /// header ever named it).
     pub fn segments(&self, stream: u64) -> Option<&[Segment]> {
@@ -477,6 +495,31 @@ mod tests {
             codec.encode(m, dims, &mut buf);
         }
         buf.freeze()
+    }
+
+    #[test]
+    fn flush_stream_closes_only_that_streams_hold() {
+        let mut demux = StreamDemux::new(FixedCodec, 1);
+        demux
+            .consume(encode(
+                &[
+                    Message::StreamFrame { stream: 1 },
+                    Message::Hold { t: 0.0, x: vec![4.0] },
+                    Message::StreamFrame { stream: 2 },
+                    Message::Hold { t: 0.0, x: vec![9.0] },
+                ],
+                1,
+            ))
+            .unwrap();
+        assert_eq!(demux.segments(1).unwrap().len(), 0, "hold still open");
+        demux.flush_stream(1);
+        assert_eq!(demux.segments(1).unwrap().len(), 1, "flushed hold became a segment");
+        assert_eq!(demux.segments(2).unwrap().len(), 0, "other stream untouched");
+        demux.flush_stream(999); // unknown stream: no-op
+                                 // The incremental flush matches the teardown flush.
+        let logs = demux.into_segment_logs();
+        assert_eq!(logs[&1].len(), 1);
+        assert_eq!(logs[&2].len(), 1);
     }
 
     #[test]

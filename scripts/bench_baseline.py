@@ -1,16 +1,23 @@
 #!/usr/bin/env python3
-"""Regenerate BENCH_BASELINE.json from a full `cargo bench` run.
+"""Regenerate (or incrementally update) BENCH_BASELINE.json.
 
 The vendored criterion harness (see vendor/README.md) prints one line per
 benchmark to stderr:
 
     <group>/<id>            <ns_per_iter> ns/iter   [<rate> elem/s|B/s]
 
-This script runs every bench target, parses those lines, and writes the
+This script runs bench targets, parses those lines, and writes the
 numbers plus machine metadata to BENCH_BASELINE.json at the repo root.
 Later perf PRs diff their runs against this file to claim wins.
 
-Usage:  python3 scripts/bench_baseline.py [output.json]
+Usage:
+    python3 scripts/bench_baseline.py [output.json]
+        Full recapture: run every bench target, rewrite the file.
+    python3 scripts/bench_baseline.py --merge --bench NAME [--bench NAME2]
+        Run only the named bench target(s) and merge their cells into
+        the existing file (machine metadata untouched) — how a PR that
+        adds one bench checks in its baseline cells without re-timing
+        the whole suite on a possibly different machine.
 """
 
 import json
@@ -31,16 +38,12 @@ def cpu_count():
         return os.cpu_count() or 1
 
 
-def main():
-    out_path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_BASELINE.json"
-    repo = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+def run_benches(repo, bench_names):
+    cmd = ["cargo", "bench"]
+    for name in bench_names:
+        cmd += ["--bench", name]
     proc = subprocess.run(
-        ["cargo", "bench"],
-        cwd=repo,
-        stdout=subprocess.PIPE,
-        stderr=subprocess.PIPE,
-        text=True,
-        check=True,
+        cmd, cwd=repo, stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True, check=True
     )
     benchmarks = {}
     for line in proc.stderr.splitlines():
@@ -54,28 +57,64 @@ def main():
         benchmarks[m.group("name")] = entry
     if not benchmarks:
         sys.exit("no benchmark lines parsed from cargo bench output")
+    return benchmarks
 
-    toolchain = subprocess.run(
-        ["rustc", "--version"], stdout=subprocess.PIPE, text=True, check=True
-    ).stdout.strip()
-    baseline = {
-        "_comment": (
-            "Wall-clock numbers from the vendored criterion stand-in "
-            "(vendor/README.md): means, no statistics. Compare against runs "
-            "on the same machine only; regenerate with "
-            "scripts/bench_baseline.py."
-        ),
-        "machine": {
-            "cpus": cpu_count(),
-            "platform": sys.platform,
-            "rustc": toolchain,
-        },
-        "benchmarks": benchmarks,
-    }
-    with open(os.path.join(repo, out_path), "w") as f:
+
+def main():
+    args = sys.argv[1:]
+    merge = False
+    bench_names = []
+    positional = []
+    i = 0
+    while i < len(args):
+        if args[i] == "--merge":
+            merge = True
+        elif args[i] == "--bench":
+            i += 1
+            if i >= len(args):
+                sys.exit("--bench needs a target name")
+            bench_names.append(args[i])
+        else:
+            positional.append(args[i])
+        i += 1
+    out_path = positional[0] if positional else "BENCH_BASELINE.json"
+    repo = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    full_out = os.path.join(repo, out_path)
+    if merge and not os.path.exists(full_out):
+        sys.exit(
+            f"--merge: {out_path} does not exist; run a full capture first "
+            "(bench results would have been discarded after the run)"
+        )
+
+    benchmarks = run_benches(repo, bench_names)
+
+    if merge:
+        with open(full_out) as f:
+            baseline = json.load(f)
+        baseline["benchmarks"].update(benchmarks)
+    else:
+        toolchain = subprocess.run(
+            ["rustc", "--version"], stdout=subprocess.PIPE, text=True, check=True
+        ).stdout.strip()
+        baseline = {
+            "_comment": (
+                "Wall-clock numbers from the vendored criterion stand-in "
+                "(vendor/README.md): means, no statistics. Compare against runs "
+                "on the same machine only; regenerate with "
+                "scripts/bench_baseline.py."
+            ),
+            "machine": {
+                "cpus": cpu_count(),
+                "platform": sys.platform,
+                "rustc": toolchain,
+            },
+            "benchmarks": benchmarks,
+        }
+    with open(full_out, "w") as f:
         json.dump(baseline, f, indent=2, sort_keys=True)
         f.write("\n")
-    print(f"wrote {out_path}: {len(benchmarks)} benchmarks")
+    verb = "merged into" if merge else "wrote"
+    print(f"{verb} {out_path}: {len(benchmarks)} benchmarks")
 
 
 if __name__ == "__main__":
