@@ -38,15 +38,19 @@ use std::collections::BTreeMap;
 use std::io;
 use std::rc::Rc;
 use std::sync::Arc;
+use std::time::Instant;
 
+use bytes::BytesMut;
 use pla_ingest::{SegmentStore, StreamId};
 use pla_transport::wire::Codec;
 
-use crate::driver::{pump_receiver, stall_interest, DriveError};
+use crate::driver::{pump_in, pump_receiver_split, stall_interest, DriveError};
+use crate::frame::{encode, FrameDecoder, NetFrame};
 use crate::link::Link;
 use crate::listen::Acceptor;
 use crate::receiver::{NetReceiver, ReceiverStats};
 use crate::runtime;
+use crate::session::{splitmix64, HandshakeError, SessionConfig};
 use crate::{NetConfig, NetError};
 
 /// Identity of one accepted connection, assigned in accept order
@@ -90,6 +94,8 @@ pub struct ConnStats {
     /// Whether a link is currently attached (false = detached, awaiting
     /// reconnect).
     pub attached: bool,
+    /// The session token bound to this connection (0 in legacy mode).
+    pub token: u64,
     /// The connection's receiving-endpoint counters (frames applied,
     /// duplicate replays dropped, control frames staged after
     /// batching).
@@ -130,6 +136,12 @@ pub struct CollectorStats {
     pub backpressure: u64,
     /// Connections quarantined by a protocol violation.
     pub failed: usize,
+    /// Handshakes refused (version mismatch, garbage first frame,
+    /// unknown/quarantined token, handshake timeout) — session mode
+    /// only. A refusal touches no bound connection.
+    pub refused: u64,
+    /// Detached sessions evicted after their TTL lapsed.
+    pub evicted: u64,
     /// Per-connection detail, in accept order.
     pub conns: Vec<ConnStats>,
 }
@@ -144,6 +156,14 @@ struct Connection<C: Codec, L: Link> {
     /// every other connection keeps running — the collector-level
     /// analogue of `pla-ingest`'s per-stream quarantine.
     failed: Option<NetError>,
+    /// The session token bound to this connection (0 in legacy
+    /// explicit-reattach mode).
+    token: u64,
+    /// When inbound bytes last arrived — the liveness clock (session
+    /// mode only).
+    last_recv: Instant,
+    /// When the connection detached, for session-TTL eviction.
+    detached_at: Option<Instant>,
     /// Per-stream count of segments already published to the store.
     published: BTreeMap<u64, usize>,
     /// Streams whose end-of-stream flush has run (Fin seen, trailing
@@ -152,6 +172,14 @@ struct Connection<C: Codec, L: Link> {
     published_total: u64,
     backpressure: u64,
     bytes_moved: u64,
+}
+
+/// An accepted link that has not yet completed the session handshake:
+/// it has no `ConnId` and no receiver until a valid `Hello` arrives.
+struct Pending<L: Link> {
+    link: L,
+    dec: FrameDecoder,
+    since: Instant,
 }
 
 /// The many-connection collector. See the [module docs](self) for the
@@ -214,6 +242,20 @@ pub struct Collector<C: Codec + Clone, A: Acceptor> {
     store: Arc<SegmentStore>,
     conns: BTreeMap<u64, Connection<C, A::Link>>,
     next_conn: u64,
+    /// `Some` = session mode: connections must open with `Hello`, get a
+    /// token, heartbeat-lapse detach, and TTL eviction. `None` = the
+    /// legacy explicit-[`reattach`](Self::reattach) mode.
+    session: Option<SessionConfig>,
+    /// Accepted links mid-handshake (session mode only).
+    pending: Vec<Pending<A::Link>>,
+    /// Issued session tokens → connection ids.
+    tokens: BTreeMap<u64, u64>,
+    token_ctr: u64,
+    refused: u64,
+    evicted: u64,
+    /// The most recent handshake refusal, for observability (refused
+    /// links have no `ConnId` to hang a failure on).
+    last_refusal: Option<NetError>,
 }
 
 impl<C: Codec + Clone, A: Acceptor> Collector<C, A> {
@@ -228,7 +270,43 @@ impl<C: Codec + Clone, A: Acceptor> Collector<C, A> {
         acceptor: A,
         store: Arc<SegmentStore>,
     ) -> Self {
-        Self { codec, dims, config, acceptor, store, conns: BTreeMap::new(), next_conn: 1 }
+        Self {
+            codec,
+            dims,
+            config,
+            acceptor,
+            store,
+            conns: BTreeMap::new(),
+            next_conn: 1,
+            session: None,
+            pending: Vec::new(),
+            tokens: BTreeMap::new(),
+            token_ctr: 0,
+            refused: 0,
+            evicted: 0,
+            last_refusal: None,
+        }
+    }
+
+    /// Creates a collector in **session mode**: every connection must
+    /// open with a versioned `Hello`, gets a server-issued session
+    /// token in its `HelloAck`, and resumes by presenting that token on
+    /// a fresh link — no [`reattach`](Self::reattach) call needed. A
+    /// link silent past `session.liveness_timeout` is detached; a
+    /// detached session unclaimed past `session.session_ttl` is
+    /// evicted. Drive with [`pump_at`](Self::pump_at) (tests) or
+    /// [`pump`](Self::pump)/[`drive_collector`] (production clock).
+    pub fn with_sessions(
+        codec: C,
+        dims: usize,
+        config: NetConfig,
+        session: SessionConfig,
+        acceptor: A,
+        store: Arc<SegmentStore>,
+    ) -> Self {
+        let mut c = Self::new(codec, dims, config, acceptor, store);
+        c.session = Some(session);
+        c
     }
 
     /// The shared store this collector publishes into.
@@ -236,29 +314,54 @@ impl<C: Codec + Clone, A: Acceptor> Collector<C, A> {
         &self.store
     }
 
-    /// Accepts every pending connection, returning the ids of the new
-    /// ones (empty when nothing was waiting).
+    /// Accepts every pending connection. In legacy mode each accepted
+    /// link becomes a connection immediately and its `ConnId` is
+    /// returned; in session mode accepted links are parked until their
+    /// `Hello` arrives ([`pump_at`](Self::pump_at) completes the
+    /// handshake), so this returns an empty list.
     pub fn poll_accept(&mut self) -> io::Result<Vec<ConnId>> {
+        self.poll_accept_at(Instant::now())
+    }
+
+    fn poll_accept_at(&mut self, now: Instant) -> io::Result<Vec<ConnId>> {
         let mut fresh = Vec::new();
         while let Some(link) = self.acceptor.try_accept()? {
-            let id = self.next_conn;
-            self.next_conn += 1;
-            self.conns.insert(
-                id,
-                Connection {
-                    rx: NetReceiver::new(self.codec.clone(), self.dims, self.config),
-                    link: Some(link),
-                    failed: None,
-                    published: BTreeMap::new(),
-                    flushed: std::collections::BTreeSet::new(),
-                    published_total: 0,
-                    backpressure: 0,
-                    bytes_moved: 0,
-                },
-            );
-            fresh.push(ConnId(id));
+            if self.session.is_some() {
+                self.pending.push(Pending {
+                    link,
+                    dec: FrameDecoder::new(self.config.max_frame),
+                    since: now,
+                });
+            } else {
+                let id = self.adopt(link, 0, now);
+                fresh.push(ConnId(id));
+            }
         }
         Ok(fresh)
+    }
+
+    /// Materializes a connection around an already-handshaken (or
+    /// legacy-mode) link.
+    fn adopt(&mut self, link: A::Link, token: u64, now: Instant) -> u64 {
+        let id = self.next_conn;
+        self.next_conn += 1;
+        self.conns.insert(
+            id,
+            Connection {
+                rx: NetReceiver::new(self.codec.clone(), self.dims, self.config),
+                link: Some(link),
+                failed: None,
+                token,
+                last_recv: now,
+                detached_at: None,
+                published: BTreeMap::new(),
+                flushed: std::collections::BTreeSet::new(),
+                published_total: 0,
+                backpressure: 0,
+                bytes_moved: 0,
+            },
+        );
+        id
     }
 
     /// One non-blocking round for one connection: absorb inbound
@@ -273,14 +376,40 @@ impl<C: Codec + Clone, A: Acceptor> Collector<C, A> {
     /// failure recorded in [`ConnStats::failed`] — and is returned once
     /// to the caller; every *other* connection is unaffected.
     pub fn pump_conn(&mut self, conn: ConnId) -> Result<usize, CollectorError> {
+        self.pump_conn_at(conn, Instant::now())
+    }
+
+    /// [`pump_conn`](Self::pump_conn) with an explicit clock — the form
+    /// deterministic tests drive. In session mode, `now` feeds the
+    /// liveness deadline: a link that produced no inbound bytes for
+    /// `liveness_timeout` is shut down and the connection detached, its
+    /// state retained for a token resume.
+    pub fn pump_conn_at(&mut self, conn: ConnId, now: Instant) -> Result<usize, CollectorError> {
         let Some(c) = self.conns.get_mut(&conn.0) else { return Ok(0) };
         if c.failed.is_some() {
             return Ok(0);
         }
         let Some(link) = c.link.as_mut() else { return Ok(0) };
-        match pump_receiver(&mut c.rx, link) {
-            Ok(0) => Ok(0),
-            Ok(moved) => {
+        match pump_receiver_split(&mut c.rx, link) {
+            Ok((read, written)) => {
+                if read > 0 {
+                    c.last_recv = now;
+                } else if let Some(sess) = self.session {
+                    // Only *arriving* bytes prove the peer alive — our own
+                    // writes may be vanishing into a wedged pipe.
+                    if now.duration_since(c.last_recv) >= sess.liveness_timeout {
+                        if let Some(mut dead) = c.link.take() {
+                            dead.shutdown();
+                        }
+                        c.detached_at = Some(now);
+                        self.publish_conn(conn.0);
+                        return Ok(written);
+                    }
+                }
+                let moved = read + written;
+                if moved == 0 {
+                    return Ok(0);
+                }
                 if c.rx.staged_bytes() > 0 {
                     c.backpressure += 1;
                 }
@@ -290,6 +419,7 @@ impl<C: Codec + Clone, A: Acceptor> Collector<C, A> {
             }
             Err(DriveError::Io(_)) => {
                 c.link = None;
+                c.detached_at = Some(now);
                 // Frames applied before the link died may have produced
                 // segments; publish them before going quiet.
                 self.publish_conn(conn.0);
@@ -325,18 +455,200 @@ impl<C: Codec + Clone, A: Acceptor> Collector<C, A> {
         }
     }
 
+    /// Issues a fresh session token: unique among live sessions and
+    /// nonzero (0 on the wire means "refused"). splitmix64 over the
+    /// configured seed — identity, not authentication.
+    fn issue_token(&mut self, seed: u64) -> u64 {
+        loop {
+            self.token_ctr += 1;
+            let mut s = seed ^ self.token_ctr;
+            splitmix64(&mut s);
+            let token = if s == 0 { 1 } else { s };
+            if !self.tokens.contains_key(&token) {
+                return token;
+            }
+        }
+    }
+
+    /// Refuses a mid-handshake link: best-effort `HelloAck` with token 0
+    /// (so the peer gets a *typed* refusal instead of a timeout), then
+    /// the link is dropped — not shut down, which on in-memory pipes
+    /// would destroy the refusal before the peer reads it. Only this
+    /// link is touched — every bound connection keeps running.
+    fn refuse(&mut self, link: &mut A::Link, version: u16, err: HandshakeError) {
+        let mut buf = BytesMut::new();
+        encode(&NetFrame::HelloAck { version, token: 0, cursors: Vec::new() }, &mut buf);
+        let _ = link.try_write(&buf);
+        self.refused += 1;
+        self.last_refusal = Some(NetError::Handshake(err));
+    }
+
+    /// Feeds bytes that arrived in the same read as the `Hello` (the
+    /// sender's 0-RTT replay) to the freshly bound connection.
+    fn feed_adopted(&mut self, id: u64, leftover: &[u8], now: Instant) {
+        if leftover.is_empty() {
+            return;
+        }
+        let Some(c) = self.conns.get_mut(&id) else { return };
+        match c.rx.on_bytes(leftover) {
+            Ok(()) => {
+                c.last_recv = now;
+                c.bytes_moved += leftover.len() as u64;
+                self.publish_conn(id);
+            }
+            Err(error) => {
+                if let Some(mut dead) = c.link.take() {
+                    dead.shutdown();
+                }
+                c.failed = Some(error);
+            }
+        }
+    }
+
+    /// Advances every mid-handshake link at the given instant: reads,
+    /// decodes the first frame, and either binds a connection (fresh
+    /// token or resume), refuses the link, or keeps waiting until the
+    /// handshake deadline. Also evicts detached sessions whose TTL
+    /// lapsed. Returns the connections bound this round (a resumed
+    /// `ConnId` reappears here when its session rebinds). No-op outside
+    /// session mode.
+    pub fn pump_sessions(&mut self, now: Instant) -> Vec<ConnId> {
+        let Some(sess) = self.session else { return Vec::new() };
+        self.evict_expired(now, sess.session_ttl);
+        let mut bound = Vec::new();
+        let mut keep = Vec::new();
+        for mut p in std::mem::take(&mut self.pending) {
+            let read = pump_in(&mut p.link, |bytes| {
+                p.dec.extend(bytes);
+                Ok(())
+            });
+            if matches!(read, Err(DriveError::Io(_))) {
+                // Died before identifying itself: nothing to retain.
+                continue;
+            }
+            match p.dec.try_next() {
+                Ok(None) => {
+                    if now.duration_since(p.since) >= sess.handshake_timeout {
+                        self.refused += 1;
+                        self.last_refusal = Some(NetError::Handshake(HandshakeError::Timeout));
+                        p.link.shutdown();
+                    } else {
+                        keep.push(p);
+                    }
+                }
+                Err(e) => {
+                    self.refuse(&mut p.link, sess.version, HandshakeError::Garbage(e));
+                }
+                Ok(Some(NetFrame::Hello { version, token })) => {
+                    if version != sess.version {
+                        self.refuse(
+                            &mut p.link,
+                            sess.version,
+                            HandshakeError::VersionMismatch { ours: sess.version, theirs: version },
+                        );
+                        continue;
+                    }
+                    let leftover = p.dec.take_remaining();
+                    if token == 0 {
+                        let token = self.issue_token(sess.token_seed);
+                        let id = self.adopt(p.link, token, now);
+                        self.tokens.insert(token, id);
+                        let ack = NetFrame::HelloAck {
+                            version: sess.version,
+                            token,
+                            cursors: Vec::new(),
+                        };
+                        self.conns.get_mut(&id).expect("just adopted").rx.stage_session(&ack);
+                        self.feed_adopted(id, &leftover, now);
+                        bound.push(ConnId(id));
+                    } else {
+                        match self.tokens.get(&token).copied() {
+                            Some(id) if self.conns[&id].failed.is_some() => {
+                                self.refuse(
+                                    &mut p.link,
+                                    sess.version,
+                                    HandshakeError::Quarantined(token),
+                                );
+                            }
+                            Some(id) => {
+                                let c = self.conns.get_mut(&id).expect("token maps to a conn");
+                                if let Some(mut old) = c.link.take() {
+                                    old.shutdown();
+                                }
+                                c.rx.reset_link();
+                                let ack = NetFrame::HelloAck {
+                                    version: sess.version,
+                                    token,
+                                    cursors: c.rx.resume_cursors(),
+                                };
+                                c.rx.stage_session(&ack);
+                                c.link = Some(p.link);
+                                c.detached_at = None;
+                                c.last_recv = now;
+                                self.feed_adopted(id, &leftover, now);
+                                bound.push(ConnId(id));
+                            }
+                            None => {
+                                self.refuse(
+                                    &mut p.link,
+                                    sess.version,
+                                    HandshakeError::UnknownToken(token),
+                                );
+                            }
+                        }
+                    }
+                }
+                Ok(Some(other)) => {
+                    self.refuse(
+                        &mut p.link,
+                        sess.version,
+                        HandshakeError::NotHello(frame_name(&other)),
+                    );
+                }
+            }
+        }
+        self.pending = keep;
+        bound
+    }
+
+    /// Evicts detached sessions whose TTL lapsed: connection state and
+    /// token are dropped; a later resume with that token is refused as
+    /// [`HandshakeError::UnknownToken`].
+    fn evict_expired(&mut self, now: Instant, ttl: std::time::Duration) {
+        let expired: Vec<u64> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| c.detached_at.is_some_and(|at| now.duration_since(at) >= ttl))
+            .map(|(&id, _)| id)
+            .collect();
+        for id in expired {
+            if let Some(c) = self.conns.remove(&id) {
+                self.tokens.remove(&c.token);
+                self.evicted += 1;
+            }
+        }
+    }
+
     /// One non-blocking round over the whole collector: accept pending
     /// connections, pump every attached one. Returns total bytes moved.
     pub fn pump(&mut self) -> Result<usize, CollectorError> {
+        self.pump_at(Instant::now())
+    }
+
+    /// [`pump`](Self::pump) with an explicit clock — the form
+    /// deterministic tests drive. In session mode this also advances
+    /// mid-handshake links and runs liveness/TTL enforcement.
+    pub fn pump_at(&mut self, now: Instant) -> Result<usize, CollectorError> {
         // Accept errors mean the listener died; surface as no progress
         // (existing connections keep running) — a deployment would
         // rebind and swap the acceptor.
-        let _ = self.poll_accept();
+        let _ = self.poll_accept_at(now);
+        let _ = self.pump_sessions(now);
         let ids: Vec<u64> = self.conns.keys().copied().collect();
         let mut moved = 0;
         let mut first_failure = None;
         for id in ids {
-            match self.pump_conn(ConnId(id)) {
+            match self.pump_conn_at(ConnId(id), now) {
                 Ok(n) => moved += n,
                 // Quarantine already happened; keep pumping the others
                 // and report the first failure once at the end.
@@ -363,6 +675,8 @@ impl<C: Codec + Clone, A: Acceptor> Collector<C, A> {
             Some(c) if c.failed.is_none() => {
                 c.rx.on_reconnect();
                 c.link = Some(link);
+                c.detached_at = None;
+                c.last_recv = Instant::now();
                 true
             }
             _ => false,
@@ -407,6 +721,7 @@ impl<C: Codec + Clone, A: Acceptor> Collector<C, A> {
         self.conns.get(&conn.0).map(|c| ConnStats {
             conn,
             attached: c.link.is_some(),
+            token: c.token,
             receiver: c.rx.stats(),
             published: c.published_total,
             backpressure: c.backpressure,
@@ -428,8 +743,21 @@ impl<C: Codec + Clone, A: Acceptor> Collector<C, A> {
             segments: conns.iter().map(|c| c.published).sum(),
             backpressure: conns.iter().map(|c| c.backpressure).sum(),
             failed: conns.iter().filter(|c| c.failed.is_some()).count(),
+            refused: self.refused,
+            evicted: self.evicted,
             conns,
         }
+    }
+
+    /// The most recent handshake refusal, if any — refused links never
+    /// get a `ConnId`, so their typed failure is surfaced here.
+    pub fn last_refusal(&self) -> Option<&NetError> {
+        self.last_refusal.as_ref()
+    }
+
+    /// Links accepted but still mid-handshake (session mode).
+    pub fn pending_handshakes(&self) -> usize {
+        self.pending.len()
     }
 
     /// What a connection's async task should do after a no-progress
@@ -439,6 +767,11 @@ impl<C: Codec + Clone, A: Acceptor> Collector<C, A> {
         match self.conns.get(&conn) {
             Some(c) if c.failed.is_some() => ConnWait::Gone,
             Some(c) => match &c.link {
+                // Session mode parks on a timer even while attached: a
+                // silently wedged fd never becomes readable, so an
+                // event-source wait would sleep straight through the
+                // liveness deadline it is supposed to enforce.
+                Some(_) if self.session.is_some() => ConnWait::Timer,
                 Some(link) => ConnWait::Ready(link.event_source(), c.rx.staged_bytes()),
                 None => ConnWait::Detached,
             },
@@ -447,12 +780,29 @@ impl<C: Codec + Clone, A: Acceptor> Collector<C, A> {
     }
 }
 
+/// The wire-level name of a frame, for typed `NotHello` refusals.
+fn frame_name(frame: &NetFrame) -> &'static str {
+    match frame {
+        NetFrame::Data { .. } => "Data",
+        NetFrame::Ack { .. } => "Ack",
+        NetFrame::Credit { .. } => "Credit",
+        NetFrame::Fin { .. } => "Fin",
+        NetFrame::Hello { .. } => "Hello",
+        NetFrame::HelloAck { .. } => "HelloAck",
+        NetFrame::Heartbeat { .. } => "Heartbeat",
+    }
+}
+
 /// How a connection task should wait after an idle round.
 enum ConnWait {
     /// Attached: park on the link's source (with staged-byte count for
     /// the interest choice).
     Ready(Option<runtime::EventSource>, usize),
-    /// Detached, awaiting [`Collector::reattach`]: back off on a timer.
+    /// Attached in session mode: park on a short timer so
+    /// liveness/heartbeat deadlines fire even on a wedged link.
+    Timer,
+    /// Detached, awaiting [`Collector::reattach`] (or a token resume in
+    /// session mode): back off on a timer.
     Detached,
     /// Quarantined or removed: the task exits.
     Gone,
@@ -481,21 +831,37 @@ where
     A: Acceptor + 'static,
 {
     let spawner = runtime::spawner();
-    // Accept task: adopt new connections, spawn one pump task each.
+    // Accept task: adopt new connections, spawn one pump task each. In
+    // session mode it also advances mid-handshake links on a millisecond
+    // cadence (pending sockets have no spawned task until their `Hello`
+    // binds them, and handshake deadlines need a clock). A resumed
+    // session reuses its `ConnId`, whose original task is still alive in
+    // its detached backoff — the spawned-set keeps it singly driven.
     spawner.spawn({
         let collector = collector.clone();
         let spawner = spawner.clone();
         async move {
+            let mut spawned = std::collections::BTreeSet::new();
             loop {
-                let (fresh, source) = {
+                let (fresh, source, session_mode) = {
                     let mut coll = collector.borrow_mut();
-                    let fresh = coll.poll_accept().unwrap_or_default();
-                    (fresh, coll.acceptor.event_source())
+                    let mut fresh = coll.poll_accept().unwrap_or_default();
+                    let session_mode = coll.session.is_some();
+                    if session_mode {
+                        fresh.extend(coll.pump_sessions(Instant::now()));
+                    }
+                    (fresh, coll.acceptor.event_source(), session_mode)
                 };
                 for conn in fresh {
-                    spawner.spawn(drive_connection(collector.clone(), conn));
+                    if spawned.insert(conn.0) {
+                        spawner.spawn(drive_connection(collector.clone(), conn));
+                    }
                 }
-                runtime::io_ready(source, runtime::Interest::Read).await;
+                if session_mode {
+                    runtime::sleep(std::time::Duration::from_millis(1)).await;
+                } else {
+                    runtime::io_ready(source, runtime::Interest::Read).await;
+                }
             }
         }
     });
@@ -534,6 +900,7 @@ where
                 ConnWait::Ready(source, staged) => {
                     runtime::io_ready(source, stall_interest(staged)).await
                 }
+                ConnWait::Timer => runtime::sleep(std::time::Duration::from_millis(1)).await,
                 // Awaiting reattach: a timer backoff, not a poll-cadence
                 // spin (a dead connection must not keep the reactor hot).
                 ConnWait::Detached => runtime::sleep(std::time::Duration::from_millis(5)).await,
@@ -699,47 +1066,423 @@ mod tests {
         assert!(!coll.reattach(ConnId(99), MemoryLink::pair(8).0), "unknown conn refused");
     }
 
+    fn make_sessions(
+        cfg: NetConfig,
+        sess: crate::session::SessionConfig,
+    ) -> (Collector<FixedCodec, MemoryAcceptor>, crate::listen::MemoryConnector, Arc<SegmentStore>)
+    {
+        let store = Arc::new(SegmentStore::new());
+        let acceptor = MemoryAcceptor::new();
+        let connector = acceptor.connector();
+        (
+            Collector::with_sessions(FixedCodec, 1, cfg, sess, acceptor, store.clone()),
+            connector,
+            store,
+        )
+    }
+
+    fn frame_bytes(frame: &NetFrame) -> Vec<u8> {
+        let mut buf = bytes::BytesMut::new();
+        crate::frame::encode(frame, &mut buf);
+        buf.to_vec()
+    }
+
+    /// Reads exactly one already-delivered frame off the client's end.
+    fn read_frame(link: &mut MemoryLink) -> NetFrame {
+        let mut dec = FrameDecoder::new(1 << 20);
+        let mut buf = [0u8; 4096];
+        loop {
+            if let Some(frame) = dec.try_next().expect("clean frame stream") {
+                return frame;
+            }
+            let n = link.try_read(&mut buf).expect("frame must already be staged");
+            dec.extend(&buf[..n]);
+        }
+    }
+
+    #[test]
+    fn session_handshake_binds_with_a_token_and_applies_zero_rtt_data() {
+        use crate::frame::PROTOCOL_VERSION;
+        let cfg = NetConfig::default();
+        let sess = crate::session::SessionConfig::default();
+        let (mut coll, connector, store) = make_sessions(cfg, sess);
+        let t0 = Instant::now();
+        let mut client = connector.connect(4096);
+        // Hello plus the whole session's data in one burst: the 0-RTT
+        // path — bytes behind the Hello reach the bound receiver.
+        client
+            .try_write(&frame_bytes(&NetFrame::Hello { version: PROTOCOL_VERSION, token: 0 }))
+            .unwrap();
+        let mut tx = MuxSender::new(FixedCodec, 1, cfg);
+        tx.try_send_segment(3, &seg(0)).unwrap();
+        tx.finish_stream(3).unwrap();
+        client.try_write(&tx.outbox().take()).unwrap();
+        coll.pump_at(t0).unwrap();
+        let stats = coll.stats();
+        assert_eq!(stats.connections, 1);
+        assert_eq!(stats.refused, 0);
+        assert_eq!(coll.pending_handshakes(), 0);
+        let cs = coll.conn_stats(ConnId(1)).unwrap();
+        assert_ne!(cs.token, 0, "a bound session carries a nonzero token");
+        match read_frame(&mut client) {
+            NetFrame::HelloAck { version, token, cursors } => {
+                assert_eq!(version, PROTOCOL_VERSION);
+                assert_eq!(token, cs.token);
+                assert!(cursors.is_empty(), "a fresh session has no resume state");
+            }
+            other => panic!("expected HelloAck first, got {other:?}"),
+        }
+        assert_eq!(store.total_segments(), 1, "0-RTT data behind the Hello was applied");
+    }
+
+    #[test]
+    fn version_mismatch_and_garbage_first_frames_are_typed_refusals() {
+        use crate::frame::PROTOCOL_VERSION;
+        use crate::session::HandshakeError;
+        let cfg = NetConfig::default();
+        let sess = crate::session::SessionConfig::default();
+        let (mut coll, connector, _store) = make_sessions(cfg, sess);
+        let t0 = Instant::now();
+
+        // A peer speaking a future wire version.
+        let mut wrong = connector.connect(4096);
+        wrong
+            .try_write(&frame_bytes(&NetFrame::Hello { version: PROTOCOL_VERSION + 1, token: 0 }))
+            .unwrap();
+        coll.pump_at(t0).unwrap();
+        assert_eq!(coll.stats().connections, 0);
+        assert_eq!(coll.stats().refused, 1);
+        assert!(matches!(
+            coll.last_refusal(),
+            Some(NetError::Handshake(HandshakeError::VersionMismatch { ours, theirs }))
+                if *ours == PROTOCOL_VERSION && *theirs == PROTOCOL_VERSION + 1
+        ));
+        // The refusal is *delivered*: HelloAck with token 0 and the
+        // server's version, so the client fails typed instead of timing
+        // out.
+        match read_frame(&mut wrong) {
+            NetFrame::HelloAck { version, token, .. } => {
+                assert_eq!(version, PROTOCOL_VERSION);
+                assert_eq!(token, 0);
+            }
+            other => panic!("expected refusal HelloAck, got {other:?}"),
+        }
+
+        // A peer whose first bytes don't even frame-decode.
+        let mut garbage = connector.connect(4096);
+        garbage.try_write(&[1u8, 0, 0, 0, 99]).unwrap();
+        coll.pump_at(t0).unwrap();
+        assert_eq!(coll.stats().refused, 2);
+        assert!(matches!(
+            coll.last_refusal(),
+            Some(NetError::Handshake(HandshakeError::Garbage(_)))
+        ));
+
+        // A valid frame that isn't a Hello.
+        let mut eager = connector.connect(4096);
+        eager.try_write(&frame_bytes(&NetFrame::Ack { stream: 1, through_seq: 1 })).unwrap();
+        coll.pump_at(t0).unwrap();
+        assert_eq!(coll.stats().refused, 3);
+        assert!(matches!(
+            coll.last_refusal(),
+            Some(NetError::Handshake(HandshakeError::NotHello("Ack")))
+        ));
+        // No refusal ever minted a connection.
+        assert_eq!(coll.stats().connections, 0);
+    }
+
+    #[test]
+    fn token_resume_rebinds_the_same_connection_without_reattach() {
+        use crate::frame::PROTOCOL_VERSION;
+        let cfg = NetConfig::default();
+        let sess = crate::session::SessionConfig::default();
+        let (mut coll, connector, store) = make_sessions(cfg, sess);
+        let t0 = Instant::now();
+
+        let mut client = connector.connect(4096);
+        client
+            .try_write(&frame_bytes(&NetFrame::Hello { version: PROTOCOL_VERSION, token: 0 }))
+            .unwrap();
+        let mut tx = MuxSender::new(FixedCodec, 1, cfg);
+        for i in 0..3 {
+            tx.try_send_segment(9, &seg(i)).unwrap();
+        }
+        client.try_write(&tx.outbox().take()).unwrap();
+        coll.pump_at(t0).unwrap();
+        let token = coll.conn_stats(ConnId(1)).unwrap().token;
+        assert_ne!(token, 0);
+        let before = store.total_segments();
+        assert!(before > 0, "first link's frames landed");
+
+        // The link dies mid-session.
+        client.sever();
+        coll.pump_at(t0).unwrap();
+        assert_eq!(coll.detached(), vec![ConnId(1)], "dead link detaches, session retained");
+
+        // A fresh link presents the token: same ConnId, no reattach call,
+        // and the HelloAck carries resume cursors.
+        let mut resumed = connector.connect(4096);
+        resumed
+            .try_write(&frame_bytes(&NetFrame::Hello { version: PROTOCOL_VERSION, token }))
+            .unwrap();
+        // 0-RTT replay right behind the resume Hello.
+        tx.on_reconnect();
+        tx.finish_stream(9).unwrap();
+        resumed.try_write(&tx.outbox().take()).unwrap();
+        coll.pump_at(t0).unwrap();
+        let stats = coll.stats();
+        assert_eq!(stats.connections, 1, "resume rebinds; it does not mint a second conn");
+        assert_eq!(stats.refused, 0);
+        assert!(coll.detached().is_empty());
+        match read_frame(&mut resumed) {
+            NetFrame::HelloAck { token: t2, cursors, .. } => {
+                assert_eq!(t2, token);
+                assert_eq!(cursors.len(), 1, "one cursor per known stream");
+                assert_eq!(cursors[0].stream, 9);
+                assert!(cursors[0].through_seq > 0, "the cursor reflects applied frames");
+            }
+            other => panic!("expected resume HelloAck, got {other:?}"),
+        }
+        let log = store.stream_segments(StreamId(9)).unwrap();
+        assert_eq!(log.len(), 3, "no loss, no duplication across the resume");
+        assert!(stats.dup_drops > 0, "the replay was partially duplicate");
+    }
+
+    #[test]
+    fn liveness_lapse_detaches_and_session_ttl_evicts() {
+        use crate::frame::PROTOCOL_VERSION;
+        use crate::session::HandshakeError;
+        let cfg = NetConfig::default();
+        let sess = crate::session::SessionConfig::default();
+        let (mut coll, connector, _store) = make_sessions(cfg, sess);
+        let t0 = Instant::now();
+
+        let mut client = connector.connect(4096);
+        client
+            .try_write(&frame_bytes(&NetFrame::Hello { version: PROTOCOL_VERSION, token: 0 }))
+            .unwrap();
+        coll.pump_at(t0).unwrap();
+        assert_eq!(coll.stats().attached, 1);
+        let token = coll.conn_stats(ConnId(1)).unwrap().token;
+
+        // The link wedges silently: no bytes, no error. The liveness
+        // deadline detaches it.
+        let lapse = t0 + sess.liveness_timeout;
+        coll.pump_at(lapse).unwrap();
+        assert_eq!(coll.detached(), vec![ConnId(1)], "silent link declared dead by deadline");
+
+        // Unclaimed past the TTL: the session is evicted outright.
+        let expiry = lapse + sess.session_ttl;
+        coll.pump_at(expiry).unwrap();
+        let stats = coll.stats();
+        assert_eq!(stats.connections, 0, "evicted sessions drop their state");
+        assert_eq!(stats.evicted, 1);
+
+        // Resuming with the evicted token is a typed refusal.
+        let mut late = connector.connect(4096);
+        late.try_write(&frame_bytes(&NetFrame::Hello { version: PROTOCOL_VERSION, token }))
+            .unwrap();
+        coll.pump_at(expiry).unwrap();
+        assert!(matches!(
+            coll.last_refusal(),
+            Some(NetError::Handshake(HandshakeError::UnknownToken(t))) if *t == token
+        ));
+    }
+
+    #[test]
+    fn session_sender_establishes_heartbeats_and_sees_echoes() {
+        use crate::session::{MemoryRedial, SessionConfig, SessionSender};
+        let cfg = NetConfig::default();
+        let sess = SessionConfig::default();
+        let (mut coll, connector, _store) = make_sessions(cfg, sess);
+        let t0 = Instant::now();
+        let mut client =
+            SessionSender::new(FixedCodec, 1, cfg, sess, MemoryRedial::new(connector, 4096), t0);
+        client.pump_at(t0); // dial + Hello
+        coll.pump_at(t0).unwrap(); // bind + HelloAck
+        client.pump_at(t0); // absorb the ack
+        assert!(client.is_established());
+        assert_eq!(client.token(), coll.conn_stats(ConnId(1)).unwrap().token);
+        assert_eq!(client.stats().established, 1);
+
+        // Idle past the heartbeat interval: a probe goes out, the
+        // collector echoes it, the sender counts the echo — the link is
+        // audibly alive despite carrying no data.
+        let t1 = t0 + sess.heartbeat_interval;
+        client.pump_at(t1);
+        coll.pump_at(t1).unwrap();
+        client.pump_at(t1);
+        assert_eq!(client.stats().heartbeats_sent, 1);
+        assert_eq!(client.stats().echoes_seen, 1);
+        assert_eq!(coll.conn_stats(ConnId(1)).unwrap().receiver.heartbeats, 1);
+        assert!(client.is_established(), "a probed link stays established");
+    }
+
+    #[test]
+    fn session_sender_gets_a_typed_version_mismatch_refusal() {
+        use crate::frame::PROTOCOL_VERSION;
+        use crate::session::{HandshakeError, MemoryRedial, SessionConfig, SessionSender};
+        let cfg = NetConfig::default();
+        let sess = SessionConfig::default();
+        let (mut coll, connector, _store) = make_sessions(cfg, sess);
+        let t0 = Instant::now();
+        let future = SessionConfig { version: PROTOCOL_VERSION + 1, ..sess };
+        let mut client =
+            SessionSender::new(FixedCodec, 1, cfg, future, MemoryRedial::new(connector, 4096), t0);
+        client.pump_at(t0);
+        coll.pump_at(t0).unwrap();
+        client.pump_at(t0);
+        assert!(!client.is_established());
+        assert!(matches!(
+            client.failure(),
+            Some(NetError::Handshake(HandshakeError::VersionMismatch { ours, theirs }))
+                if *ours == PROTOCOL_VERSION + 1 && *theirs == PROTOCOL_VERSION
+        ));
+        assert_eq!(client.pump_at(t0), 0, "a refused session is terminal; no redial storm");
+    }
+
+    #[test]
+    fn silent_pending_sockets_are_dropped_at_the_handshake_deadline() {
+        use crate::session::HandshakeError;
+        let cfg = NetConfig::default();
+        let sess = crate::session::SessionConfig::default();
+        let (mut coll, connector, _store) = make_sessions(cfg, sess);
+        let t0 = Instant::now();
+        let _mute = connector.connect(4096);
+        coll.pump_at(t0).unwrap();
+        assert_eq!(coll.pending_handshakes(), 1, "accepted but not yet identified");
+        assert_eq!(coll.stats().connections, 0, "no ConnId before the Hello");
+        coll.pump_at(t0 + sess.handshake_timeout).unwrap();
+        assert_eq!(coll.pending_handshakes(), 0);
+        assert_eq!(coll.stats().refused, 1);
+        assert!(matches!(coll.last_refusal(), Some(NetError::Handshake(HandshakeError::Timeout))));
+    }
+
+    /// The reactor is a wake-up strategy, never semantics: the whole
+    /// async collector round must behave identically under the portable
+    /// poll loop and (on Linux) epoll.
+    fn on_both_reactors(f: impl Fn(runtime::ReactorKind)) {
+        f(runtime::ReactorKind::PollLoop);
+        #[cfg(target_os = "linux")]
+        f(runtime::ReactorKind::Epoll);
+    }
+
     #[test]
     fn async_driver_spawns_a_task_per_connection() {
-        let cfg = NetConfig::default();
-        let (coll, connector, store) = make(cfg);
-        let coll = Rc::new(RefCell::new(coll));
-        const CONNS: u64 = 4;
-        // Sender threads dial in and push concurrently — the memory
-        // connector is Send, so this exercises real cross-thread wakes.
-        let senders: Vec<_> = (0..CONNS)
-            .map(|c| {
-                let connector = connector.clone();
-                std::thread::spawn(move || {
-                    let mut link = connector.connect(512);
-                    let mut tx = MuxSender::new(FixedCodec, 1, cfg);
-                    for i in 0..5 {
-                        tx.try_send_segment(c, &seg(i)).unwrap();
-                    }
-                    tx.finish_stream(c).unwrap();
-                    let mut stalled = 0;
-                    while !tx.all_acked() {
-                        match pump_sender(&mut tx, &mut link) {
-                            Ok(0) => {
-                                stalled += 1;
-                                assert!(stalled < 4000, "sender starved");
-                                std::thread::sleep(std::time::Duration::from_micros(200));
-                            }
-                            Ok(_) => stalled = 0,
-                            Err(e) => panic!("sender link failed: {e}"),
+        on_both_reactors(|kind| {
+            let cfg = NetConfig::default();
+            let (coll, connector, store) = make(cfg);
+            let coll = Rc::new(RefCell::new(coll));
+            const CONNS: u64 = 4;
+            // Sender threads dial in and push concurrently — the memory
+            // connector is Send, so this exercises real cross-thread
+            // wakes.
+            let senders: Vec<_> = (0..CONNS)
+                .map(|c| {
+                    let connector = connector.clone();
+                    std::thread::spawn(move || {
+                        let mut link = connector.connect(512);
+                        let mut tx = MuxSender::new(FixedCodec, 1, cfg);
+                        for i in 0..5 {
+                            tx.try_send_segment(c, &seg(i)).unwrap();
                         }
-                    }
+                        tx.finish_stream(c).unwrap();
+                        let mut stalled = 0;
+                        while !tx.all_acked() {
+                            match pump_sender(&mut tx, &mut link) {
+                                Ok(0) => {
+                                    stalled += 1;
+                                    assert!(stalled < 4000, "sender starved");
+                                    std::thread::sleep(std::time::Duration::from_micros(200));
+                                }
+                                Ok(_) => stalled = 0,
+                                Err(e) => panic!("sender link failed: {e}"),
+                            }
+                        }
+                    })
                 })
-            })
-            .collect();
-        runtime::block_on(drive_collector(coll.clone(), |c| c.stats().segments == CONNS * 5))
+                .collect();
+            runtime::block_on_with(
+                kind,
+                drive_collector(coll.clone(), |c| c.stats().segments == CONNS * 5),
+            )
             .expect("collector");
-        for s in senders {
-            s.join().unwrap();
-        }
-        let snap = store.snapshot();
-        assert_eq!(snap.streams.len(), CONNS as usize);
-        assert_eq!(snap.total_segments, CONNS * 5);
-        assert_eq!(coll.borrow().stats().connections, CONNS as usize);
+            for s in senders {
+                s.join().unwrap();
+            }
+            let snap = store.snapshot();
+            assert_eq!(snap.streams.len(), CONNS as usize);
+            assert_eq!(snap.total_segments, CONNS * 5);
+            assert_eq!(coll.borrow().stats().connections, CONNS as usize);
+        });
+    }
+
+    /// The session-mode async driver under both reactors: handshakes
+    /// arrive through the accept task, the wedge-proof `Timer` waits
+    /// keep liveness ticking, and a mid-run redial rebinds by token.
+    #[test]
+    fn async_session_driver_handshakes_and_resumes_on_both_reactors() {
+        on_both_reactors(|kind| {
+            let cfg = NetConfig::default();
+            let sess = crate::session::SessionConfig::default();
+            let (coll, connector, store) = make_sessions(cfg, sess);
+            let coll = Rc::new(RefCell::new(coll));
+            let sender = std::thread::spawn(move || {
+                let mut tx = crate::session::SessionSender::new(
+                    FixedCodec,
+                    1,
+                    cfg,
+                    sess,
+                    crate::session::MemoryRedial::new(connector, 512),
+                    Instant::now(),
+                );
+                for i in 0..4 {
+                    tx.mux_mut().try_send_segment(7, &seg(i)).unwrap();
+                }
+                let mut severed = false;
+                let mut finned = false;
+                let mut stalled = 0;
+                loop {
+                    let moved = tx.pump();
+                    if let Some(e) = tx.failure() {
+                        panic!("session failed: {e}");
+                    }
+                    // Once established, kill the link once: the machine
+                    // must redial and resume by token on its own.
+                    if tx.is_established() && !severed {
+                        tx.redial().last_link().expect("dialed").sever();
+                        severed = true;
+                        continue;
+                    }
+                    if severed && tx.is_established() && tx.mux().all_acked() && !finned {
+                        tx.mux_mut().finish_stream(7).unwrap();
+                        finned = true;
+                    }
+                    if finned && tx.mux().is_idle() {
+                        break;
+                    }
+                    if moved == 0 {
+                        stalled += 1;
+                        assert!(stalled < 20_000, "session sender starved");
+                        std::thread::sleep(std::time::Duration::from_micros(200));
+                    } else {
+                        stalled = 0;
+                    }
+                }
+                tx.redial().dials()
+            });
+            runtime::block_on_with(
+                kind,
+                drive_collector(coll.clone(), |c| {
+                    c.stats().connections == 1 && c.conn_complete(ConnId(1))
+                }),
+            )
+            .expect("collector");
+            let dials = sender.join().unwrap();
+            assert!(dials >= 2, "the sever must have forced a redial, got {dials}");
+            let stats = coll.borrow().stats();
+            assert_eq!(stats.connections, 1, "the resume rebound the same conn");
+            assert_eq!(store.snapshot().total_segments, 4);
+        });
     }
 }

@@ -59,7 +59,7 @@ const READ_CHUNK: usize = 4096;
 
 /// Writes staged bytes until the outbox empties or the link pushes
 /// back. Returns bytes written.
-fn pump_out<L: Link>(out: &mut Outbox, link: &mut L) -> io::Result<usize> {
+pub(crate) fn pump_out<L: Link>(out: &mut Outbox, link: &mut L) -> io::Result<usize> {
     let mut written = 0;
     while !out.is_empty() {
         match link.try_write(out.as_bytes()) {
@@ -79,7 +79,7 @@ fn pump_out<L: Link>(out: &mut Outbox, link: &mut L) -> io::Result<usize> {
 /// Returns bytes read. A clean EOF (`Ok(0)`) surfaces as
 /// `UnexpectedEof`: these sessions close by protocol (`Fin` + acks),
 /// never by one side hanging up first.
-fn pump_in<L: Link>(
+pub(crate) fn pump_in<L: Link>(
     link: &mut L,
     mut feed: impl FnMut(&[u8]) -> Result<(), NetError>,
 ) -> Result<usize, DriveError> {
@@ -125,10 +125,21 @@ pub fn pump_receiver<C: Codec, L: Link>(
     rx: &mut NetReceiver<C>,
     link: &mut L,
 ) -> Result<usize, DriveError> {
+    let (read, written) = pump_receiver_split(rx, link)?;
+    Ok(read + written)
+}
+
+/// [`pump_receiver`] with the read/written counts kept separate — the
+/// session-mode collector refreshes a connection's liveness deadline
+/// only when bytes actually *arrived*, not when this side merely wrote.
+pub(crate) fn pump_receiver_split<C: Codec, L: Link>(
+    rx: &mut NetReceiver<C>,
+    link: &mut L,
+) -> Result<(usize, usize), DriveError> {
     let read = pump_in(link, |bytes| rx.on_bytes(bytes))?;
     rx.flush_control();
     let written = pump_out(rx.outbox(), link)?;
-    Ok(read + written)
+    Ok((read, written))
 }
 
 /// The readiness to wait for after a round that moved nothing: always

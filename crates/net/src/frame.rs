@@ -2,7 +2,7 @@
 //!
 //! The byte stream between the two endpoints is a sequence of frames,
 //! each `[u32 len LE][u8 kind][fields…]` where `len` counts everything
-//! after the length prefix. Four kinds exist:
+//! after the length prefix. Seven kinds exist:
 //!
 //! | Kind | Direction | Carries |
 //! |---|---|---|
@@ -10,13 +10,41 @@
 //! | [`NetFrame::Ack`] | receiver → sender | cumulative highest applied sequence number per stream |
 //! | [`NetFrame::Credit`] | receiver → sender | cumulative payload-byte grant per stream (flow control) |
 //! | [`NetFrame::Fin`] | sender → receiver | end of one stream, with its final sequence number |
+//! | [`NetFrame::Hello`] | sender → receiver | protocol version + session token (0 = new session); **must** be the first frame of a session-mode connection |
+//! | [`NetFrame::HelloAck`] | receiver → sender | protocol version + issued/confirmed token (0 = refused) + one [`ResumeCursor`] per known stream |
+//! | [`NetFrame::Heartbeat`] | either | liveness probe with a sequence number; the receiver echoes it back |
 //!
 //! Frames never split messages: a `Data` frame's payload is a
 //! self-contained codec unit (the sender resets its codec per frame), so
 //! a replayed frame decodes identically whenever it arrives — the
-//! property the reconnect protocol rests on.
+//! property the reconnect protocol rests on. The session frames keep
+//! the same idempotence discipline: a duplicated `Hello` or `Heartbeat`
+//! is harmless, and a replayed `HelloAck` carrying the same token is a
+//! no-op at the sender.
 
 use bytes::{BufMut, Bytes, BytesMut};
+
+/// The wire-protocol version this build speaks. Carried by every
+/// [`NetFrame::Hello`]/[`NetFrame::HelloAck`]; the receiver refuses any
+/// other value with a typed
+/// [`HandshakeError::VersionMismatch`](crate::session::HandshakeError::VersionMismatch)
+/// instead of guessing at frame semantics it was never built for.
+pub const PROTOCOL_VERSION: u16 = 1;
+
+/// One stream's resume position, carried by [`NetFrame::HelloAck`]: the
+/// receiver's cumulative ack point and cumulative credit grant, i.e.
+/// everything a replaying sender needs to trim its replay buffer and
+/// resume sending — the role `ResumeCursor` plays in the rt-protocol
+/// forwarder handshake.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResumeCursor {
+    /// The stream the cursor describes.
+    pub stream: u64,
+    /// Highest `Data` sequence number durably applied (cumulative ack).
+    pub through_seq: u64,
+    /// Cumulative payload-byte credit grant for the stream.
+    pub granted_total: u64,
+}
 
 /// One frame of the multiplexed connection.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -55,12 +83,47 @@ pub enum NetFrame {
         /// Sequence number of its last `Data` frame (0 if none).
         final_seq: u64,
     },
+    /// Session open/resume request. Must be the first frame a
+    /// session-mode connection carries; anything else is a handshake
+    /// violation that quarantines only that connection.
+    Hello {
+        /// The sender's wire-protocol version ([`PROTOCOL_VERSION`]).
+        version: u16,
+        /// Session token from a previous [`NetFrame::HelloAck`], or 0
+        /// to request a fresh session.
+        token: u64,
+    },
+    /// Handshake reply: the session is bound (nonzero `token`) or
+    /// refused (`token == 0`), with the receiver's resume cursors so a
+    /// resuming sender can trim its replay buffer before retransmitting.
+    HelloAck {
+        /// The receiver's wire-protocol version.
+        version: u16,
+        /// Issued or confirmed session token; 0 means refused.
+        token: u64,
+        /// One cursor per stream the receiver has state for (empty for
+        /// a fresh session).
+        cursors: Vec<ResumeCursor>,
+    },
+    /// Liveness probe. The receiver echoes each heartbeat back with the
+    /// same sequence number; either side treats a quiet link as dead
+    /// once its liveness deadline passes.
+    Heartbeat {
+        /// Sender-chosen sequence number, echoed verbatim.
+        seq: u64,
+    },
 }
 
 const KIND_DATA: u8 = 1;
 const KIND_ACK: u8 = 2;
 const KIND_CREDIT: u8 = 3;
 const KIND_FIN: u8 = 4;
+const KIND_HELLO: u8 = 5;
+const KIND_HELLO_ACK: u8 = 6;
+const KIND_HEARTBEAT: u8 = 7;
+
+/// Bytes per [`ResumeCursor`] in a `HelloAck` body.
+const CURSOR_BYTES: usize = 24;
 
 /// Framing-layer errors. Any of these is fatal for the connection (the
 /// byte stream is no longer trustworthy); the session layer reconnects.
@@ -125,6 +188,29 @@ pub fn encode(frame: &NetFrame, out: &mut BytesMut) -> usize {
             out.put_u64_le(*stream);
             out.put_u64_le(*final_seq);
         }
+        NetFrame::Hello { version, token } => {
+            put_u32_le(out, 1 + 2 + 8);
+            out.put_u8(KIND_HELLO);
+            out.put_slice(&version.to_le_bytes());
+            out.put_u64_le(*token);
+        }
+        NetFrame::HelloAck { version, token, cursors } => {
+            put_u32_le(out, (1 + 2 + 8 + 4 + cursors.len() * CURSOR_BYTES) as u32);
+            out.put_u8(KIND_HELLO_ACK);
+            out.put_slice(&version.to_le_bytes());
+            out.put_u64_le(*token);
+            put_u32_le(out, cursors.len() as u32);
+            for c in cursors {
+                out.put_u64_le(c.stream);
+                out.put_u64_le(c.through_seq);
+                out.put_u64_le(c.granted_total);
+            }
+        }
+        NetFrame::Heartbeat { seq } => {
+            put_u32_le(out, 1 + 8);
+            out.put_u8(KIND_HEARTBEAT);
+            out.put_u64_le(*seq);
+        }
     }
     out.len() - before
 }
@@ -169,6 +255,17 @@ impl FrameDecoder {
     pub fn reset(&mut self) {
         self.buf.clear();
         self.pos = 0;
+    }
+
+    /// Hands back every buffered-but-undecoded byte and empties the
+    /// accumulator. The session handshake uses this to forward bytes
+    /// that followed a `Hello` in the same read to the connection's own
+    /// receiver once the session is bound.
+    pub fn take_remaining(&mut self) -> Vec<u8> {
+        let rest = self.buf.split_off(self.pos.min(self.buf.len()));
+        self.buf.clear();
+        self.pos = 0;
+        rest
     }
 
     fn read_u64(body: &[u8], at: usize) -> u64 {
@@ -216,6 +313,45 @@ impl FrameDecoder {
                     KIND_CREDIT => NetFrame::Credit { stream, granted_total: value },
                     _ => NetFrame::Fin { stream, final_seq: value },
                 }
+            }
+            KIND_HELLO => {
+                if body.len() != 11 {
+                    return Err(FrameError::Malformed("Hello frame must be exactly 11 bytes"));
+                }
+                NetFrame::Hello {
+                    version: u16::from_le_bytes(body[1..3].try_into().expect("2 bytes")),
+                    token: Self::read_u64(body, 3),
+                }
+            }
+            KIND_HELLO_ACK => {
+                if body.len() < 15 {
+                    return Err(FrameError::Malformed("HelloAck frame shorter than its header"));
+                }
+                let version = u16::from_le_bytes(body[1..3].try_into().expect("2 bytes"));
+                let token = Self::read_u64(body, 3);
+                let n = u32::from_le_bytes(body[11..15].try_into().expect("4 bytes")) as usize;
+                if body.len() != 15 + n * CURSOR_BYTES {
+                    return Err(FrameError::Malformed(
+                        "HelloAck cursor count disagrees with length",
+                    ));
+                }
+                let cursors = (0..n)
+                    .map(|i| {
+                        let at = 15 + i * CURSOR_BYTES;
+                        ResumeCursor {
+                            stream: Self::read_u64(body, at),
+                            through_seq: Self::read_u64(body, at + 8),
+                            granted_total: Self::read_u64(body, at + 16),
+                        }
+                    })
+                    .collect();
+                NetFrame::HelloAck { version, token, cursors }
+            }
+            KIND_HEARTBEAT => {
+                if body.len() != 9 {
+                    return Err(FrameError::Malformed("Heartbeat frame must be exactly 9 bytes"));
+                }
+                NetFrame::Heartbeat { seq: Self::read_u64(body, 1) }
             }
             other => return Err(FrameError::BadKind(other)),
         };
@@ -291,6 +427,18 @@ mod tests {
             NetFrame::Credit { stream: 7, granted_total: 65536 },
             NetFrame::Data { stream: u64::MAX, seq: 2, payload: Bytes::from(vec![]) },
             NetFrame::Fin { stream: 7, final_seq: 2 },
+            NetFrame::Hello { version: PROTOCOL_VERSION, token: 0 },
+            NetFrame::Hello { version: 9, token: u64::MAX },
+            NetFrame::HelloAck { version: PROTOCOL_VERSION, token: 0, cursors: vec![] },
+            NetFrame::HelloAck {
+                version: PROTOCOL_VERSION,
+                token: 0xDEAD_BEEF,
+                cursors: vec![
+                    ResumeCursor { stream: 3, through_seq: 12, granted_total: 4096 },
+                    ResumeCursor { stream: u64::MAX, through_seq: 0, granted_total: 0 },
+                ],
+            },
+            NetFrame::Heartbeat { seq: 41 },
         ]
     }
 
@@ -343,6 +491,56 @@ mod tests {
         dec.extend(&2u32.to_le_bytes());
         dec.extend(&[super::KIND_ACK, 0]);
         assert!(matches!(dec.try_next(), Err(FrameError::Malformed(_))));
+    }
+
+    #[test]
+    fn malformed_session_frames_are_rejected() {
+        // Hello with a truncated token.
+        let mut dec = FrameDecoder::new(1024);
+        dec.extend(&5u32.to_le_bytes());
+        dec.extend(&[super::KIND_HELLO, 1, 0, 0, 0]);
+        assert!(matches!(dec.try_next(), Err(FrameError::Malformed(_))));
+
+        // HelloAck whose cursor count promises more cursors than the
+        // frame carries.
+        let mut dec = FrameDecoder::new(1024);
+        let mut body = vec![super::KIND_HELLO_ACK, 1, 0];
+        body.extend_from_slice(&7u64.to_le_bytes());
+        body.extend_from_slice(&3u32.to_le_bytes()); // claims 3 cursors, has 0
+        dec.extend(&(body.len() as u32).to_le_bytes());
+        dec.extend(&body);
+        assert!(matches!(dec.try_next(), Err(FrameError::Malformed(_))));
+
+        // Heartbeat with extra trailing bytes.
+        let mut dec = FrameDecoder::new(1024);
+        dec.extend(&10u32.to_le_bytes());
+        dec.extend(&[super::KIND_HEARTBEAT, 0, 0, 0, 0, 0, 0, 0, 0, 0]);
+        assert!(matches!(dec.try_next(), Err(FrameError::Malformed(_))));
+    }
+
+    #[test]
+    fn take_remaining_hands_back_undecoded_bytes() {
+        let mut buf = BytesMut::new();
+        encode(&NetFrame::Hello { version: PROTOCOL_VERSION, token: 0 }, &mut buf);
+        let mark = buf.len();
+        encode(&NetFrame::Data { stream: 1, seq: 1, payload: Bytes::from(vec![5, 6]) }, &mut buf);
+        encode(&NetFrame::Ack { stream: 1, through_seq: 1 }, &mut buf);
+
+        let mut dec = FrameDecoder::new(1024);
+        dec.extend(&buf);
+        assert!(matches!(dec.try_next().unwrap(), Some(NetFrame::Hello { .. })));
+        // Everything after the decoded Hello comes back verbatim so the
+        // handshake can forward it to the bound receiver.
+        let rest = dec.take_remaining();
+        assert_eq!(rest, &buf[mark..]);
+        assert_eq!(dec.pending(), 0);
+
+        // The leftovers decode cleanly through a fresh decoder.
+        let mut rx = FrameDecoder::new(1024);
+        rx.extend(&rest);
+        assert!(matches!(rx.try_next().unwrap(), Some(NetFrame::Data { .. })));
+        assert!(matches!(rx.try_next().unwrap(), Some(NetFrame::Ack { .. })));
+        assert_eq!(rx.try_next().unwrap(), None);
     }
 
     #[test]

@@ -77,6 +77,9 @@ pub mod listen;
 mod mux;
 mod receiver;
 pub mod runtime;
+pub mod session;
+#[cfg(feature = "test-util")]
+pub mod testutil;
 pub mod uplink;
 
 pub use collector::{drive_collector, Collector, CollectorStats, ConnId, ConnStats};
@@ -84,6 +87,7 @@ pub use link::{Link, MemoryLink, TcpLink};
 pub use listen::{Acceptor, MemoryAcceptor, MemoryConnector, TcpAcceptor};
 pub use mux::{MuxSender, SendStreamStats};
 pub use receiver::{NetReceiver, ReceiverStats};
+pub use session::{HandshakeError, MemoryRedial, Redial, SessionConfig, SessionSender, TcpRedial};
 
 use crate::frame::FrameError;
 use pla_transport::ReceiveError;
@@ -136,6 +140,10 @@ pub enum NetError {
     /// Demultiplexer failure (wire decode, protocol order, sequence
     /// gap).
     Receive(ReceiveError),
+    /// Session handshake failure — version mismatch, a first frame that
+    /// was not a valid `Hello`, or an unknown/quarantined session token.
+    /// Quarantines only the offending connection.
+    Handshake(HandshakeError),
 }
 
 impl std::fmt::Display for NetError {
@@ -150,6 +158,7 @@ impl std::fmt::Display for NetError {
             ),
             Self::Frame(e) => write!(f, "framing error: {e}"),
             Self::Receive(e) => write!(f, "receive error: {e}"),
+            Self::Handshake(e) => write!(f, "handshake error: {e}"),
         }
     }
 }
@@ -159,6 +168,12 @@ impl std::error::Error for NetError {}
 impl From<FrameError> for NetError {
     fn from(e: FrameError) -> Self {
         Self::Frame(e)
+    }
+}
+
+impl From<HandshakeError> for NetError {
+    fn from(e: HandshakeError) -> Self {
+        Self::Handshake(e)
     }
 }
 

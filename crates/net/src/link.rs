@@ -44,6 +44,13 @@ pub trait Link {
     fn event_source(&self) -> Option<EventSource> {
         None
     }
+
+    /// Tears the connection down from this side. The session layer
+    /// calls it when a liveness deadline expires: the link looks alive
+    /// at the I/O level but the peer has stopped responding, so this
+    /// side abandons it before redialing. Default: no-op (dropping the
+    /// link is the teardown).
+    fn shutdown(&mut self) {}
 }
 
 // ---------------------------------------------------------------------------
@@ -141,6 +148,10 @@ impl Link for MemoryLink {
         }
         Ok(n)
     }
+
+    fn shutdown(&mut self) {
+        self.sever();
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -182,6 +193,10 @@ impl Link for TcpLink {
     fn event_source(&self) -> Option<EventSource> {
         use std::os::unix::io::AsRawFd;
         Some(self.stream.as_raw_fd())
+    }
+
+    fn shutdown(&mut self) {
+        let _ = self.stream.shutdown(std::net::Shutdown::Both);
     }
 }
 

@@ -17,7 +17,7 @@ use pla_core::{ProvisionalUpdate, Segment};
 use pla_transport::wire::{provisional_message, segment_messages, Codec, Message};
 
 use crate::credit::CreditWindow;
-use crate::frame::{encode, FrameDecoder, NetFrame, Outbox};
+use crate::frame::{encode, FrameDecoder, NetFrame, Outbox, ResumeCursor};
 use crate::{NetConfig, NetError};
 
 /// Per-stream sender state.
@@ -190,29 +190,65 @@ impl<C: Codec> MuxSender<C> {
     pub fn on_bytes(&mut self, bytes: &[u8]) -> Result<(), NetError> {
         self.frames_in.extend(bytes);
         while let Some(frame) = self.frames_in.try_next()? {
-            match frame {
-                // Control frames naming a stream this sender never sent
-                // on are dropped without materializing state: a corrupt
-                // or hostile peer must not be able to conjure phantom
-                // streams (which finish_all would then Fin).
-                NetFrame::Ack { stream, through_seq } => {
-                    if let Some(entry) = self.streams.get_mut(&stream) {
-                        entry.acked = entry.acked.max(through_seq);
-                        while entry.unacked.front().is_some_and(|(seq, _)| *seq <= through_seq) {
-                            entry.unacked.pop_front();
-                        }
+            self.on_frame(frame)?;
+        }
+        Ok(())
+    }
+
+    /// Applies one already-decoded inbound frame. The session layer
+    /// decodes the link itself (it must intercept `HelloAck`) and
+    /// forwards the control plane here frame by frame.
+    pub(crate) fn on_frame(&mut self, frame: NetFrame) -> Result<(), NetError> {
+        match frame {
+            // Control frames naming a stream this sender never sent
+            // on are dropped without materializing state: a corrupt
+            // or hostile peer must not be able to conjure phantom
+            // streams (which finish_all would then Fin).
+            NetFrame::Ack { stream, through_seq } => {
+                if let Some(entry) = self.streams.get_mut(&stream) {
+                    entry.acked = entry.acked.max(through_seq);
+                    while entry.unacked.front().is_some_and(|(seq, _)| *seq <= through_seq) {
+                        entry.unacked.pop_front();
                     }
                 }
-                NetFrame::Credit { stream, granted_total } => {
-                    if let Some(entry) = self.streams.get_mut(&stream) {
-                        entry.credit.grant_to(granted_total);
-                    }
+            }
+            NetFrame::Credit { stream, granted_total } => {
+                if let Some(entry) = self.streams.get_mut(&stream) {
+                    entry.credit.grant_to(granted_total);
                 }
-                NetFrame::Data { .. } => return Err(NetError::UnexpectedFrame("Data at sender")),
-                NetFrame::Fin { .. } => return Err(NetError::UnexpectedFrame("Fin at sender")),
+            }
+            // Liveness probes and echoes carry no stream state; the
+            // session layer tracks arrival times, the mux ignores them.
+            NetFrame::Heartbeat { .. } => {}
+            NetFrame::Data { .. } => return Err(NetError::UnexpectedFrame("Data at sender")),
+            NetFrame::Fin { .. } => return Err(NetError::UnexpectedFrame("Fin at sender")),
+            NetFrame::Hello { .. } => return Err(NetError::UnexpectedFrame("Hello at sender")),
+            NetFrame::HelloAck { .. } => {
+                return Err(NetError::UnexpectedFrame("HelloAck outside handshake"))
             }
         }
         Ok(())
+    }
+
+    /// Applies the receiver's resume cursors from a `HelloAck`: acks
+    /// trim the replay buffer, grants refresh the credit windows —
+    /// exactly what the per-stream `Ack`+`Credit` refresh of a plain
+    /// reconnect would do, but delivered atomically with the handshake.
+    /// Cursors naming unknown streams are dropped (no phantom streams).
+    pub fn apply_resume(&mut self, cursors: &[ResumeCursor]) {
+        for c in cursors {
+            if let Some(entry) = self.streams.get_mut(&c.stream) {
+                entry.acked = entry.acked.max(c.through_seq);
+                while entry.unacked.front().is_some_and(|(seq, _)| *seq <= c.through_seq) {
+                    entry.unacked.pop_front();
+                }
+                entry.credit.grant_to(c.granted_total);
+            }
+        }
+        // The replay staged by `on_reconnect` may now contain frames the
+        // cursors just acknowledged; restage from the trimmed buffers so
+        // the wire never carries a byte the receiver already holds.
+        self.on_reconnect();
     }
 
     /// The connection died: drop everything staged for the dead link,
@@ -386,6 +422,48 @@ mod tests {
         assert!(matches!(replay[0], NetFrame::Data { stream: 5, seq: 3, .. }));
         assert!(matches!(replay[1], NetFrame::Data { stream: 5, seq: 4, .. }));
         assert_eq!(replay[2], NetFrame::Fin { stream: 5, final_seq: 4 });
+    }
+
+    #[test]
+    fn apply_resume_trims_replay_and_regrants_credit() {
+        let mut tx = MuxSender::new(FixedCodec, 1, NetConfig { window: 256, max_frame: 1 << 20 });
+        for i in 0..4 {
+            tx.try_send_segment(5, &seg(i as f64 * 10.0, 0.0, i as f64 * 10.0 + 5.0, 1.0)).unwrap();
+        }
+        tx.finish_stream(5).unwrap();
+        let _lost = tx.take_staged();
+        tx.on_reconnect(); // 0-RTT replay staged alongside the Hello
+        tx.apply_resume(&[
+            crate::frame::ResumeCursor { stream: 5, through_seq: 2, granted_total: 4096 },
+            // Unknown stream: dropped, never materialized.
+            crate::frame::ResumeCursor { stream: 99, through_seq: 7, granted_total: 1 << 40 },
+        ]);
+        assert_eq!(tx.stream_stats(99), None, "cursors must not conjure streams");
+        assert_eq!(tx.stream_stats(5).unwrap().unacked, 2);
+        assert!(tx.stream_stats(5).unwrap().credit_available > 0, "grant refreshed");
+        // The staged replay was re-trimmed to match: seq 3, 4, then Fin.
+        let mut dec = FrameDecoder::new(1 << 20);
+        dec.extend(&tx.take_staged());
+        let mut replay = Vec::new();
+        while let Some(f) = dec.try_next().unwrap() {
+            replay.push(f);
+        }
+        assert_eq!(replay.len(), 3, "acked frames must not be replayed, got {replay:?}");
+        assert!(matches!(replay[0], NetFrame::Data { stream: 5, seq: 3, .. }));
+        assert!(matches!(replay[1], NetFrame::Data { stream: 5, seq: 4, .. }));
+        assert_eq!(replay[2], NetFrame::Fin { stream: 5, final_seq: 4 });
+    }
+
+    #[test]
+    fn heartbeats_at_the_sender_are_ignored_and_session_frames_rejected() {
+        let mut tx = sender();
+        tx.try_send_segment(1, &seg(0.0, 0.0, 1.0, 1.0)).unwrap();
+        let mut buf = BytesMut::new();
+        encode(&NetFrame::Heartbeat { seq: 3 }, &mut buf);
+        tx.on_bytes(&buf).unwrap();
+        let mut hello = BytesMut::new();
+        encode(&NetFrame::Hello { version: 1, token: 0 }, &mut hello);
+        assert!(matches!(tx.on_bytes(&hello), Err(NetError::UnexpectedFrame(_))));
     }
 
     #[test]

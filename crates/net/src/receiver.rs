@@ -20,7 +20,7 @@
 //! make the coalescing free: acking `through_seq = 7` acknowledges
 //! frames 1–7 at once, and a replayed ack is a no-op at the sender.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use bytes::BytesMut;
 
@@ -28,8 +28,12 @@ use pla_transport::wire::Codec;
 use pla_transport::{SeqOutcome, StreamDemux};
 
 use crate::credit::ReceiveWindow;
-use crate::frame::{encode, FrameDecoder, NetFrame, Outbox};
+use crate::frame::{encode, FrameDecoder, NetFrame, Outbox, ResumeCursor};
 use crate::{NetConfig, NetError};
+
+/// Heartbeats awaiting an echo are bounded: a peer that floods probes
+/// faster than control flushes run only keeps the newest few echoed.
+const HEARTBEAT_ECHO_CAP: usize = 32;
 
 /// Point-in-time counters for one receiving endpoint, for the
 /// collector's per-connection observability and for tests.
@@ -49,6 +53,12 @@ pub struct ReceiverStats {
     pub acks_staged: u64,
     /// `Credit` frames staged.
     pub credits_staged: u64,
+    /// `Heartbeat` probes received (each is echoed on the next control
+    /// flush).
+    pub heartbeats: u64,
+    /// In-session `Hello` frames ignored — a replayed handshake is
+    /// idempotent, like a replayed `Fin`, but stays observable.
+    pub stray_hellos: u64,
 }
 
 /// The multiplexed receiver. Feed it link bytes with
@@ -68,10 +78,15 @@ pub struct NetReceiver<C: Codec> {
     out: Outbox,
     config: NetConfig,
     scratch: BytesMut,
+    /// Heartbeat sequence numbers to echo back on the next control
+    /// flush (bounded by [`HEARTBEAT_ECHO_CAP`]).
+    heartbeat_echoes: VecDeque<u64>,
     frames_applied: u64,
     dup_drops: u64,
     acks_staged: u64,
     credits_staged: u64,
+    heartbeats: u64,
+    stray_hellos: u64,
 }
 
 impl<C: Codec> NetReceiver<C> {
@@ -88,10 +103,13 @@ impl<C: Codec> NetReceiver<C> {
             out: Outbox::default(),
             config,
             scratch: BytesMut::new(),
+            heartbeat_echoes: VecDeque::new(),
             frames_applied: 0,
             dup_drops: 0,
             acks_staged: 0,
             credits_staged: 0,
+            heartbeats: 0,
+            stray_hellos: 0,
         }
     }
 
@@ -139,9 +157,24 @@ impl<C: Codec> NetReceiver<C> {
                     // Idempotent: a replayed Fin re-records the same fact.
                     self.finished.insert(stream, final_seq);
                 }
+                NetFrame::Heartbeat { seq } => {
+                    self.heartbeats += 1;
+                    if self.heartbeat_echoes.len() == HEARTBEAT_ECHO_CAP {
+                        self.heartbeat_echoes.pop_front();
+                    }
+                    self.heartbeat_echoes.push_back(seq);
+                }
+                // A sender whose Hello was duplicated in flight (or
+                // replayed by a faulty middlebox) must not lose the
+                // session: like a replayed Fin, an in-session Hello
+                // re-states a fact this side already acted on.
+                NetFrame::Hello { .. } => self.stray_hellos += 1,
                 NetFrame::Ack { .. } => return Err(NetError::UnexpectedFrame("Ack at receiver")),
                 NetFrame::Credit { .. } => {
                     return Err(NetError::UnexpectedFrame("Credit at receiver"))
+                }
+                NetFrame::HelloAck { .. } => {
+                    return Err(NetError::UnexpectedFrame("HelloAck at receiver"))
                 }
             }
         }
@@ -168,6 +201,9 @@ impl<C: Codec> NetReceiver<C> {
                 self.credits_staged += 1;
             }
         }
+        while let Some(seq) = self.heartbeat_echoes.pop_front() {
+            self.stage_frame(&NetFrame::Heartbeat { seq });
+        }
     }
 
     /// The connection died: forget the dead link's partial inbound
@@ -191,6 +227,44 @@ impl<C: Codec> NetReceiver<C> {
             self.acks_staged += 1;
             self.credits_staged += 1;
         }
+    }
+
+    /// This side's cumulative resume state, one cursor per known
+    /// stream — the payload of a session-resume `HelloAck`. Equivalent
+    /// to what [`on_reconnect`](Self::on_reconnect) would announce as
+    /// individual `Ack`/`Credit` frames, delivered atomically with the
+    /// handshake instead.
+    pub fn resume_cursors(&self) -> Vec<ResumeCursor> {
+        self.demux
+            .streams()
+            .map(|stream| ResumeCursor {
+                stream,
+                through_seq: self.demux.ack_point(stream),
+                granted_total: self
+                    .windows
+                    .get(&stream)
+                    .map_or(self.config.window, |w| w.current_grant()),
+            })
+            .collect()
+    }
+
+    /// The link died but the session survives: forget the dead link's
+    /// partial inbound frame, its undelivered control bytes, and any
+    /// batched-but-unflushed acks — **without** staging anything. The
+    /// session handshake announces this side's cumulative state through
+    /// the `HelloAck` resume cursors instead, so the per-stream refresh
+    /// of [`on_reconnect`](Self::on_reconnect) would be redundant bytes.
+    pub fn reset_link(&mut self) {
+        self.frames.reset();
+        self.out.clear();
+        self.ack_dirty.clear();
+        self.heartbeat_echoes.clear();
+    }
+
+    /// Stages one session-layer frame (`HelloAck`, handshake-time
+    /// heartbeats) ahead of whatever control traffic follows.
+    pub(crate) fn stage_session(&mut self, frame: &NetFrame) {
+        self.stage_frame(frame);
     }
 
     /// The reconstruction state: per-stream segment logs, coverage,
@@ -232,6 +306,8 @@ impl<C: Codec> NetReceiver<C> {
             finished_streams: self.finished.len(),
             acks_staged: self.acks_staged,
             credits_staged: self.credits_staged,
+            heartbeats: self.heartbeats,
+            stray_hellos: self.stray_hellos,
         }
     }
 
@@ -247,7 +323,7 @@ impl<C: Codec> NetReceiver<C> {
     /// Whether an un-flushed batched ack is pending
     /// ([`flush_control`](Self::flush_control) would stage bytes).
     pub fn control_dirty(&self) -> bool {
-        !self.ack_dirty.is_empty()
+        !self.ack_dirty.is_empty() || !self.heartbeat_echoes.is_empty()
     }
 
     /// Flushes batched control and drains every staged byte (manual
@@ -411,10 +487,117 @@ mod tests {
     }
 
     #[test]
+    fn heartbeats_are_echoed_on_the_next_flush() {
+        let mut rx = NetReceiver::new(FixedCodec, 1, NetConfig::default());
+        let mut buf = BytesMut::new();
+        encode(&NetFrame::Heartbeat { seq: 11 }, &mut buf);
+        encode(&NetFrame::Heartbeat { seq: 12 }, &mut buf);
+        rx.on_bytes(&buf).unwrap();
+        assert!(rx.control_dirty(), "pending echoes count as dirty control");
+        let ctl = control_frames(&mut rx);
+        assert_eq!(
+            ctl,
+            vec![NetFrame::Heartbeat { seq: 11 }, NetFrame::Heartbeat { seq: 12 }],
+            "each probe echoed verbatim, in order"
+        );
+        assert_eq!(rx.stats().heartbeats, 2);
+        // A probe flood keeps only the newest echoes.
+        let mut flood = BytesMut::new();
+        for seq in 0..100u64 {
+            encode(&NetFrame::Heartbeat { seq }, &mut flood);
+        }
+        rx.on_bytes(&flood).unwrap();
+        let ctl = control_frames(&mut rx);
+        assert_eq!(ctl.len(), super::HEARTBEAT_ECHO_CAP);
+        assert_eq!(*ctl.last().unwrap(), NetFrame::Heartbeat { seq: 99 });
+    }
+
+    #[test]
+    fn in_session_hello_is_ignored_but_counted() {
+        let mut rx = NetReceiver::new(FixedCodec, 1, NetConfig::default());
+        rx.on_bytes(&data_bytes(3, 1, &[Message::Point { t: 0.0, x: vec![1.0] }])).unwrap();
+        let mut buf = BytesMut::new();
+        encode(&NetFrame::Hello { version: 1, token: 42 }, &mut buf);
+        rx.on_bytes(&buf).unwrap();
+        assert_eq!(rx.stats().stray_hellos, 1);
+        // The session keeps working afterwards.
+        rx.on_bytes(&data_bytes(3, 2, &[Message::Point { t: 1.0, x: vec![2.0] }])).unwrap();
+        assert_eq!(rx.stats().frames_applied, 2);
+        // But a HelloAck at the receiver is still a protocol error.
+        let mut ack = BytesMut::new();
+        encode(&NetFrame::HelloAck { version: 1, token: 1, cursors: vec![] }, &mut ack);
+        assert!(matches!(rx.on_bytes(&ack), Err(NetError::UnexpectedFrame(_))));
+    }
+
+    #[test]
+    fn resume_cursors_mirror_ack_and_grant_state() {
+        let cfg = NetConfig { window: 64, max_frame: 1 << 20 };
+        let mut rx = NetReceiver::new(FixedCodec, 1, cfg);
+        rx.on_bytes(&data_bytes(1, 1, &[Message::Point { t: 0.0, x: vec![1.0] }])).unwrap();
+        rx.on_bytes(&data_bytes(1, 2, &[Message::Point { t: 1.0, x: vec![2.0] }])).unwrap();
+        rx.on_bytes(&data_bytes(4, 1, &[Message::Point { t: 0.0, x: vec![3.0] }])).unwrap();
+        let cursors = rx.resume_cursors();
+        assert_eq!(cursors.len(), 2);
+        assert_eq!(cursors[0].stream, 1);
+        assert_eq!(cursors[0].through_seq, 2);
+        assert!(cursors[0].granted_total >= 64, "grant covers at least the initial window");
+        assert_eq!(cursors[1].stream, 4);
+        assert_eq!(cursors[1].through_seq, 1);
+    }
+
+    #[test]
+    fn reset_link_clears_without_staging() {
+        let mut rx = NetReceiver::new(FixedCodec, 1, NetConfig::default());
+        rx.on_bytes(&data_bytes(7, 1, &[Message::Point { t: 0.0, x: vec![1.0] }])).unwrap();
+        assert!(rx.control_dirty());
+        rx.reset_link();
+        assert!(!rx.control_dirty());
+        assert_eq!(rx.staged_bytes(), 0, "reset_link must not stage the refresh");
+        // The cumulative state survives for the HelloAck cursors.
+        assert_eq!(rx.resume_cursors()[0].through_seq, 1);
+    }
+
+    #[test]
     fn control_frames_at_the_receiver_are_protocol_errors() {
         let mut rx = NetReceiver::new(FixedCodec, 1, NetConfig::default());
         let mut buf = BytesMut::new();
         encode(&NetFrame::Ack { stream: 1, through_seq: 1 }, &mut buf);
         assert!(matches!(rx.on_bytes(&buf), Err(NetError::UnexpectedFrame(_))));
+    }
+
+    /// Batched control lives in `ack_dirty`/`heartbeat_echoes`, not in
+    /// the outbox, until a flush — so `staged_bytes()` alone reads
+    /// "drained" while an ack is still owed. Completion checks must
+    /// pair it with `control_dirty()`, and `take_staged()` must flush
+    /// the batch rather than hand back the empty outbox.
+    #[test]
+    fn take_staged_flushes_batched_acks_that_staged_bytes_misses() {
+        let mut rx = NetReceiver::new(FixedCodec, 1, NetConfig::default());
+        rx.on_bytes(&data_bytes(4, 1, &[Message::Point { t: 0.0, x: vec![1.0] }])).unwrap();
+        assert_eq!(rx.staged_bytes(), 0, "the batched ack is not in the outbox yet");
+        assert!(rx.control_dirty(), "but the connection is not drained");
+        let drained = rx.take_staged();
+        assert!(!drained.is_empty(), "take_staged flushed the batch it was owed");
+        assert!(!rx.control_dirty());
+        assert_eq!(rx.staged_bytes(), 0);
+        let mut dec = FrameDecoder::new(1 << 20);
+        dec.extend(&drained);
+        assert_eq!(dec.try_next().unwrap(), Some(NetFrame::Ack { stream: 4, through_seq: 1 }));
+        assert_eq!(dec.try_next().unwrap(), None);
+
+        // Same trap with a pending heartbeat echo: zero staged bytes,
+        // dirty control.
+        let mut probe = BytesMut::new();
+        encode(&NetFrame::Heartbeat { seq: 9 }, &mut probe);
+        rx.on_bytes(&probe).unwrap();
+        assert_eq!(rx.staged_bytes(), 0);
+        assert!(rx.control_dirty());
+        let drained = rx.take_staged();
+        let mut dec = FrameDecoder::new(1 << 20);
+        dec.extend(&drained);
+        assert_eq!(dec.try_next().unwrap(), Some(NetFrame::Heartbeat { seq: 9 }));
+        // Fully drained now: both signals agree.
+        assert!(!rx.control_dirty());
+        assert!(rx.take_staged().is_empty());
     }
 }

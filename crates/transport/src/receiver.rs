@@ -522,6 +522,53 @@ mod tests {
         assert_eq!(logs[&2].len(), 1);
     }
 
+    /// `flush_stream` on a stream with no open hold — already flushed,
+    /// closed by an explicit `End`, or never carrying a message at all
+    /// — must change nothing: the collector calls it when a stream's
+    /// end-of-stream marker arrives, and replayed fins after a session
+    /// resume hit the same path again.
+    #[test]
+    fn flush_stream_on_drained_or_empty_streams_changes_nothing() {
+        let mut demux = StreamDemux::new(FixedCodec, 1);
+        demux
+            .consume(encode(
+                &[
+                    // Stream 1: an open hold to flush twice.
+                    Message::StreamFrame { stream: 1 },
+                    Message::Hold { t: 0.0, x: vec![4.0] },
+                    // Stream 2: closed by an explicit End — no open hold.
+                    Message::StreamFrame { stream: 2 },
+                    Message::Start { t: 0.0, x: vec![1.0] },
+                    Message::End { t: 3.0, x: vec![2.0] },
+                    // Stream 3: a frame header and nothing else.
+                    Message::StreamFrame { stream: 3 },
+                ],
+                1,
+            ))
+            .unwrap();
+        demux.flush_stream(1);
+        let after_first = demux.segments(1).unwrap().to_vec();
+        assert_eq!(after_first.len(), 1);
+        demux.flush_stream(1);
+        assert_eq!(demux.segments(1).unwrap(), &after_first[..], "second flush is a no-op");
+        assert_eq!(demux.covered_through(1), Some(f64::INFINITY), "a hold covers forward");
+
+        let closed = demux.segments(2).unwrap().to_vec();
+        assert_eq!(closed.len(), 1, "End already closed the segment");
+        demux.flush_stream(2);
+        assert_eq!(demux.segments(2).unwrap(), &closed[..], "nothing to flush after End");
+
+        demux.flush_stream(3);
+        assert_eq!(demux.segments(3).unwrap(), &[], "an empty stream flushes to nothing");
+        assert_eq!(demux.covered_through(3), Some(f64::NEG_INFINITY));
+
+        // Teardown agrees with every incremental answer.
+        let logs = demux.into_segment_logs();
+        assert_eq!(logs[&1], after_first);
+        assert_eq!(logs[&2], closed);
+        assert_eq!(logs[&3], vec![]);
+    }
+
     #[test]
     fn start_end_chain_reconstructs_connected_flags() {
         let bytes = encode(

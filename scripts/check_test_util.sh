@@ -1,0 +1,14 @@
+#!/usr/bin/env sh
+# Fails if pla-net's `test-util` feature no longer compiles standalone.
+# The fault-injection harness (testutil::{FaultLink, FaultPlan,
+# FaultRedial}) is public API for downstream crates' chaos tests, but
+# inside this workspace it is only ever exercised through dev-deps —
+# so a testutil.rs that accidentally leans on a dev-only item would
+# pass `cargo test` and still be broken for every external consumer.
+# This check builds the feature exactly as a consumer would see it.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+cargo check -q -p pla-net --features test-util
+echo "pla-net --features test-util compiles standalone"
