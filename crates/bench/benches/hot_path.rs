@@ -24,13 +24,18 @@ use pla_bench::{multi_walk, run_filter_steady, walk_signal, FilterKind, WalkPara
 use pla_core::Signal;
 
 const N_1D: usize = 100_000;
-const N_8D: usize = 20_000;
+const N_MULTI: usize = 20_000;
+
+/// Dimension counts under measurement: the `d == 1` scalar dispatch, the
+/// `d ∈ {2, 4}` inline-lane (SIMD kernel) dispatch at both ends of its
+/// range, and the `d = 8` generic spill regime.
+const DIMS: [usize; 4] = [1, 2, 4, 8];
 
 fn signal_for(dims: usize) -> Signal {
     if dims == 1 {
         walk_signal(N_1D, 0.5, 2.0, 0x407)
     } else {
-        multi_walk(dims, WalkParams { n: N_8D, p_decrease: 0.5, max_delta: 2.0, seed: 0x408 })
+        multi_walk(dims, WalkParams { n: N_MULTI, p_decrease: 0.5, max_delta: 2.0, seed: 0x408 })
     }
 }
 
@@ -54,22 +59,20 @@ fn bench_dims(c: &mut Criterion, dims: usize) {
     group.finish();
 }
 
-fn hot_path_1d(c: &mut Criterion) {
-    bench_dims(c, 1);
+fn hot_path_dims(c: &mut Criterion) {
+    for dims in DIMS {
+        bench_dims(c, dims);
+    }
 }
 
-fn hot_path_8d(c: &mut Criterion) {
-    bench_dims(c, 8);
-}
-
-/// Reports heap allocations per point for every filter at d ∈ {1, 8},
-/// measured over one warm steady-state pass. Printed alongside the
-/// timing lines (the `allocs/point` unit keeps these out of
+/// Reports heap allocations per point for every filter at each measured
+/// dimension count, over one warm steady-state pass. Printed alongside
+/// the timing lines (the `allocs/point` unit keeps these out of
 /// `BENCH_BASELINE.json`, which only parses `ns/iter` lines).
 #[cfg(feature = "alloc-counter")]
 fn report_allocs(_c: &mut Criterion) {
     use pla_bench::alloc_counter;
-    for dims in [1usize, 8] {
+    for dims in DIMS {
         let signal = signal_for(dims);
         let eps = vec![1.0; dims];
         for kind in FilterKind::OVERHEAD_SET {
@@ -91,5 +94,5 @@ fn report_allocs(_c: &mut Criterion) {
     eprintln!("hot_path: allocs/point not measured (enable --features alloc-counter)\n");
 }
 
-criterion_group!(benches, hot_path_1d, hot_path_8d, report_allocs);
+criterion_group!(benches, hot_path_dims, report_allocs);
 criterion_main!(benches);

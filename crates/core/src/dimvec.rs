@@ -179,6 +179,45 @@ impl<T: Copy + Default> DimVec<T> {
     }
 }
 
+impl DimVec<f64> {
+    /// Fixed-width view of the inline block for the lane kernels
+    /// (`crate::kern`): all [`INLINE_DIMS`] lanes — the live `len()`
+    /// prefix plus the `0.0` padding tail the kernels rely on being
+    /// neutral.
+    ///
+    /// Callers must hold the *zero-tail invariant*: every lane past
+    /// `len()` is exactly `0.0`. All construction paths a fixed-length
+    /// vector uses (`new` + `push`, `from_fn`, `from_slice`, same-length
+    /// `assign`/`copy_from_slice`) preserve it, and every mutating
+    /// kernel writes `0.0` back to padding lanes. The shrinking `assign`
+    /// path does *not* (it leaves stale tail values) — fixed-`d` filter
+    /// state never shrinks, and the debug assertion below catches any
+    /// violation in tests.
+    #[inline]
+    pub(crate) fn lanes(&self) -> &[f64; INLINE_DIMS] {
+        debug_assert!(self.is_inline(), "lanes() on a spilled DimVec");
+        debug_assert!(
+            self.inline[self.len()..].iter().all(|&v| v == 0.0),
+            "lanes(): non-zero padding tail {:?}",
+            &self.inline[self.len()..]
+        );
+        &self.inline
+    }
+
+    /// Mutable fixed-width view of the inline block; same contract as
+    /// [`Self::lanes`] — kernels must keep padding lanes at `0.0`.
+    #[inline]
+    pub(crate) fn lanes_mut(&mut self) -> &mut [f64; INLINE_DIMS] {
+        debug_assert!(self.is_inline(), "lanes_mut() on a spilled DimVec");
+        debug_assert!(
+            self.inline[self.len()..].iter().all(|&v| v == 0.0),
+            "lanes_mut(): non-zero padding tail {:?}",
+            &self.inline[self.len()..]
+        );
+        &mut self.inline
+    }
+}
+
 impl<T: Copy + Default> Default for DimVec<T> {
     fn default() -> Self {
         Self::new()

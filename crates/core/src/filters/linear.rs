@@ -20,6 +20,7 @@ use pla_geom::{Line, Point2};
 
 use crate::dimvec::DimVec;
 use crate::error::FilterError;
+use crate::kern::{self, Dispatch};
 use crate::segment::{validate_epsilons, Segment, SegmentSink};
 
 use super::common::point_segment;
@@ -59,6 +60,42 @@ enum State {
     Active(Interval),
 }
 
+/// The live interval's approximating lines in structure-of-arrays form.
+/// Every dimension's line is anchored at the same time (the segment
+/// start), so one anchor time serves all lanes: `xᵢ(t) = x0ᵢ + slopeᵢ ·
+/// (t − t0)` — the same expression tree as [`Line::eval`]. Buffers are
+/// sized once at construction and overwritten per interval.
+#[derive(Debug, Clone)]
+struct SharedLines {
+    t0: f64,
+    x0: DimVec<f64>,
+    slope: DimVec<f64>,
+}
+
+impl SharedLines {
+    fn new(dims: usize) -> Self {
+        Self { t0: 0.0, x0: DimVec::splat(dims, 0.0), slope: DimVec::splat(dims, 0.0) }
+    }
+
+    /// Refits every dimension's line through `(t0, x0[d])` and
+    /// `(t1, x1[d])` — the same construction as [`Line::through`].
+    fn refit(&mut self, t0: f64, x0: &[f64], t1: f64, x1: &[f64]) {
+        self.t0 = t0;
+        let xs = self.x0.as_mut_slice();
+        let slopes = self.slope.as_mut_slice();
+        for d in 0..x0.len() {
+            let line = Line::through(Point2::new(t0, x0[d]), Point2::new(t1, x1[d]));
+            xs[d] = line.x0;
+            slopes[d] = line.slope;
+        }
+    }
+
+    #[inline]
+    fn eval(&self, d: usize, t: f64) -> f64 {
+        self.x0[d] + self.slope[d] * (t - self.t0)
+    }
+}
+
 /// Piece-wise linear baseline filter. See the module docs.
 ///
 /// ```
@@ -80,10 +117,13 @@ pub struct LinearFilter {
     eps: DimVec<f64>,
     mode: LinearMode,
     state: State,
-    /// Approximating line per dimension of the live interval; anchored at
-    /// the segment start. Recycled across intervals (capacity retained).
-    lines: Vec<Line>,
+    /// Approximating lines of the live interval, anchored at the segment
+    /// start. Recycled across intervals (buffers retained).
+    lines: SharedLines,
     emitted_any: bool,
+    /// Per-dimension iteration strategy (`d ≤ 4` lane kernels, generic
+    /// loop otherwise), decided at construction.
+    dispatch: Dispatch,
 }
 
 impl LinearFilter {
@@ -99,8 +139,9 @@ impl LinearFilter {
             eps: eps.into(),
             mode,
             state: State::Empty,
-            lines: Vec::with_capacity(eps.len()),
+            lines: SharedLines::new(eps.len()),
             emitted_any: false,
+            dispatch: Dispatch::auto(eps.len(), false),
         })
     }
 
@@ -109,7 +150,21 @@ impl LinearFilter {
         self.mode
     }
 
-    /// Opens an interval, refilling the filter's recycled line buffer.
+    /// Forces a specific [`Dispatch`] (sanitized against the dimension
+    /// count). Test hook for the byte-identity proptests.
+    #[doc(hidden)]
+    pub fn force_dispatch(mut self, dispatch: Dispatch) -> Self {
+        self.dispatch = dispatch.sanitized(self.eps.len(), false);
+        self
+    }
+
+    /// The per-dimension dispatch decided at construction.
+    #[doc(hidden)]
+    pub fn dispatch(&self) -> Dispatch {
+        self.dispatch
+    }
+
+    /// Opens an interval, refilling the filter's recycled line buffers.
     fn start_interval(
         &mut self,
         t0: f64,
@@ -118,27 +173,37 @@ impl LinearFilter {
         x1: &[f64],
         connected: bool,
     ) -> Interval {
-        self.lines.clear();
-        self.lines.extend(
-            (0..self.eps.len())
-                .map(|d| Line::through(Point2::new(t0, x0[d]), Point2::new(t1, x1[d]))),
-        );
+        self.lines.refit(t0, x0, t1, x1);
         Interval { t_start: t0, start_connected: connected, last_t: t1, n_pts: 2 }
     }
 
     /// Associated (not `&self`) so the push hot path can test acceptance
     /// while holding a disjoint mutable borrow of the live interval.
+    /// Both dispatch branches evaluate the same expression tree (byte-
+    /// identical output, pinned by the proptests).
     #[inline]
-    fn fits(eps: &[f64], lines: &[Line], t: f64, x: &[f64]) -> bool {
-        x.iter().zip(eps.iter()).enumerate().all(|(d, (&v, &e))| (v - lines[d].eval(t)).abs() <= e)
+    fn fits(dispatch: Dispatch, eps: &DimVec<f64>, lines: &SharedLines, t: f64, x: &[f64]) -> bool {
+        let dt = t - lines.t0;
+        match dispatch {
+            Dispatch::Lanes(k) => {
+                kern::fits_affine(k, lines.x0.lanes(), lines.slope.lanes(), eps.lanes(), dt, x)
+            }
+            _ => {
+                let (x0, slope) = (lines.x0.as_slice(), lines.slope.as_slice());
+                x.iter()
+                    .zip(eps.as_slice())
+                    .enumerate()
+                    .all(|(d, (&v, &e))| (v - (x0[d] + slope[d] * dt)).abs() <= e)
+            }
+        }
     }
 
     /// Ends `iv` at its last accepted time, emitting the segment and
     /// returning the predicted endpoint.
     fn close_interval(&mut self, iv: &Interval, sink: &mut dyn SegmentSink) -> (f64, DimVec<f64>) {
         let t_end = iv.last_t;
-        let x_end: DimVec<f64> = self.lines.iter().map(|l| l.eval(t_end)).collect();
-        let x_start: DimVec<f64> = self.lines.iter().map(|l| l.eval(iv.t_start)).collect();
+        let x_end = DimVec::from_fn(self.eps.len(), |d| self.lines.eval(d, t_end));
+        let x_start = DimVec::from_fn(self.eps.len(), |d| self.lines.eval(d, iv.t_start));
         let new_recordings = if iv.start_connected { 1 } else { 2 };
         sink.segment(Segment {
             t_start: iv.t_start,
@@ -176,7 +241,7 @@ impl StreamFilter for LinearFilter {
         // Hot path: an accepted sample extends the live interval in place
         // — no state-enum move per point.
         if let State::Active(iv) = &mut self.state {
-            if Self::fits(&self.eps, &self.lines, t, x) {
+            if Self::fits(self.dispatch, &self.eps, &self.lines, t, x) {
                 iv.last_t = t;
                 iv.n_pts += 1;
                 return Ok(());

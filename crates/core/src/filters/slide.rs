@@ -16,7 +16,12 @@
 //! envelopes do not pivot around a fixed origin — they *slide*. Rebuilding
 //! an envelope only needs the convex hull of the interval's points
 //! (Lemma 4.3), maintained incrementally; the candidate recomputation is a
-//! tangent query answered in O(log m_H) ([`pla_geom`]).
+//! tangent query answered in O(log m_H) ([`pla_geom`]). The hulls are
+//! built *lazily*: intervals below [`LAZY_HULL_THRESHOLD`] points answer
+//! rebuilds by a linear scan of their raw-point buffer (cheaper than two
+//! hull-chain updates per dimension per point at that size, and the
+//! common case on noisy streams), and an interval that outgrows the
+//! threshold replays the buffer into the hulls once and switches.
 //!
 //! When an interval ends, the feasible lines are exactly those through the
 //! envelope intersection `zᵢ` with slope between the envelopes' (each such
@@ -49,6 +54,7 @@ use pla_geom::{
 
 use crate::dimvec::DimVec;
 use crate::error::FilterError;
+use crate::kern::{self, Dispatch};
 use crate::mse::RegressionSums;
 use crate::segment::{validate_epsilons, ProvisionalUpdate, Segment, SegmentSink};
 
@@ -75,7 +81,9 @@ pub enum HullMode {
 #[derive(Debug, Clone, Copy, Default)]
 pub struct HullStats {
     /// Largest number of hull vertices observed in any dimension at any
-    /// interval close.
+    /// interval close. Intervals that closed before building their hulls
+    /// (fewer than [`LAZY_HULL_THRESHOLD`] points) report their raw point
+    /// count — an upper bound on the vertex count.
     pub max_vertices: usize,
     /// Sum over interval closes of the per-close max vertex count.
     pub total_vertices: u64,
@@ -100,6 +108,14 @@ impl HullStats {
 /// statistics exist.
 const MIN_HULL_CAPACITY: usize = 16;
 
+/// Interval size at which the optimized mode switches from scanning the
+/// raw point buffer to maintaining convex hulls. Most intervals on noisy
+/// streams close within a handful of points, where a linear scan over the
+/// buffer beats paying two hull-chain updates per dimension per point;
+/// the one-time hull build on crossing the threshold keeps long intervals
+/// on the paper's O(log n) tangent queries.
+const LAZY_HULL_THRESHOLD: usize = 8;
+
 /// Committed line state once the lag bound freezes an interval.
 #[derive(Debug, Clone)]
 struct Frozen {
@@ -109,18 +125,86 @@ struct Frozen {
     connected: bool,
 }
 
-/// Per-interval state. The heap-backed companions — hulls, raw-point
-/// buffers, regression sums — live on the filter itself and are recycled
-/// across intervals, so opening or closing an interval allocates nothing.
+/// Structure-of-arrays envelope: one line per dimension, stored as
+/// parallel `t0` / `x0` / `slope` columns so the `d ≤ 4` inline regime
+/// can hand the lane kernels ([`crate::kern`]) contiguous blocks.
+/// `eval` reproduces [`Line::eval`]'s expression tree bit for bit.
+#[derive(Debug, Clone, Default)]
+struct EnvLines {
+    t0: DimVec<f64>,
+    x0: DimVec<f64>,
+    slope: DimVec<f64>,
+}
+
+impl EnvLines {
+    fn clear(&mut self) {
+        self.t0.clear();
+        self.x0.clear();
+        self.slope.clear();
+    }
+
+    fn push(&mut self, line: Line) {
+        self.t0.push(line.t0);
+        self.x0.push(line.x0);
+        self.slope.push(line.slope);
+    }
+
+    #[inline]
+    fn set(&mut self, i: usize, line: Line) {
+        self.t0[i] = line.t0;
+        self.x0[i] = line.x0;
+        self.slope[i] = line.slope;
+    }
+
+    #[inline]
+    fn line(&self, i: usize) -> Line {
+        Line { t0: self.t0[i], x0: self.x0[i], slope: self.slope[i] }
+    }
+
+    /// Same expression as [`Line::eval`]: `x0 + slope · (t − t0)`.
+    #[inline]
+    fn eval(&self, i: usize, t: f64) -> f64 {
+        self.x0[i] + self.slope[i] * (t - self.t0[i])
+    }
+
+    fn assign(&mut self, other: &EnvLines) {
+        self.t0.assign(other.t0.as_slice());
+        self.x0.assign(other.x0.as_slice());
+        self.slope.assign(other.slope.as_slice());
+    }
+
+    /// Lane view for the kernels (`d ≤ 4` only; padding lanes are `0.0`
+    /// and neutral for every op).
+    #[inline]
+    fn view(&self) -> kern::EnvView<'_> {
+        kern::EnvView { t0: self.t0.lanes(), x0: self.x0.lanes(), slope: self.slope.lanes() }
+    }
+}
+
+/// Both envelopes of the live interval. Owned by the filter (not the
+/// [`Interval`]) and recycled across intervals like the hulls, so the
+/// `d > 4` spill regime re-uses the same six spill buffers forever
+/// instead of re-buying them at every interval open.
+#[derive(Debug, Clone, Default)]
+struct Envelopes {
+    u: EnvLines,
+    l: EnvLines,
+}
+
+/// Per-interval state. The heap-backed companions — envelopes, hulls,
+/// raw-point buffers, regression sums — live on the filter itself and
+/// are recycled across intervals, so opening or closing an interval
+/// allocates nothing.
 #[derive(Debug, Clone)]
 struct Interval {
     first_t: f64,
-    /// Envelopes per dimension.
-    u: DimVec<Line>,
-    l: DimVec<Line>,
     last_t: f64,
     n_pts: u32,
     frozen: Option<Frozen>,
+    /// Optimized mode only: whether this interval has outgrown the raw
+    /// point buffer and built its per-dimension hulls
+    /// ([`LAZY_HULL_THRESHOLD`]).
+    hull_built: bool,
 }
 
 /// A closed interval's segment waiting for its end point, which is only
@@ -141,8 +225,8 @@ struct Pending {
     end_data_t: f64,
     /// Final envelopes of the closed interval, for Lemma 4.4's
     /// tail-coverage constraint.
-    u_env: DimVec<Line>,
-    l_env: DimVec<Line>,
+    u_env: EnvLines,
+    l_env: EnvLines,
     n_pts: u32,
 }
 
@@ -181,6 +265,7 @@ pub struct SlideBuilder {
     max_lag: Option<usize>,
     hull_mode: HullMode,
     force_generic: bool,
+    dispatch_override: Option<Dispatch>,
 }
 
 impl SlideBuilder {
@@ -208,6 +293,16 @@ impl SlideBuilder {
         self
     }
 
+    /// Pins the kernel dispatch (invalid choices are snapped to the
+    /// automatic one). Every dispatch produces byte-identical output
+    /// (pinned by property tests); this switch exists so the tests can
+    /// prove it.
+    #[doc(hidden)]
+    pub fn force_dispatch(mut self, dispatch: Dispatch) -> Self {
+        self.dispatch_override = Some(dispatch);
+        self
+    }
+
     /// Validates the configuration and builds the filter.
     pub fn build(self) -> Result<SlideFilter, FilterError> {
         validate_epsilons(&self.eps)?;
@@ -223,11 +318,15 @@ impl SlideBuilder {
             }
             HullMode::Exhaustive => Vec::new(),
         };
-        let raw = match self.hull_mode {
-            HullMode::Exhaustive => vec![Vec::new(); d],
-            HullMode::Optimized => Vec::new(),
+        // Both modes buffer raw points: exhaustive scans them forever,
+        // optimized scans them until the interval outgrows
+        // [`LAZY_HULL_THRESHOLD`] and hulls take over.
+        let raw = (0..d).map(|_| Vec::with_capacity(MIN_HULL_CAPACITY)).collect();
+        let dispatch = match self.dispatch_override {
+            Some(want) => want.sanitized(d, true),
+            None if self.force_generic => Dispatch::Generic,
+            None => Dispatch::auto(d, true),
         };
-        let scalar = d == 1 && !self.force_generic;
         Ok(SlideFilter {
             sums: RegressionSums::new(0.0, &vec![0.0; d]),
             eps: self.eps.as_slice().into(),
@@ -238,9 +337,12 @@ impl SlideBuilder {
             stats: HullStats::default(),
             hulls,
             raw,
-            scalar,
+            env: Envelopes::default(),
+            dispatch,
             retired: Vec::new(),
             cone_scratch: None,
+            x_pool: None,
+            line_pool: None,
         })
     }
 }
@@ -280,14 +382,22 @@ pub struct SlideFilter {
     raw: Vec<Vec<Point2>>,
     /// Regression moments of the live interval, recycled via `reset()`.
     sums: RegressionSums,
-    /// `d == 1` scalar fast path, decided once at construction.
-    scalar: bool,
+    /// Envelopes of the live interval, recycled via `clear()`.
+    env: Envelopes,
+    /// Kernel dispatch for the envelope hot path, decided once at
+    /// construction ([`Dispatch::auto`] unless overridden for tests).
+    dispatch: Dispatch,
     /// Arena of retired [`Pending`]s (at most 2): their spilled `DimVec`
     /// payloads are reused at the next interval close, covering the
     /// `d > 4` spill regime's alloc headroom documented in PR 3.
     retired: Vec<Pending>,
     /// Recycled [`Cone`] scratch, same purpose.
     cone_scratch: Option<Cone>,
+    /// Recycled buffer for the one-point state's sample, so reopening
+    /// after a violation stays allocation-free in the spill regime.
+    x_pool: Option<DimVec<f64>>,
+    /// Recycled line buffer for [`Self::try_connect`]'s candidate `g`.
+    line_pool: Option<DimVec<Line>>,
 }
 
 impl SlideFilter {
@@ -303,7 +413,14 @@ impl SlideFilter {
             max_lag: None,
             hull_mode: HullMode::default(),
             force_generic: false,
+            dispatch_override: None,
         }
+    }
+
+    /// The kernel dispatch decided at construction.
+    #[doc(hidden)]
+    pub fn dispatch(&self) -> Dispatch {
+        self.dispatch
     }
 
     /// The configured lag bound, if any.
@@ -334,182 +451,276 @@ impl SlideFilter {
     /// hulls on every interval.
     fn start_interval(&mut self, t0: f64, x0: &[f64], t1: f64, x1: &[f64]) -> Interval {
         let d = self.dims_();
-        let mut u = DimVec::new();
-        let mut l = DimVec::new();
+        self.env.u.clear();
+        self.env.l.clear();
         for i in 0..d {
             let e = self.eps[i];
-            u.push(Line::through(Point2::new(t0, x0[i] - e), Point2::new(t1, x1[i] + e)));
-            l.push(Line::through(Point2::new(t0, x0[i] + e), Point2::new(t1, x1[i] - e)));
+            self.env.u.push(Line::through(Point2::new(t0, x0[i] - e), Point2::new(t1, x1[i] + e)));
+            self.env.l.push(Line::through(Point2::new(t0, x0[i] + e), Point2::new(t1, x1[i] - e)));
         }
-        match self.hull_mode {
-            HullMode::Optimized => {
-                let want = self.stats.max_vertices.max(MIN_HULL_CAPACITY);
-                for (i, h) in self.hulls.iter_mut().enumerate() {
-                    h.clear();
-                    h.ensure_capacity(want);
-                    h.push(Point2::new(t0, x0[i]));
-                    h.push(Point2::new(t1, x1[i]));
-                }
-            }
-            HullMode::Exhaustive => {
-                for (i, r) in self.raw.iter_mut().enumerate() {
-                    r.clear();
-                    r.push(Point2::new(t0, x0[i]));
-                    r.push(Point2::new(t1, x1[i]));
-                }
-            }
+        // Every interval starts in the raw buffer; optimized mode builds
+        // hulls lazily once the interval outgrows the scan threshold.
+        for (i, r) in self.raw.iter_mut().enumerate() {
+            r.clear();
+            r.push(Point2::new(t0, x0[i]));
+            r.push(Point2::new(t1, x1[i]));
         }
         self.sums.reset(t0, x0);
         self.sums.push(t0, x0);
         self.sums.push(t1, x1);
-        Interval { first_t: t0, u, l, last_t: t1, n_pts: 2, frozen: None }
+        Interval { first_t: t0, last_t: t1, n_pts: 2, frozen: None, hull_built: false }
     }
 
-    /// Lemma 4.2 acceptance test: within `εᵢ` of the band `[lᵢᵏ, uᵢᵏ]`.
+    /// Acceptance test against a frozen interval's committed lines.
+    /// Identical scalar code under every dispatch (the lines are AoS and
+    /// this path is off the envelope hot loop).
+    fn fits_frozen(eps: &DimVec<f64>, f: &Frozen, t: f64, x: &[f64]) -> bool {
+        let g = f.g.as_slice();
+        x.iter().enumerate().all(|(i, &v)| (v - g[i].eval(t)).abs() <= eps[i])
+    }
+
+    /// Fused Lemma 4.2 acceptance test plus Algorithm 2 lines 32–39
+    /// (hull update and envelope rebuilds through tangent queries) for a
+    /// live (unfrozen) interval. Returns whether the point fit; nothing
+    /// is mutated on a miss.
     ///
-    /// Associated (not `&self`) so the push hot path can test acceptance
-    /// while holding a disjoint mutable borrow of the live interval.
-    fn fits(scalar: bool, eps: &[f64], iv: &Interval, t: f64, x: &[f64]) -> bool {
-        if scalar {
-            return Self::fits1(eps, iv, t, x[0]);
-        }
-        if let Some(f) = &iv.frozen {
-            let g = f.g.as_slice();
-            return x.iter().enumerate().all(|(i, &v)| (v - g[i].eval(t)).abs() <= eps[i]);
-        }
-        let (u, l) = (iv.u.as_slice(), iv.l.as_slice());
-        x.iter().enumerate().all(|(i, &v)| v <= u[i].eval(t) + eps[i] && v >= l[i].eval(t) - eps[i])
-    }
-
-    /// Scalar (`d == 1`) acceptance test — same arithmetic as [`fits`],
-    /// with the per-dimension loop machinery compiled out.
-    #[inline]
-    fn fits1(eps: &[f64], iv: &Interval, t: f64, v: f64) -> bool {
-        let e = eps[0];
-        if let Some(f) = &iv.frozen {
-            return (v - f.g[0].eval(t)).abs() <= e;
-        }
-        v <= iv.u[0].eval(t) + e && v >= iv.l[0].eval(t) - e
-    }
-
-    /// Algorithm 2 lines 32–39: hull update plus envelope rebuilds through
-    /// tangent queries. Associated, over explicit field borrows, so the
-    /// push hot path can run it on the live interval in place.
+    /// Associated, over explicit field borrows, so the push hot path can
+    /// run it on the live interval in place. Every [`Dispatch`] arm
+    /// evaluates the same expression tree — the output streams are
+    /// byte-identical (pinned by property tests).
     #[allow(clippy::too_many_arguments)]
-    fn absorb(
-        scalar: bool,
+    fn step(
+        dispatch: Dispatch,
         hull_mode: HullMode,
-        eps: &[f64],
+        eps: &DimVec<f64>,
+        env: &mut Envelopes,
         hulls: &mut [IncrementalHull],
         raw: &mut [Vec<Point2>],
         sums: &mut RegressionSums,
         iv: &mut Interval,
         t: f64,
         x: &[f64],
-    ) {
-        if scalar {
-            Self::absorb1(hull_mode, eps, hulls, raw, sums, iv, t, x[0]);
-            return;
-        }
-        let u = iv.u.as_mut_slice();
-        let l = iv.l.as_mut_slice();
-        for (i, &v) in x.iter().enumerate() {
-            let e = eps[i];
-            let needs_l = v > l[i].eval(t) + e;
-            let needs_u = v < u[i].eval(t) - e;
-            if needs_l {
-                // Max-slope line through an up-shifted earlier point and
-                // the down-shifted new point; earlier touch on the lower
-                // chain.
-                let q = Point2::new(t, v - e);
-                let hit = match hull_mode {
-                    HullMode::Optimized => max_slope_to_chain(hulls[i].chain(Chain::Lower), e, q),
-                    HullMode::Exhaustive => scan::max_slope(&raw[i], e, q),
+    ) -> bool {
+        let use_hull = hull_mode == HullMode::Optimized && iv.hull_built;
+        match dispatch {
+            Dispatch::Scalar1 => {
+                let e = eps[0];
+                let v = x[0];
+                let ue = env.u.eval(0, t);
+                let le = env.l.eval(0, t);
+                if !(v <= ue + e && v >= le - e) {
+                    return false;
                 }
-                .expect("interval always holds at least one prior point");
-                l[i] = Line::through(hit.vertex, q);
-            }
-            if needs_u {
-                let q = Point2::new(t, v + e);
-                let hit = match hull_mode {
-                    HullMode::Optimized => min_slope_to_chain(hulls[i].chain(Chain::Upper), -e, q),
-                    HullMode::Exhaustive => scan::min_slope(&raw[i], -e, q),
+                if v > le + e {
+                    Self::rebuild_lower(
+                        use_hull,
+                        &mut env.l,
+                        hulls,
+                        raw,
+                        0,
+                        e,
+                        Point2::new(t, v - e),
+                    );
                 }
-                .expect("interval always holds at least one prior point");
-                u[i] = Line::through(hit.vertex, q);
+                if v < ue - e {
+                    Self::rebuild_upper(
+                        use_hull,
+                        &mut env.u,
+                        hulls,
+                        raw,
+                        0,
+                        e,
+                        Point2::new(t, v + e),
+                    );
+                }
+                Self::note_point(use_hull, env, hulls, raw, 0, t, v);
+                sums.push(t, std::slice::from_ref(&v));
             }
-            debug_assert!(
-                l[i].slope <= u[i].slope + 1e-9 * u[i].slope.abs().max(1.0),
-                "slide cone emptied in dim {i}"
-            );
-            match hull_mode {
-                HullMode::Optimized => hulls[i].push(Point2::new(t, v)),
-                HullMode::Exhaustive => raw[i].push(Point2::new(t, v)),
+            Dispatch::Lanes(k) => {
+                // Fused acceptance test + regression-sums update: one
+                // kernel call instead of two (`#[target_feature]` keeps
+                // each call from inlining here, so call count matters).
+                let s = sums.slide_step_lanes(k, env.u.view(), env.l.view(), eps, t, x);
+                if !s.fits {
+                    return false;
+                }
+                let eps = eps.as_slice();
+                for (i, &v) in x.iter().enumerate() {
+                    let e = eps[i];
+                    if s.needs_l & (1 << i) != 0 {
+                        Self::rebuild_lower(
+                            use_hull,
+                            &mut env.l,
+                            hulls,
+                            raw,
+                            i,
+                            e,
+                            Point2::new(t, v - e),
+                        );
+                    }
+                    if s.needs_u & (1 << i) != 0 {
+                        Self::rebuild_upper(
+                            use_hull,
+                            &mut env.u,
+                            hulls,
+                            raw,
+                            i,
+                            e,
+                            Point2::new(t, v + e),
+                        );
+                    }
+                    Self::note_point(use_hull, env, hulls, raw, i, t, v);
+                }
+            }
+            Dispatch::Generic => {
+                let eps = eps.as_slice();
+                let fit = x.iter().enumerate().all(|(i, &v)| {
+                    v <= env.u.eval(i, t) + eps[i] && v >= env.l.eval(i, t) - eps[i]
+                });
+                if !fit {
+                    return false;
+                }
+                for (i, &v) in x.iter().enumerate() {
+                    let e = eps[i];
+                    // Max-slope line through an up-shifted earlier point
+                    // and the down-shifted new point; earlier touch on
+                    // the lower chain (and symmetrically for the upper).
+                    if v > env.l.eval(i, t) + e {
+                        Self::rebuild_lower(
+                            use_hull,
+                            &mut env.l,
+                            hulls,
+                            raw,
+                            i,
+                            e,
+                            Point2::new(t, v - e),
+                        );
+                    }
+                    if v < env.u.eval(i, t) - e {
+                        Self::rebuild_upper(
+                            use_hull,
+                            &mut env.u,
+                            hulls,
+                            raw,
+                            i,
+                            e,
+                            Point2::new(t, v + e),
+                        );
+                    }
+                    Self::note_point(use_hull, env, hulls, raw, i, t, v);
+                }
+                sums.push(t, x);
             }
         }
-        sums.push(t, x);
+        Self::maybe_build_hulls(hull_mode, iv, hulls, raw);
         iv.last_t = t;
         iv.n_pts += 1;
+        true
     }
 
-    /// Scalar (`d == 1`) envelope update — same arithmetic and update
-    /// order as the generic [`absorb`] loop body for `i = 0`.
-    #[inline]
-    #[allow(clippy::too_many_arguments)]
-    fn absorb1(
-        hull_mode: HullMode,
-        eps: &[f64],
+    /// Rebuilds the lower envelope of dimension `i` from a hull tangent
+    /// through the shifted new point `q = (t, v − ε)`.
+    fn rebuild_lower(
+        use_hull: bool,
+        env_l: &mut EnvLines,
         hulls: &mut [IncrementalHull],
         raw: &mut [Vec<Point2>],
-        sums: &mut RegressionSums,
-        iv: &mut Interval,
+        i: usize,
+        e: f64,
+        q: Point2,
+    ) {
+        let hit = if use_hull {
+            max_slope_to_chain(hulls[i].chain(Chain::Lower), e, q)
+        } else {
+            // Interval points always precede the query point in time.
+            scan::max_slope_before(&raw[i], e, q)
+        }
+        .expect("interval always holds at least one prior point");
+        // Same bits as `Line::through(hit.vertex, q)` — the query already
+        // paid for that division.
+        env_l.set(i, Line::new(hit.vertex, hit.slope));
+    }
+
+    /// Rebuilds the upper envelope of dimension `i` from a hull tangent
+    /// through the shifted new point `q = (t, v + ε)`.
+    fn rebuild_upper(
+        use_hull: bool,
+        env_u: &mut EnvLines,
+        hulls: &mut [IncrementalHull],
+        raw: &mut [Vec<Point2>],
+        i: usize,
+        e: f64,
+        q: Point2,
+    ) {
+        let hit = if use_hull {
+            min_slope_to_chain(hulls[i].chain(Chain::Upper), -e, q)
+        } else {
+            scan::min_slope_before(&raw[i], -e, q)
+        }
+        .expect("interval always holds at least one prior point");
+        env_u.set(i, Line::new(hit.vertex, hit.slope));
+    }
+
+    /// Per-dimension tail of an accepted step: cone sanity check plus
+    /// adding the raw point to the hull (or point list).
+    #[inline]
+    fn note_point(
+        use_hull: bool,
+        env: &Envelopes,
+        hulls: &mut [IncrementalHull],
+        raw: &mut [Vec<Point2>],
+        i: usize,
         t: f64,
         v: f64,
     ) {
-        let e = eps[0];
-        let needs_l = v > iv.l[0].eval(t) + e;
-        let needs_u = v < iv.u[0].eval(t) - e;
-        if needs_l {
-            let q = Point2::new(t, v - e);
-            let hit = match hull_mode {
-                HullMode::Optimized => max_slope_to_chain(hulls[0].chain(Chain::Lower), e, q),
-                HullMode::Exhaustive => scan::max_slope(&raw[0], e, q),
-            }
-            .expect("interval always holds at least one prior point");
-            iv.l[0] = Line::through(hit.vertex, q);
-        }
-        if needs_u {
-            let q = Point2::new(t, v + e);
-            let hit = match hull_mode {
-                HullMode::Optimized => min_slope_to_chain(hulls[0].chain(Chain::Upper), -e, q),
-                HullMode::Exhaustive => scan::min_slope(&raw[0], -e, q),
-            }
-            .expect("interval always holds at least one prior point");
-            iv.u[0] = Line::through(hit.vertex, q);
-        }
         debug_assert!(
-            iv.l[0].slope <= iv.u[0].slope + 1e-9 * iv.u[0].slope.abs().max(1.0),
-            "slide cone emptied in dim 0"
+            env.l.slope[i] <= env.u.slope[i] + 1e-9 * env.u.slope[i].abs().max(1.0),
+            "slide cone emptied in dim {i}"
         );
-        match hull_mode {
-            HullMode::Optimized => hulls[0].push(Point2::new(t, v)),
-            HullMode::Exhaustive => raw[0].push(Point2::new(t, v)),
+        if use_hull {
+            hulls[i].push(Point2::new(t, v));
+        } else {
+            raw[i].push(Point2::new(t, v));
         }
-        sums.push(t, std::slice::from_ref(&v));
-        iv.last_t = t;
-        iv.n_pts += 1;
+    }
+
+    /// Lazy hull activation: once an optimized-mode interval outgrows
+    /// [`LAZY_HULL_THRESHOLD`], replay its raw buffer into the hulls and
+    /// route subsequent points and tangent queries there. Scans over the
+    /// raw buffer and tangent queries on the hull of the same points pick
+    /// the same extreme slope (the extreme vertex is a hull vertex), so
+    /// the switch is behaviour-preserving.
+    #[inline]
+    fn maybe_build_hulls(
+        hull_mode: HullMode,
+        iv: &mut Interval,
+        hulls: &mut [IncrementalHull],
+        raw: &[Vec<Point2>],
+    ) {
+        if hull_mode != HullMode::Optimized || iv.hull_built || raw[0].len() < LAZY_HULL_THRESHOLD {
+            return;
+        }
+        for (h, r) in hulls.iter_mut().zip(raw) {
+            h.clear();
+            for &p in r {
+                h.push(p);
+            }
+        }
+        iv.hull_built = true;
     }
 
     /// The feasible cone at interval close: per-dimension envelope
     /// intersection and slope bounds, filled into recycled scratch.
-    fn fill_cone(&self, iv: &Interval, cone: &mut Cone) {
+    fn fill_cone(&self, cone: &mut Cone) {
         cone.z.clear();
         cone.lo.clear();
         cone.hi.clear();
         for i in 0..self.dims_() {
-            cone.lo.push(iv.l[i].slope);
-            cone.hi.push(iv.u[i].slope);
-            cone.z.push(iv.u[i].intersection(&iv.l[i]));
+            let u = self.env.u.line(i);
+            let l = self.env.l.line(i);
+            cone.lo.push(l.slope);
+            cone.hi.push(u.slope);
+            cone.z.push(u.intersection(&l));
         }
     }
 
@@ -528,8 +739,9 @@ impl SlideFilter {
                     // (Near-)parallel envelopes: the midline is a pointwise
                     // convex combination of two feasible lines, hence
                     // feasible.
-                    let mid = 0.5 * (iv.u[i].eval(iv.last_t) + iv.l[i].eval(iv.last_t));
-                    Line::new(Point2::new(iv.last_t, mid), iv.l[i].slope).anchored_at(iv.first_t)
+                    let mid = 0.5 * (self.env.u.eval(i, iv.last_t) + self.env.l.eval(i, iv.last_t));
+                    Line::new(Point2::new(iv.last_t, mid), self.env.l.slope[i])
+                        .anchored_at(iv.first_t)
                 }
             });
         }
@@ -568,10 +780,23 @@ impl SlideFilter {
         self.retired.pop().unwrap_or_default()
     }
 
+    /// A copy of `x` in the pooled one-point-state buffer (fresh only on
+    /// the very first use), so re-opening after a violation allocates
+    /// nothing even when the dimensions spill.
+    fn one_x(&mut self, x: &[f64]) -> DimVec<f64> {
+        let mut buf = self.x_pool.take().unwrap_or_default();
+        buf.assign(x);
+        buf
+    }
+
     fn note_stats(&mut self, iv: &Interval) {
-        let verts = match self.hull_mode {
-            HullMode::Optimized => self.hulls.iter().map(|h| h.num_vertices()).max().unwrap_or(0),
-            HullMode::Exhaustive => self.raw.iter().map(|r| r.len()).max().unwrap_or(0),
+        // Intervals that never outgrew the raw buffer report its point
+        // count — an upper bound on (and for tiny intervals a good proxy
+        // of) the hull vertex count.
+        let verts = if self.hull_mode == HullMode::Optimized && iv.hull_built {
+            self.hulls.iter().map(|h| h.num_vertices()).max().unwrap_or(0)
+        } else {
+            self.raw.iter().map(|r| r.len()).max().unwrap_or(0)
         };
         self.stats.max_vertices = self.stats.max_vertices.max(verts);
         self.stats.total_vertices += verts as u64;
@@ -585,19 +810,21 @@ impl SlideFilter {
     fn close_interval(&mut self, iv: &Interval, sink: &mut dyn SegmentSink) -> Pending {
         self.note_stats(iv);
         let mut cone = self.cone_scratch.take().unwrap_or_default();
-        self.fill_cone(iv, &mut cone);
+        self.fill_cone(&mut cone);
         let next = 'next: {
             if let Some(p) = self.pending.take() {
-                if let Some(conn) = self.try_connect(&p, iv, &cone) {
+                if let Some(conn) = self.try_connect(&p, &cone) {
                     self.emit_pending(p, conn.t_c, conn.x_c.clone(), sink);
                     let mut np = self.take_retired();
-                    np.g = conn.g;
+                    // Swap the candidate line buffer in and recycle the
+                    // retired one for the next connection attempt.
+                    self.line_pool = Some(std::mem::replace(&mut np.g, conn.g));
                     np.start_t = conn.t_c;
                     np.start_x = conn.x_c;
                     np.connected = true;
                     np.end_data_t = iv.last_t;
-                    np.u_env.assign(&iv.u);
-                    np.l_env.assign(&iv.l);
+                    np.u_env.assign(&self.env.u);
+                    np.l_env.assign(&self.env.l);
                     np.n_pts = iv.n_pts;
                     break 'next np;
                 }
@@ -613,8 +840,8 @@ impl SlideFilter {
             np.start_x = np.g.iter().map(|gl| gl.eval(iv.first_t)).collect();
             np.connected = false;
             np.end_data_t = iv.last_t;
-            np.u_env.assign(&iv.u);
-            np.l_env.assign(&iv.l);
+            np.u_env.assign(&self.env.u);
+            np.l_env.assign(&self.env.l);
             np.n_pts = iv.n_pts;
             np
         };
@@ -625,8 +852,9 @@ impl SlideFilter {
     // ----- Lemma 4.4: connection ----------------------------------------------
 
     /// Attempts to intersect the pending segment's line with a feasible
-    /// line of the just-closed interval.
-    fn try_connect(&self, p: &Pending, iv: &Interval, cone: &Cone) -> Option<Connection> {
+    /// line of the just-closed interval (whose final envelopes are still
+    /// live in [`Self::env`]).
+    fn try_connect(&mut self, p: &Pending, cone: &Cone) -> Option<Connection> {
         if p.n_pts == 0 {
             return None;
         }
@@ -643,17 +871,19 @@ impl SlideFilter {
             if z.t <= e + 1e-12 * span {
                 return None;
             }
+            let u_line = self.env.u.line(i);
+            let l_line = self.env.l.line(i);
             let g_prev = &p.g[i];
             let eps = self.eps[i];
             // T1: times where g^{k−1} runs between the new envelopes, so a
             // line through z and that point has a feasible slope.
             let (t1_lo, t1_hi) = bounded_true_interval(
-                g_prev.intersection_t(&iv.u[i]),
-                g_prev.intersection_t(&iv.l[i]),
+                g_prev.intersection_t(&u_line),
+                g_prev.intersection_t(&l_line),
                 |t| {
                     let v = g_prev.eval(t);
-                    let a = iv.u[i].eval(t);
-                    let b = iv.l[i].eval(t);
+                    let a = u_line.eval(t);
+                    let b = l_line.eval(t);
                     v >= a.min(b) - 1e-9 * eps && v <= a.max(b) + 1e-9 * eps
                 },
                 e,
@@ -661,8 +891,8 @@ impl SlideFilter {
             // T2: times where the connecting line still lies between the
             // previous interval's envelopes at t = e (Lemma 4.4's s/q
             // constraint), so the old interval's tail stays covered.
-            let le = p.l_env[i].eval(e);
-            let ue = p.u_env[i].eval(e);
+            let le = p.l_env.eval(i, e);
+            let ue = p.u_env.eval(i, e);
             let s_line = Line::through(z, Point2::new(e, le));
             let q_line = Line::through(z, Point2::new(e, ue));
             let (t2_lo, t2_hi) = bounded_true_interval(
@@ -686,22 +916,29 @@ impl SlideFilter {
         }
         let t_c = self.pick_connection_time(p, cone, alpha, beta)?;
         // Force the per-dimension slopes through z and the connection
-        // point, then verify everything before committing.
-        let mut g = DimVec::new();
-        let mut x_c = DimVec::new();
+        // point, then verify everything before committing. The candidate
+        // line buffer is pooled; it returns to the pool on every bail-out
+        // so failed attempts stay allocation-free too.
+        let mut g = self.line_pool.take().unwrap_or_default();
+        g.clear();
+        let mut x_c = DimVec::with_capacity(d);
         for i in 0..d {
             let z = cone.z[i].expect("checked above");
             let gx = p.g[i].eval(t_c);
             if (z.t - t_c).abs() < 1e-12 * span.max(z.t.abs()) {
+                self.line_pool = Some(g);
                 return None;
             }
             let a = (z.x - gx) / (z.t - t_c);
             let slack = 1e-9 * (cone.hi[i] - cone.lo[i]).abs().max(1e-9);
             if !(a >= cone.lo[i] - slack && a <= cone.hi[i] + slack) {
+                self.line_pool = Some(g);
                 return None;
             }
             let line = Line::new(Point2::new(t_c, gx), a);
-            if !sandwich_ok(&p.l_env[i], &p.u_env[i], &line, t_c, e, self.eps[i]) {
+            let (pl, pu) = (p.l_env.line(i), p.u_env.line(i));
+            if !sandwich_ok(&pl, &pu, &line, t_c, e, self.eps[i]) {
+                self.line_pool = Some(g);
                 return None;
             }
             g.push(line);
@@ -941,46 +1178,54 @@ impl StreamFilter for SlideFilter {
         // to freeze via the sink).
         if self.max_lag.is_none() {
             if let State::Active(iv) = &mut self.state {
-                if iv.frozen.is_none() && Self::fits(self.scalar, &self.eps, iv, t, x) {
-                    Self::absorb(
-                        self.scalar,
+                if iv.frozen.is_none()
+                    && Self::step(
+                        self.dispatch,
                         self.hull_mode,
                         &self.eps,
+                        &mut self.env,
                         &mut self.hulls,
                         &mut self.raw,
                         &mut self.sums,
                         iv,
                         t,
                         x,
-                    );
+                    )
+                {
                     return Ok(());
                 }
             }
         }
         match std::mem::replace(&mut self.state, State::Empty) {
             State::Empty => {
-                self.state = State::One { t, x: x.into() };
+                let x = self.one_x(x);
+                self.state = State::One { t, x };
             }
             State::One { t: t0, x: x0 } => {
                 let mut iv = self.start_interval(t0, &x0, t, x);
+                self.x_pool = Some(x0);
                 self.maybe_freeze(&mut iv, sink);
                 self.state = State::Active(iv);
             }
             State::Active(mut iv) => {
-                if Self::fits(self.scalar, &self.eps, &iv, t, x) {
-                    if iv.frozen.is_none() {
-                        Self::absorb(
-                            self.scalar,
-                            self.hull_mode,
-                            &self.eps,
-                            &mut self.hulls,
-                            &mut self.raw,
-                            &mut self.sums,
-                            &mut iv,
-                            t,
-                            x,
-                        );
-                    } else {
+                let ok = if let Some(f) = &iv.frozen {
+                    Self::fits_frozen(&self.eps, f, t, x)
+                } else {
+                    Self::step(
+                        self.dispatch,
+                        self.hull_mode,
+                        &self.eps,
+                        &mut self.env,
+                        &mut self.hulls,
+                        &mut self.raw,
+                        &mut self.sums,
+                        &mut iv,
+                        t,
+                        x,
+                    )
+                };
+                if ok {
+                    if iv.frozen.is_some() {
                         iv.last_t = t;
                         iv.n_pts += 1;
                     }
@@ -996,7 +1241,8 @@ impl StreamFilter for SlideFilter {
                         self.pending = Some(next);
                     }
                     self.enforce_lag_on_pending(1, sink);
-                    self.state = State::One { t, x: x.into() };
+                    let x = self.one_x(x);
+                    self.state = State::One { t, x };
                 }
             }
         }
@@ -1020,11 +1266,13 @@ impl StreamFilter for SlideFilter {
             state = match state {
                 State::Empty => {
                     i += 1;
-                    State::One { t, x: x.into() }
+                    let x = self.one_x(x);
+                    State::One { t, x }
                 }
                 State::One { t: t0, x: x0 } => {
                     i += 1;
                     let mut iv = self.start_interval(t0, &x0, t, x);
+                    self.x_pool = Some(x0);
                     self.maybe_freeze(&mut iv, sink);
                     State::Active(iv)
                 }
@@ -1032,24 +1280,29 @@ impl StreamFilter for SlideFilter {
                     // Absorb the longest run of accepted samples.
                     while i < upto {
                         let (t, x) = samples[i];
-                        if !Self::fits(self.scalar, &self.eps, &iv, t, x) {
-                            break;
-                        }
-                        if iv.frozen.is_none() {
-                            Self::absorb(
-                                self.scalar,
+                        let ok = if let Some(f) = &iv.frozen {
+                            let ok = Self::fits_frozen(&self.eps, f, t, x);
+                            if ok {
+                                iv.last_t = t;
+                                iv.n_pts += 1;
+                            }
+                            ok
+                        } else {
+                            Self::step(
+                                self.dispatch,
                                 self.hull_mode,
                                 &self.eps,
+                                &mut self.env,
                                 &mut self.hulls,
                                 &mut self.raw,
                                 &mut self.sums,
                                 &mut iv,
                                 t,
                                 x,
-                            );
-                        } else {
-                            iv.last_t = t;
-                            iv.n_pts += 1;
+                            )
+                        };
+                        if !ok {
+                            break;
                         }
                         self.maybe_freeze(&mut iv, sink);
                         i += 1;
@@ -1065,7 +1318,8 @@ impl StreamFilter for SlideFilter {
                             self.pending = Some(next);
                         }
                         self.enforce_lag_on_pending(1, sink);
-                        State::One { t, x: x.into() }
+                        let x = self.one_x(x);
+                        State::One { t, x }
                     } else {
                         State::Active(iv)
                     }
@@ -1091,6 +1345,7 @@ impl StreamFilter for SlideFilter {
                     self.emit_pending(p, e, x_e, sink);
                 }
                 sink.segment(point_segment(t, &x, false));
+                self.x_pool = Some(x);
             }
             State::Active(iv) => {
                 if iv.frozen.is_some() {

@@ -26,6 +26,7 @@
 
 use crate::dimvec::DimVec;
 use crate::error::FilterError;
+use crate::kern::{self, Dispatch};
 use crate::mse::RegressionSums;
 use crate::segment::{validate_epsilons, ProvisionalUpdate, Segment, SegmentSink};
 
@@ -87,6 +88,7 @@ pub struct SwingBuilder {
     max_lag: Option<usize>,
     recording: RecordingStrategy,
     force_generic: bool,
+    dispatch_override: Option<Dispatch>,
 }
 
 impl SwingBuilder {
@@ -105,13 +107,21 @@ impl SwingBuilder {
         self
     }
 
-    /// Disables the `d == 1` scalar fast path, forcing the generic
-    /// per-dimension cone update. The two paths are byte-identical in
-    /// output (pinned by property tests); this switch exists so the tests
-    /// can prove it.
+    /// Disables the `d == 1` scalar fast path and the `d ≤ 4` lane
+    /// kernels, forcing the generic per-dimension cone update. All
+    /// dispatches are byte-identical in output (pinned by property
+    /// tests); this switch exists so the tests can prove it.
     #[doc(hidden)]
     pub fn force_generic(mut self, on: bool) -> Self {
         self.force_generic = on;
+        self
+    }
+
+    /// Forces a specific [`Dispatch`] (sanitized against the dimension
+    /// count at build time). Test hook for the byte-identity proptests.
+    #[doc(hidden)]
+    pub fn force_dispatch(mut self, dispatch: Dispatch) -> Self {
+        self.dispatch_override = Some(dispatch);
         self
     }
 
@@ -124,14 +134,18 @@ impl SwingBuilder {
             }
         }
         let d = self.eps.len();
-        let scalar = d == 1 && !self.force_generic;
+        let dispatch = match self.dispatch_override {
+            Some(want) => want.sanitized(d, true),
+            None if self.force_generic => Dispatch::Generic,
+            None => Dispatch::auto(d, true),
+        };
         Ok(SwingFilter {
             sums: RegressionSums::new(0.0, &vec![0.0; d]),
             eps: self.eps.as_slice().into(),
             max_lag: self.max_lag,
             recording: self.recording,
             state: State::Empty,
-            scalar,
+            dispatch,
         })
     }
 }
@@ -162,8 +176,9 @@ pub struct SwingFilter {
     /// Regression moments of the live interval, recycled via `reset()`
     /// so opening an interval never allocates.
     sums: RegressionSums,
-    /// `d == 1` scalar fast path, decided once at construction.
-    scalar: bool,
+    /// Per-dimension iteration strategy (`d == 1` scalar, `d ≤ 4` lane
+    /// kernels, generic loop), decided once at construction.
+    dispatch: Dispatch,
 }
 
 impl SwingFilter {
@@ -179,12 +194,19 @@ impl SwingFilter {
             max_lag: None,
             recording: RecordingStrategy::default(),
             force_generic: false,
+            dispatch_override: None,
         }
     }
 
     /// The configured lag bound, if any.
     pub fn max_lag(&self) -> Option<usize> {
         self.max_lag
+    }
+
+    /// The per-dimension dispatch decided at construction.
+    #[doc(hidden)]
+    pub fn dispatch(&self) -> Dispatch {
+        self.dispatch
     }
 
     /// The configured recording strategy.
@@ -206,7 +228,7 @@ impl SwingFilter {
         let l_slope = DimVec::from_fn(self.dims(), |d| (x[d] - self.eps[d] - origin_x[d]) / dt);
         self.sums.reset(origin_t, &origin_x);
         if self.recording == RecordingStrategy::MseOptimal {
-            self.sums.push(t, x);
+            Self::accumulate(self.dispatch, &mut self.sums, t, x);
         }
         Interval {
             origin_t,
@@ -221,75 +243,152 @@ impl SwingFilter {
         }
     }
 
-    /// Whether `x` at time `t` can still be represented by the interval's
-    /// candidate set (Algorithm 1 line 7, negated).
+    /// Fused acceptance test + cone update (Algorithm 1 lines 7 and
+    /// 14–18): returns whether `(t, x)` can still be represented by the
+    /// interval's candidate set, swinging `lᵢᵏ` / `uᵢᵏ` in place when it
+    /// can. Frozen intervals are only checked against the committed line,
+    /// never mutated. Every [`Dispatch`] branch evaluates the same
+    /// expression tree, so the output stream is byte-identical across
+    /// them (pinned by the proptests in `tests/batch_proptests.rs`).
     ///
-    /// Associated (not `&self`) so the push hot path can test acceptance
-    /// while holding a disjoint mutable borrow of the live interval.
-    fn fits(scalar: bool, eps: &[f64], iv: &Interval, t: f64, x: &[f64]) -> bool {
-        if scalar {
-            return Self::fits1(eps, iv, t, x[0]);
-        }
+    /// Associated (not `&self`) so the push hot path can run while
+    /// holding a disjoint mutable borrow of the live interval.
+    fn step(dispatch: Dispatch, eps: &DimVec<f64>, iv: &mut Interval, t: f64, x: &[f64]) -> bool {
         let dt = t - iv.origin_t;
-        let origin_x = iv.origin_x.as_slice();
         if let Some(slopes) = &iv.frozen {
-            let slopes = slopes.as_slice();
-            return x
-                .iter()
-                .enumerate()
-                .all(|(d, &v)| (v - (origin_x[d] + slopes[d] * dt)).abs() <= eps[d]);
+            return match dispatch {
+                Dispatch::Scalar1 => (x[0] - (iv.origin_x[0] + slopes[0] * dt)).abs() <= eps[0],
+                Dispatch::Lanes(k) => {
+                    kern::fits_affine(k, iv.origin_x.lanes(), slopes.lanes(), eps.lanes(), dt, x)
+                }
+                Dispatch::Generic => {
+                    let origin_x = iv.origin_x.as_slice();
+                    let slopes = slopes.as_slice();
+                    x.iter()
+                        .enumerate()
+                        .all(|(d, &v)| (v - (origin_x[d] + slopes[d] * dt)).abs() <= eps[d])
+                }
+            };
         }
-        let (u_slope, l_slope) = (iv.u_slope.as_slice(), iv.l_slope.as_slice());
-        x.iter().enumerate().all(|(d, &v)| {
-            let hi = origin_x[d] + u_slope[d] * dt + eps[d];
-            let lo = origin_x[d] + l_slope[d] * dt - eps[d];
-            v >= lo && v <= hi
-        })
+        let fit = match dispatch {
+            Dispatch::Scalar1 => {
+                let eps = eps.as_slice();
+                let fit = Self::fits1(eps, iv, t, x[0]);
+                if fit {
+                    Self::swing1(eps, iv, t, x[0]);
+                }
+                fit
+            }
+            Dispatch::Lanes(k) => kern::swing_step(
+                k,
+                iv.origin_x.lanes(),
+                eps.lanes(),
+                dt,
+                x,
+                iv.l_slope.lanes_mut(),
+                iv.u_slope.lanes_mut(),
+            ),
+            Dispatch::Generic => {
+                let origin_x = iv.origin_x.as_slice();
+                let fit = {
+                    let (u_slope, l_slope) = (iv.u_slope.as_slice(), iv.l_slope.as_slice());
+                    x.iter().enumerate().all(|(d, &v)| {
+                        let hi = origin_x[d] + u_slope[d] * dt + eps[d];
+                        let lo = origin_x[d] + l_slope[d] * dt - eps[d];
+                        v >= lo && v <= hi
+                    })
+                };
+                if fit {
+                    let l_slope = iv.l_slope.as_mut_slice();
+                    let u_slope = iv.u_slope.as_mut_slice();
+                    for (d, &v) in x.iter().enumerate() {
+                        let lo_val = origin_x[d] + l_slope[d] * dt;
+                        if v - eps[d] > lo_val {
+                            l_slope[d] = (v - eps[d] - origin_x[d]) / dt;
+                        }
+                        let hi_val = origin_x[d] + u_slope[d] * dt;
+                        if v + eps[d] < hi_val {
+                            u_slope[d] = (v + eps[d] - origin_x[d]) / dt;
+                        }
+                    }
+                }
+                fit
+            }
+        };
+        #[cfg(debug_assertions)]
+        if fit {
+            for d in 0..x.len() {
+                debug_assert!(
+                    iv.l_slope[d] <= iv.u_slope[d] + 1e-12 * iv.u_slope[d].abs().max(1.0),
+                    "swing cone emptied: dim {d}"
+                );
+            }
+        }
+        fit
     }
 
-    /// Scalar (`d == 1`) acceptance test — same arithmetic as [`fits`],
-    /// with the per-dimension loop machinery compiled out.
+    /// Accumulates one sample into `sums` using the same backend as the
+    /// cone update (the lane kernel is byte-identical to
+    /// [`RegressionSums::push`]). Associated for the same borrow reason
+    /// as [`step`](Self::step).
+    #[inline]
+    fn accumulate(dispatch: Dispatch, sums: &mut RegressionSums, t: f64, x: &[f64]) {
+        match dispatch {
+            Dispatch::Lanes(k) => sums.push_lanes(k, t, x),
+            _ => sums.push(t, x),
+        }
+    }
+
+    /// [`step`](Self::step) fused with the MSE accumulation for
+    /// non-frozen intervals: on the lane dispatch both run in a single
+    /// kernel call (one pad, one dispatch), halving the per-sample call
+    /// overhead of the dominant `MseOptimal` accept path. Byte-identical
+    /// to `step` followed by [`accumulate`](Self::accumulate).
+    #[inline]
+    fn step_mse(
+        dispatch: Dispatch,
+        eps: &DimVec<f64>,
+        sums: &mut RegressionSums,
+        iv: &mut Interval,
+        t: f64,
+        x: &[f64],
+    ) -> bool {
+        debug_assert!(iv.frozen.is_none());
+        match dispatch {
+            Dispatch::Lanes(k) => sums.swing_step_lanes(
+                k,
+                &iv.origin_x,
+                eps,
+                t - iv.origin_t,
+                t,
+                x,
+                &mut iv.l_slope,
+                &mut iv.u_slope,
+            ),
+            other => {
+                let fit = Self::step(other, eps, iv, t, x);
+                if fit {
+                    Self::accumulate(other, sums, t, x);
+                }
+                fit
+            }
+        }
+    }
+
+    /// Scalar (`d == 1`) acceptance test — same arithmetic as the
+    /// generic [`step`](Self::step) branch, with the per-dimension loop
+    /// machinery compiled out.
     #[inline]
     fn fits1(eps: &[f64], iv: &Interval, t: f64, v: f64) -> bool {
         let dt = t - iv.origin_t;
         let e = eps[0];
-        if let Some(slopes) = &iv.frozen {
-            return (v - (iv.origin_x[0] + slopes[0] * dt)).abs() <= e;
-        }
         let hi = iv.origin_x[0] + iv.u_slope[0] * dt + e;
         let lo = iv.origin_x[0] + iv.l_slope[0] * dt - e;
         v >= lo && v <= hi
     }
 
-    /// Algorithm 1 lines 14–18: swing `lᵢᵏ` up / `uᵢᵏ` down so the cone
-    /// keeps representing every point including `(t, x)`.
-    fn swing(scalar: bool, eps: &[f64], iv: &mut Interval, t: f64, x: &[f64]) {
-        if scalar {
-            Self::swing1(eps, iv, t, x[0]);
-            return;
-        }
-        let dt = t - iv.origin_t;
-        let origin_x = iv.origin_x.as_slice();
-        let l_slope = iv.l_slope.as_mut_slice();
-        let u_slope = iv.u_slope.as_mut_slice();
-        for (d, &v) in x.iter().enumerate() {
-            let lo_val = origin_x[d] + l_slope[d] * dt;
-            if v - eps[d] > lo_val {
-                l_slope[d] = (v - eps[d] - origin_x[d]) / dt;
-            }
-            let hi_val = origin_x[d] + u_slope[d] * dt;
-            if v + eps[d] < hi_val {
-                u_slope[d] = (v + eps[d] - origin_x[d]) / dt;
-            }
-            debug_assert!(
-                l_slope[d] <= u_slope[d] + 1e-12 * u_slope[d].abs().max(1.0),
-                "swing cone emptied: dim {d}"
-            );
-        }
-    }
-
     /// Scalar (`d == 1`) cone update — same arithmetic and update order
-    /// as the generic [`swing`] loop body for `d = 0`.
+    /// as the generic [`step`](Self::step) loop body for `d = 0`.
     #[inline]
     fn swing1(eps: &[f64], iv: &mut Interval, t: f64, v: f64) {
         let dt = t - iv.origin_t;
@@ -302,10 +401,6 @@ impl SwingFilter {
         if v + e < hi_val {
             iv.u_slope[0] = (v + e - iv.origin_x[0]) / dt;
         }
-        debug_assert!(
-            iv.l_slope[0] <= iv.u_slope[0] + 1e-12 * iv.u_slope[0].abs().max(1.0),
-            "swing cone emptied: dim 0"
-        );
     }
 
     /// The recording slopes: MSE-optimal (eq. 5), clamped-last-point, or
@@ -394,15 +489,18 @@ impl StreamFilter for SwingFilter {
         // the general path below (they may need to freeze via the sink).
         if self.max_lag.is_none() {
             if let State::Active(iv) = &mut self.state {
-                if iv.frozen.is_none() && Self::fits(self.scalar, &self.eps, iv, t, x) {
-                    Self::swing(self.scalar, &self.eps, iv, t, x);
-                    if self.recording == RecordingStrategy::MseOptimal {
-                        self.sums.push(t, x);
+                if iv.frozen.is_none() {
+                    let fit = if self.recording == RecordingStrategy::MseOptimal {
+                        Self::step_mse(self.dispatch, &self.eps, &mut self.sums, iv, t, x)
+                    } else {
+                        Self::step(self.dispatch, &self.eps, iv, t, x)
+                    };
+                    if fit {
+                        iv.last_t = t;
+                        iv.last_x.copy_from_slice(x);
+                        iv.n_pts += 1;
+                        return Ok(());
                     }
-                    iv.last_t = t;
-                    iv.last_x.copy_from_slice(x);
-                    iv.n_pts += 1;
-                    return Ok(());
                 }
             }
         }
@@ -418,13 +516,13 @@ impl StreamFilter for SwingFilter {
                 self.state = State::Active(iv);
             }
             State::Active(mut iv) => {
-                if Self::fits(self.scalar, &self.eps, &iv, t, x) {
-                    if iv.frozen.is_none() {
-                        Self::swing(self.scalar, &self.eps, &mut iv, t, x);
-                        if self.recording == RecordingStrategy::MseOptimal {
-                            self.sums.push(t, x);
-                        }
-                    }
+                let fit = if iv.frozen.is_none() && self.recording == RecordingStrategy::MseOptimal
+                {
+                    Self::step_mse(self.dispatch, &self.eps, &mut self.sums, &mut iv, t, x)
+                } else {
+                    Self::step(self.dispatch, &self.eps, &mut iv, t, x)
+                };
+                if fit {
                     iv.last_t = t;
                     iv.last_x.copy_from_slice(x);
                     iv.n_pts += 1;
@@ -471,14 +569,15 @@ impl StreamFilter for SwingFilter {
                     // Absorb the longest run of accepted samples.
                     while i < upto {
                         let (t, x) = samples[i];
-                        if !Self::fits(self.scalar, &self.eps, &iv, t, x) {
+                        let fit = if iv.frozen.is_none()
+                            && self.recording == RecordingStrategy::MseOptimal
+                        {
+                            Self::step_mse(self.dispatch, &self.eps, &mut self.sums, &mut iv, t, x)
+                        } else {
+                            Self::step(self.dispatch, &self.eps, &mut iv, t, x)
+                        };
+                        if !fit {
                             break;
-                        }
-                        if iv.frozen.is_none() {
-                            Self::swing(self.scalar, &self.eps, &mut iv, t, x);
-                            if self.recording == RecordingStrategy::MseOptimal {
-                                self.sums.push(t, x);
-                            }
                         }
                         iv.last_t = t;
                         iv.last_x.copy_from_slice(x);

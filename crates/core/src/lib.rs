@@ -54,6 +54,7 @@
 mod dimvec;
 mod error;
 pub mod filters;
+pub mod kern;
 pub mod metrics;
 mod mse;
 pub mod offline;

@@ -6,7 +6,11 @@
 
 use proptest::prelude::*;
 
-use pla_core::filters::{FilterKind, FilterSpec, SlideFilter, StreamFilter, SwingFilter};
+use pla_core::filters::{
+    CacheFilter, FilterKind, FilterSpec, KalmanFilter, LinearFilter, SlideFilter, StreamFilter,
+    SwingFilter,
+};
+use pla_core::kern::{Dispatch, Kernel};
 use pla_core::{CollectingSink, FilterError, Signal};
 
 /// A 1-D signal with walks, plateaus, and jumps (the same family the core
@@ -86,6 +90,94 @@ fn run_dyn(f: &mut dyn StreamFilter, signal: &Signal) -> CollectingSink {
     }
     f.finish(&mut sink).unwrap();
     sink
+}
+
+// ----- kernel-dispatch byte-identity ---------------------------------------
+
+/// A `dims`-dimensional signal from the same walk/plateau/jump family as
+/// [`signal_and_splits`], with independent per-dimension steps.
+fn multi_signal(dims: usize) -> impl Strategy<Value = Signal> {
+    (
+        prop::collection::vec((prop::collection::vec(-10.0f64..10.0, dims), 0u8..4), 1..200),
+        prop::collection::vec(-100.0f64..100.0, dims),
+    )
+        .prop_map(move |(steps, start)| {
+            let mut x = start;
+            let mut signal = Signal::new(dims);
+            for (j, (step, kind)) in steps.into_iter().enumerate() {
+                for d in 0..dims {
+                    match kind {
+                        0 => x[d] += step[d],
+                        1 => {}
+                        2 => x[d] += step[d] * 50.0,
+                        _ => x[d] += step[d] * 0.01,
+                    }
+                }
+                signal.push(j as f64, &x).unwrap();
+            }
+            signal
+        })
+}
+
+fn dims_and_signal() -> impl Strategy<Value = (usize, Signal)> {
+    (0usize..4).prop_map(|i| [2usize, 3, 4, 8][i]).prop_flat_map(|d| (Just(d), multi_signal(d)))
+}
+
+/// The dispatch modes whose outputs must coincide. Invalid combinations
+/// (e.g. `Lanes` at `d = 8`, SSE2 off x86_64) are snapped to the valid
+/// automatic choice by the builders, so every entry is always runnable.
+fn dispatch_set() -> Vec<Dispatch> {
+    let mut set =
+        vec![Dispatch::Generic, Dispatch::Lanes(Kernel::Scalar), Dispatch::Lanes(Kernel::detect())];
+    if cfg!(target_arch = "x86_64") {
+        set.push(Dispatch::Lanes(Kernel::Sse2));
+    }
+    set
+}
+
+/// All five kernel-wired filter families (plus the lag-bounded swing and
+/// slide configurations, which exercise the provisional-update paths),
+/// each pinned to `disp`.
+fn kernel_filters(eps: &[f64], disp: Dispatch) -> Vec<(&'static str, Box<dyn StreamFilter>)> {
+    vec![
+        ("cache", Box::new(CacheFilter::new(eps).unwrap().force_dispatch(disp))),
+        ("linear", Box::new(LinearFilter::new(eps).unwrap().force_dispatch(disp))),
+        ("kalman", Box::new(KalmanFilter::new(eps).unwrap().force_dispatch(disp))),
+        ("swing", Box::new(SwingFilter::builder(eps).force_dispatch(disp).build().unwrap())),
+        ("slide", Box::new(SlideFilter::builder(eps).force_dispatch(disp).build().unwrap())),
+        (
+            "swing-lag",
+            Box::new(SwingFilter::builder(eps).max_lag(7).force_dispatch(disp).build().unwrap()),
+        ),
+        (
+            "slide-lag",
+            Box::new(SlideFilter::builder(eps).max_lag(7).force_dispatch(disp).build().unwrap()),
+        ),
+    ]
+}
+
+/// The output streams as raw bit patterns: value equality is not enough
+/// for the kernel contract (it would let `-0.0` vs `0.0` slip through),
+/// so every f64 is compared through `to_bits`.
+fn bits_of(sink: &CollectingSink) -> (Vec<u64>, Vec<u64>) {
+    let mut segs = Vec::new();
+    for s in &sink.segments {
+        segs.push(s.t_start.to_bits());
+        segs.extend(s.x_start.iter().map(|v| v.to_bits()));
+        segs.push(s.t_end.to_bits());
+        segs.extend(s.x_end.iter().map(|v| v.to_bits()));
+        segs.push(u64::from(s.connected));
+        segs.push(u64::from(s.n_points));
+        segs.push(u64::from(s.new_recordings));
+    }
+    let mut provs = Vec::new();
+    for p in &sink.provisionals {
+        provs.push(p.t_anchor.to_bits());
+        provs.extend(p.x_anchor.iter().map(|v| v.to_bits()));
+        provs.extend(p.slopes.iter().map(|v| v.to_bits()));
+        provs.push(p.covers_through.to_bits());
+    }
+    (segs, provs)
 }
 
 proptest! {
@@ -173,6 +265,72 @@ proptest! {
             prop_assert_eq!(&first.segments, &second.segments, "{:?}: warm rerun diverged", spec.kind);
             prop_assert_eq!(&second.segments, &fresh.segments, "{:?}: warm vs fresh diverged", spec.kind);
             prop_assert_eq!(&first.provisionals, &second.provisionals, "{:?}", spec.kind);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Kernel-layer pin: every dispatch mode — generic per-dimension
+    /// loop, scalar lanes, SSE2, and the detected best SIMD backend —
+    /// produces **bit-identical** `Segment` and `ProvisionalUpdate`
+    /// streams for all five filters at d ∈ {2, 3, 4, 8}.
+    #[test]
+    fn kernel_dispatches_are_bit_identical(
+        (dims, signal) in dims_and_signal(),
+        eps in 0.05f64..20.0,
+    ) {
+        type NamedBits = (&'static str, (Vec<u64>, Vec<u64>));
+        let epsv = vec![eps; dims];
+        let dispatches = dispatch_set();
+        let reference: Vec<NamedBits> = kernel_filters(&epsv, dispatches[0])
+            .into_iter()
+            .map(|(name, mut f)| (name, bits_of(&run_dyn(f.as_mut(), &signal))))
+            .collect();
+        for &disp in &dispatches[1..] {
+            for ((name, want), (_, mut f)) in reference.iter().zip(kernel_filters(&epsv, disp)) {
+                let got = bits_of(&run_dyn(f.as_mut(), &signal));
+                prop_assert_eq!(
+                    want, &got,
+                    "{} at d={}: {:?} diverged from {:?}", name, dims, disp, dispatches[0]
+                );
+            }
+        }
+    }
+}
+
+/// NaN and ±inf inputs surface the same typed [`FilterError`] under
+/// every dispatch mode (validation runs before any kernel touches the
+/// data), and the filter stays usable afterwards.
+#[test]
+fn non_finite_inputs_error_identically_under_every_dispatch() {
+    for dims in [1usize, 2, 3, 4, 8] {
+        let eps = vec![0.5; dims];
+        let good = vec![1.0; dims];
+        for disp in dispatch_set() {
+            for (name, mut f) in kernel_filters(&eps, disp) {
+                let mut sink = CollectingSink::default();
+                f.push(0.0, &good, &mut sink).unwrap();
+                let bad_dim = dims - 1;
+                for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+                    let mut x = good.clone();
+                    x[bad_dim] = bad;
+                    let err = f.push(1.0, &x, &mut sink).unwrap_err();
+                    assert!(
+                        matches!(err, FilterError::NonFiniteValue { dim, .. } if dim == bad_dim),
+                        "{name} d={dims} {disp:?}: got {err:?} for value {bad}"
+                    );
+                }
+                let err = f.push(f64::NAN, &good, &mut sink).unwrap_err();
+                assert!(
+                    matches!(err, FilterError::NonFiniteTime { .. }),
+                    "{name} d={dims} {disp:?}: got {err:?} for NaN time"
+                );
+                // The rejected samples must not have corrupted the state.
+                f.push(1.0, &good, &mut sink).unwrap();
+                f.finish(&mut sink).unwrap();
+            }
         }
     }
 }

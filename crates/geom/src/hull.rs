@@ -116,6 +116,9 @@ impl IncrementalHull {
     /// In debug builds, panics if `p.t` is not strictly greater than the
     /// previously inserted timestamp; the filters validate monotonicity at
     /// their own boundary, so this is an internal invariant.
+    // Inlined: the slide filter calls this once per dimension per sample;
+    // without the hint the cross-crate call never inlines.
+    #[inline]
     pub fn push(&mut self, p: Point2) {
         debug_assert!(
             self.upper.last().is_none_or(|q| q.t < p.t),
@@ -125,10 +128,8 @@ impl IncrementalHull {
         // pop middle points that make a left/straight turn. Collinear
         // middles are dropped — they can never host a strictly better
         // tangent than the surviving endpoints.
-        while self.upper.len() >= 2 {
-            let a = self.upper[self.upper.len() - 2];
-            let b = self.upper[self.upper.len() - 1];
-            if cross(a, b, p) >= 0.0 {
+        while let [.., a, b] = self.upper.as_slice() {
+            if cross(*a, *b, p) >= 0.0 {
                 self.upper.pop();
             } else {
                 break;
@@ -136,10 +137,8 @@ impl IncrementalHull {
         }
         self.upper.push(p);
         // Lower chain: must turn counter-clockwise (Left).
-        while self.lower.len() >= 2 {
-            let a = self.lower[self.lower.len() - 2];
-            let b = self.lower[self.lower.len() - 1];
-            if cross(a, b, p) <= 0.0 {
+        while let [.., a, b] = self.lower.as_slice() {
+            if cross(*a, *b, p) <= 0.0 {
                 self.lower.pop();
             } else {
                 break;

@@ -46,24 +46,38 @@ fn hit(chain: &[Point2], shift: f64, i: usize, q: Point2) -> TangentHit {
 
 /// Unimodal binary search: find the index maximizing `f` when `f` rises
 /// then falls (`maximize = true`), or minimizing it when it falls then
-/// rises (`maximize = false`).
-fn unimodal_argopt(chain: &[Point2], shift: f64, q: Point2, maximize: bool) -> Option<usize> {
+/// rises (`maximize = false`). Returns the index and its slope.
+///
+/// The comparisons run on cross-multiplied rise/run pairs instead of the
+/// slopes themselves: every chain vertex precedes `q` in time, so the
+/// runs `tᵢ − q.t` are strictly negative, their product is positive, and
+/// `A/da < B/db ⟺ A·db < B·da`. That keeps the envelope-rebuild hot
+/// path (the slide filter calls this ~once per dimension per accepted
+/// point) off the divider; only the winning slope pays one division.
+fn unimodal_argopt(
+    chain: &[Point2],
+    shift: f64,
+    q: Point2,
+    maximize: bool,
+) -> Option<(usize, f64)> {
     if chain.is_empty() {
         return None;
     }
+    let rise = |i: usize| chain[i].x + shift - q.x;
+    let run = |i: usize| chain[i].t - q.t;
     let (mut lo, mut hi) = (0usize, chain.len() - 1);
     while lo < hi {
         let mid = lo + (hi - lo) / 2;
-        let a = slope_from(chain, shift, mid, q);
-        let b = slope_from(chain, shift, mid + 1, q);
-        let go_right = if maximize { b > a } else { b < a };
+        // b > a ⟺ B·da > A·db (da, db < 0, so da·db > 0).
+        let (b_cross, a_cross) = (rise(mid + 1) * run(mid), rise(mid) * run(mid + 1));
+        let go_right = if maximize { b_cross > a_cross } else { b_cross < a_cross };
         if go_right {
             lo = mid + 1;
         } else {
             hi = mid;
         }
     }
-    Some(lo)
+    Some((lo, slope_from(chain, shift, lo, q)))
 }
 
 /// Maximum-slope line from a vertex of `chain` (each shifted vertically by
@@ -74,8 +88,13 @@ fn unimodal_argopt(chain: &[Point2], shift: f64, q: Point2, maximize: bool) -> O
 /// (rising, then falling) in the vertex index and the search is O(log n).
 ///
 /// Returns `None` on an empty chain.
+#[inline]
 pub fn max_slope_to_chain(chain: &[Point2], shift: f64, q: Point2) -> Option<TangentHit> {
-    unimodal_argopt(chain, shift, q, true).map(|i| hit(chain, shift, i, q))
+    unimodal_argopt(chain, shift, q, true).map(|(i, slope)| TangentHit {
+        index: i,
+        vertex: Point2::new(chain[i].t, chain[i].x + shift),
+        slope,
+    })
 }
 
 /// Minimum-slope line from a vertex of `chain` (each shifted vertically by
@@ -86,8 +105,13 @@ pub fn max_slope_to_chain(chain: &[Point2], shift: f64, q: Point2) -> Option<Tan
 /// then rising) in the vertex index.
 ///
 /// Returns `None` on an empty chain.
+#[inline]
 pub fn min_slope_to_chain(chain: &[Point2], shift: f64, q: Point2) -> Option<TangentHit> {
-    unimodal_argopt(chain, shift, q, false).map(|i| hit(chain, shift, i, q))
+    unimodal_argopt(chain, shift, q, false).map(|(i, slope)| TangentHit {
+        index: i,
+        vertex: Point2::new(chain[i].t, chain[i].x + shift),
+        slope,
+    })
 }
 
 /// Exhaustive-scan variants, used as test oracles and by the
@@ -104,6 +128,42 @@ pub mod scan {
     /// Linear-scan version of [`min_slope_to_chain`](super::min_slope_to_chain).
     pub fn min_slope(points: &[Point2], shift: f64, q: Point2) -> Option<TangentHit> {
         argopt(points, shift, q, false)
+    }
+
+    /// Like [`max_slope`], but every point must precede `q` in time.
+    /// Runs the comparisons on cross-multiplied rise/run pairs (all runs
+    /// negative, so `A/da < B/db ⟺ A·db < B·da`), paying a single
+    /// division for the winner — the slide filter's rebuild hot path for
+    /// intervals still below its hull threshold.
+    pub fn max_slope_before(points: &[Point2], shift: f64, q: Point2) -> Option<TangentHit> {
+        argopt_before(points, shift, q, true)
+    }
+
+    /// Like [`min_slope`], but every point must precede `q` in time.
+    pub fn min_slope_before(points: &[Point2], shift: f64, q: Point2) -> Option<TangentHit> {
+        argopt_before(points, shift, q, false)
+    }
+
+    fn argopt_before(
+        points: &[Point2],
+        shift: f64,
+        q: Point2,
+        maximize: bool,
+    ) -> Option<TangentHit> {
+        let (first, rest) = points.split_first()?;
+        debug_assert!(points.iter().all(|p| p.t < q.t));
+        let mut best = 0usize;
+        let (mut best_rise, mut best_run) = (first.x + shift - q.x, first.t - q.t);
+        for (j, p) in rest.iter().enumerate() {
+            let (rise, run) = (p.x + shift - q.x, p.t - q.t);
+            let (cand, incumbent) = (rise * best_run, best_rise * run);
+            let better = if maximize { cand > incumbent } else { cand < incumbent };
+            if better {
+                best = j + 1;
+                (best_rise, best_run) = (rise, run);
+            }
+        }
+        Some(hit(points, shift, best, q))
     }
 
     fn argopt(points: &[Point2], shift: f64, q: Point2, maximize: bool) -> Option<TangentHit> {
@@ -191,9 +251,19 @@ mod tests {
             let fast = max_slope_to_chain(&lower, 0.5, q_low).unwrap();
             let slow = scan::max_slope(&lower, 0.5, q_low).unwrap();
             assert!((fast.slope - slow.slope).abs() < 1e-9, "max mismatch: {fast:?} vs {slow:?}");
+            let divfree = scan::max_slope_before(&points, 0.5, q_low).unwrap();
+            assert!(
+                (divfree.slope - slow.slope).abs() < 1e-9,
+                "max_before mismatch: {divfree:?} vs {slow:?}"
+            );
             let fast = min_slope_to_chain(&upper, -0.5, q_high).unwrap();
             let slow = scan::min_slope(&upper, -0.5, q_high).unwrap();
             assert!((fast.slope - slow.slope).abs() < 1e-9, "min mismatch: {fast:?} vs {slow:?}");
+            let divfree = scan::min_slope_before(&points, -0.5, q_high).unwrap();
+            assert!(
+                (divfree.slope - slow.slope).abs() < 1e-9,
+                "min_before mismatch: {divfree:?} vs {slow:?}"
+            );
         }
     }
 

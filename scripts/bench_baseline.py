@@ -11,13 +11,22 @@ numbers plus machine metadata to BENCH_BASELINE.json at the repo root.
 Later perf PRs diff their runs against this file to claim wins.
 
 Usage:
-    python3 scripts/bench_baseline.py [output.json]
+    python3 scripts/bench_baseline.py [output.json] [--quick]
         Full recapture: run every bench target, rewrite the file.
+        --quick sets PLA_BENCH_QUICK=1 (short windows); the flag is
+        stamped into the capture metadata so bench_compare.py can warn
+        when comparing across window lengths.
     python3 scripts/bench_baseline.py --merge --bench NAME [--bench NAME2]
         Run only the named bench target(s) and merge their cells into
         the existing file (machine metadata untouched) — how a PR that
         adds one bench checks in its baseline cells without re-timing
         the whole suite on a possibly different machine.
+
+Besides the numbers, the file records capture metadata: cpu count,
+platform, rustc, the CPU's SIMD feature set (what `Kernel::detect`
+sees), and whether quick mode was used. bench_compare.py refuses to
+gate against a baseline whose machine metadata does not match the
+current host.
 """
 
 import json
@@ -30,6 +39,11 @@ LINE = re.compile(
     r"^(?P<name>\S.*?)\s+(?P<ns>[\d.]+) ns/iter(?:\s+(?P<rate>[\d.]+) (?P<unit>elem/s|B/s))?\s*$"
 )
 
+# The feature flags that change which kernel backend pla-core's
+# `Kernel::detect` picks (plus fma/avx512f, which would matter to future
+# backends). Anything else in /proc/cpuinfo is noise for our purposes.
+SIMD_FEATURES = ("sse2", "avx", "avx2", "avx512f", "fma")
+
 
 def cpu_count():
     try:
@@ -38,12 +52,34 @@ def cpu_count():
         return os.cpu_count() or 1
 
 
-def run_benches(repo, bench_names):
+def cpu_features():
+    """The host's SIMD-relevant feature flags, sorted (empty off-Linux)."""
+    try:
+        with open("/proc/cpuinfo") as f:
+            for line in f:
+                if line.startswith("flags"):
+                    flags = set(line.split(":", 1)[1].split())
+                    return sorted(name for name in SIMD_FEATURES if name in flags)
+    except OSError:
+        pass
+    return []
+
+
+def run_benches(repo, bench_names, quick):
     cmd = ["cargo", "bench"]
     for name in bench_names:
         cmd += ["--bench", name]
+    env = dict(os.environ)
+    if quick:
+        env["PLA_BENCH_QUICK"] = "1"
     proc = subprocess.run(
-        cmd, cwd=repo, stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True, check=True
+        cmd,
+        cwd=repo,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        check=True,
+        env=env,
     )
     benchmarks = {}
     for line in proc.stderr.splitlines():
@@ -63,12 +99,15 @@ def run_benches(repo, bench_names):
 def main():
     args = sys.argv[1:]
     merge = False
+    quick = False
     bench_names = []
     positional = []
     i = 0
     while i < len(args):
         if args[i] == "--merge":
             merge = True
+        elif args[i] == "--quick":
+            quick = True
         elif args[i] == "--bench":
             i += 1
             if i >= len(args):
@@ -86,7 +125,7 @@ def main():
             "(bench results would have been discarded after the run)"
         )
 
-    benchmarks = run_benches(repo, bench_names)
+    benchmarks = run_benches(repo, bench_names, quick)
 
     if merge:
         with open(full_out) as f:
@@ -105,9 +144,11 @@ def main():
             ),
             "machine": {
                 "cpus": cpu_count(),
+                "cpu_features": cpu_features(),
                 "platform": sys.platform,
                 "rustc": toolchain,
             },
+            "capture": {"quick": quick},
             "benchmarks": benchmarks,
         }
     with open(full_out, "w") as f:
