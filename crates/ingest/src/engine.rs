@@ -287,10 +287,13 @@ impl IngestEngine {
     /// local-ingest counterpart of a `pla-net` collector connection
     /// writing into the same store.
     ///
-    /// Unlike the tap there is no channel in between: shards take the
-    /// store's write lock directly per emitted segment. Segment
-    /// emission is filter-rate-limited (hundreds of samples per
-    /// segment), so the lock is quiet even at high sample rates.
+    /// Unlike the tap there is no channel in between: each ingest shard
+    /// appends a drain's segments as one batch, taking the owning
+    /// *store* shard's write lock once per drain. Segment emission is
+    /// filter-rate-limited (hundreds of samples per segment) and store
+    /// shards only contend when two ingest shards publish streams that
+    /// hash to the same store shard, so the locks are quiet even at
+    /// high sample rates.
     pub fn with_segment_store(
         config: IngestConfig,
         store: std::sync::Arc<SegmentStore>,
@@ -402,6 +405,11 @@ struct ShardWorker {
     /// Live append target with its source watermark id
     /// ([`IngestEngine::with_segment_store`]).
     store: Option<(std::sync::Arc<SegmentStore>, u64)>,
+    /// Recycled staging buffer for store publication: a drain's segments
+    /// are collected here and appended as one batch, so the shard takes
+    /// its store shard's write lock once per drain instead of once per
+    /// segment.
+    publish_scratch: Vec<Segment>,
 }
 
 impl ShardWorker {
@@ -414,7 +422,8 @@ impl ShardWorker {
         let log = &mut self.log;
         let shard_log = self.shard_log;
         let tap = &self.tap;
-        let store = &self.store;
+        let staging = self.store.is_some();
+        let scratch = &mut self.publish_scratch;
         self.table.drain_new_segments(stream, |seg| {
             if shard_log {
                 log.push((stream, seg.clone()));
@@ -423,10 +432,16 @@ impl ShardWorker {
                 // A dropped tap consumer is load shedding, not an error.
                 let _ = tap.send((stream, seg.clone()));
             }
-            if let Some((store, source)) = store {
-                store.append(*source, stream, seg.clone());
+            if staging {
+                scratch.push(seg.clone());
             }
         });
+        if let Some((store, source)) = &self.store {
+            if !scratch.is_empty() {
+                store.append_batch(*source, stream, scratch);
+                scratch.clear();
+            }
+        }
     }
 
     /// Applies one queued operation.
@@ -497,6 +512,7 @@ fn run_shard(
         shard_log,
         tap,
         store,
+        publish_scratch: Vec::new(),
     };
     while let Ok(op) = rx.recv() {
         if matches!(op, Op::Shutdown) {

@@ -20,11 +20,16 @@
 //!   blocks when a shard is saturated, [`IngestHandle::try_push`] returns
 //!   [`IngestError::Backpressure`] instead, letting the caller shed load.
 //! * [`SegmentStore`] — the shared, concurrently-appendable home for
-//!   segment logs, with per-source watermarks and consistent
-//!   [`snapshot`](SegmentStore::snapshot)s. Fed directly by an engine
+//!   segment logs: streams hash across lock shards, each stream's log is
+//!   a chain of immutable `Arc`-shared [`Run`]s plus a small mutable
+//!   tail, and [`snapshot`](SegmentStore::snapshot)s are O(streams)
+//!   pointer grabs with a per-shard consistency contract (see
+//!   [`store`](SegmentStore)'s module docs). Fed directly by an engine
 //!   ([`IngestEngine::with_segment_store`]) or, at the base station, by
 //!   `pla-net`'s many-connection collector funneling every connection's
-//!   reconstruction into one queryable place.
+//!   reconstruction into one queryable place; `pla-query`'s
+//!   `StoreQueryEngine` answers point/range/aggregate queries straight
+//!   off a [`StoreSnapshot`].
 //!
 //! ```
 //! use pla_core::filters::{FilterKind, FilterSpec};
@@ -54,7 +59,7 @@ mod store;
 mod table;
 
 pub use engine::{shard_of, IngestConfig, IngestEngine, IngestHandle, IngestReport, ShardStats};
-pub use store::{SegmentStore, SourceWatermark, StoreSnapshot};
+pub use store::{Run, SegmentStore, SourceWatermark, StoreConfig, StoreSnapshot, StreamView};
 pub use table::{IngestError, Quarantine, StreamOutput, StreamTable};
 
 /// Identity of one logical stream.

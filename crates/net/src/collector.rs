@@ -16,7 +16,8 @@
 //! * every reconstructed segment is published, in per-stream order, to
 //!   one shared [`SegmentStore`] as `(ConnId, StreamId, Segment)` —
 //!   per-connection buffers exist only transiently inside the demux;
-//!   queries read consistent store snapshots while ingest continues.
+//!   queries read cheap O(streams) store snapshots (per-shard
+//!   consistent, `Arc`-shared sealed runs) while ingest continues.
 //!
 //! The collector is a sans-I/O-style state machine like the endpoints
 //! it hosts: [`pump`](Collector::pump) does one non-blocking round

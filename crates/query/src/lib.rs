@@ -18,6 +18,15 @@
 //! explicitly or described by a [`SamplingGrid`]), never touching the
 //! original data — the whole point of the compression.
 //!
+//! Two engines share these semantics:
+//!
+//! * [`QueryEngine`] — grid-based bounded aggregates over a single
+//!   finished [`Polyline`](pla_core::Polyline).
+//! * [`StoreQueryEngine`] — point / range / aggregate queries directly
+//!   against a live [`StoreSnapshot`](pla_ingest::StoreSnapshot) from
+//!   the ingest tier's sharded store, using the segments themselves as
+//!   a learned index (two-level binary search over run start times).
+//!
 //! ```
 //! use pla_core::filters::{run_filter, SlideFilter};
 //! use pla_core::{Polyline, Signal};
@@ -37,7 +46,9 @@
 #![warn(clippy::all)]
 
 mod engine;
+mod store;
 mod types;
 
 pub use engine::QueryEngine;
+pub use store::{BoundedRange, LookupStats, RangeAggregate, StoreQueryEngine};
 pub use types::{Bounded, BoundedCount, Crossing, CrossingKind, QueryError, SamplingGrid};

@@ -104,6 +104,9 @@ pub enum QueryError {
     EmptyGrid,
     /// An ε was not finite and positive.
     InvalidEpsilon(f64),
+    /// A store query named a stream the snapshot does not hold (the raw
+    /// stream id, to keep this crate's error type transport-agnostic).
+    UnknownStream(u64),
 }
 
 impl std::fmt::Display for QueryError {
@@ -116,6 +119,7 @@ impl std::fmt::Display for QueryError {
             Self::Uncovered { t } => write!(f, "time {t} not covered by the approximation"),
             Self::EmptyGrid => write!(f, "query grid is empty"),
             Self::InvalidEpsilon(e) => write!(f, "ε must be finite and positive, got {e}"),
+            Self::UnknownStream(id) => write!(f, "stream#{id} not present in the snapshot"),
         }
     }
 }
