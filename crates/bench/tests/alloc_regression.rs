@@ -124,6 +124,41 @@ fn spill_regime_allocations_are_bounded_per_interval_close() {
 }
 
 #[test]
+fn metric_increments_are_allocation_free() {
+    let _guard = serial();
+    // The ops tier's invariant (crates/ops README): once a handle is
+    // registered, every increment on the hot path — counter add, gauge
+    // set, histogram observe — must stay off the heap, so instrumented
+    // collector/ingest loops keep their own alloc-free guarantees.
+    let mut reg = pla_ops::Registry::new();
+    let counter = reg.counter("pla_bench_frames_total", "Alloc-regression counter.");
+    let labeled = reg.counter_with(
+        "pla_bench_conn_total",
+        "Alloc-regression labeled counter.",
+        &[("conn", "1")],
+    );
+    let gauge = reg.gauge("pla_bench_attached", "Alloc-regression gauge.");
+    let hist =
+        reg.histogram("pla_bench_latency", "Alloc-regression histogram.", &[0.5, 2.0, 8.0, 32.0]);
+    // Warm-up: first touches, in case any primitive defers work.
+    counter.inc();
+    labeled.add(3);
+    gauge.set(1.0);
+    gauge.add(0.5);
+    hist.observe(1.0);
+    let (_, allocs) = alloc_counter::count(|| {
+        for i in 0..10_000u64 {
+            counter.inc();
+            labeled.add(i & 7);
+            gauge.set(i as f64);
+            gauge.add(0.25);
+            hist.observe((i % 64) as f64);
+        }
+    });
+    assert_eq!(allocs, 0, "{allocs} heap allocations across 50k metric increments");
+}
+
+#[test]
 fn inline_dims_stream_is_allocation_free() {
     let _guard = serial();
     // The inline threshold itself (d == INLINE_DIMS) must stay heap-free;

@@ -110,6 +110,11 @@ pub struct ConnStats {
     /// Bytes moved over the link (read + written) across the
     /// connection's lifetime, including across reattaches.
     pub bytes_moved: u64,
+    /// Times this connection was resumed onto a fresh link — token
+    /// resumes in session mode plus explicit
+    /// [`reattach`](Collector::reattach) calls. The collector-side view
+    /// of the peer's redial attempts.
+    pub resumes: u64,
     /// The protocol violation that quarantined this connection, if any.
     pub failed: Option<NetError>,
     /// Per-stream cumulative ack points `(stream, through_seq)` — what
@@ -143,6 +148,21 @@ pub struct CollectorStats {
     pub refused: u64,
     /// Detached sessions evicted after their TTL lapsed.
     pub evicted: u64,
+    /// Heartbeat frames received across all connections — the echoed
+    /// side of the session liveness protocol (senders count the sent
+    /// side in `SessionStats::heartbeats_sent`).
+    pub heartbeats: u64,
+    /// Link resumes across all connections (token resumes plus explicit
+    /// reattaches) — see [`ConnStats::resumes`].
+    pub resumes: u64,
+    /// Segments shed by per-stream quarantine
+    /// ([`Collector::quarantine_stream`]) instead of published.
+    pub shed_segments: u64,
+    /// Streams currently quarantined, ascending.
+    pub quarantined_streams: Vec<u64>,
+    /// Human-readable reason of the most recent handshake refusal, if
+    /// any (refused links never get a `ConnId` to hang a failure on).
+    pub last_refusal: Option<String>,
     /// Per-connection detail, in accept order.
     pub conns: Vec<ConnStats>,
 }
@@ -173,6 +193,8 @@ struct Connection<C: Codec, L: Link> {
     published_total: u64,
     backpressure: u64,
     bytes_moved: u64,
+    /// Token resumes plus explicit reattaches (see [`ConnStats::resumes`]).
+    resumes: u64,
 }
 
 /// An accepted link that has not yet completed the session handshake:
@@ -257,6 +279,13 @@ pub struct Collector<C: Codec + Clone, A: Acceptor> {
     /// The most recent handshake refusal, for observability (refused
     /// links have no `ConnId` to hang a failure on).
     last_refusal: Option<NetError>,
+    /// Streams under admin quarantine: their segments are shed at the
+    /// publish seam instead of appended to the store, isolating a bad
+    /// stream without touching its connection (the per-stream analogue
+    /// of connection quarantine, mirroring `pla-ingest`'s).
+    quarantined_streams: std::collections::BTreeSet<u64>,
+    /// Segments shed by per-stream quarantine.
+    shed_segments: u64,
 }
 
 impl<C: Codec + Clone, A: Acceptor> Collector<C, A> {
@@ -286,6 +315,8 @@ impl<C: Codec + Clone, A: Acceptor> Collector<C, A> {
             refused: 0,
             evicted: 0,
             last_refusal: None,
+            quarantined_streams: std::collections::BTreeSet::new(),
+            shed_segments: 0,
         }
     }
 
@@ -360,6 +391,7 @@ impl<C: Codec + Clone, A: Acceptor> Collector<C, A> {
                 published_total: 0,
                 backpressure: 0,
                 bytes_moved: 0,
+                resumes: 0,
             },
         );
         id
@@ -449,8 +481,15 @@ impl<C: Codec + Clone, A: Acceptor> Collector<C, A> {
             let log = c.rx.demux().segments(stream).unwrap_or(&[]);
             let from = c.published.get(&stream).copied().unwrap_or(0);
             if log.len() > from {
-                self.store.append_batch(conn, StreamId(stream), &log[from..]);
-                c.published_total += (log.len() - from) as u64;
+                if self.quarantined_streams.contains(&stream) {
+                    // Shed instead of publish, but still advance the
+                    // publish cursor: a later release resumes from live
+                    // data, it does not backfill the quarantined span.
+                    self.shed_segments += (log.len() - from) as u64;
+                } else {
+                    self.store.append_batch(conn, StreamId(stream), &log[from..]);
+                    c.published_total += (log.len() - from) as u64;
+                }
                 c.published.insert(stream, log.len());
             }
         }
@@ -586,6 +625,7 @@ impl<C: Codec + Clone, A: Acceptor> Collector<C, A> {
                                 c.link = Some(p.link);
                                 c.detached_at = None;
                                 c.last_recv = now;
+                                c.resumes += 1;
                                 self.feed_adopted(id, &leftover, now);
                                 bound.push(ConnId(id));
                             }
@@ -678,10 +718,58 @@ impl<C: Codec + Clone, A: Acceptor> Collector<C, A> {
                 c.link = Some(link);
                 c.detached_at = None;
                 c.last_recv = Instant::now();
+                c.resumes += 1;
                 true
             }
             _ => false,
         }
+    }
+
+    /// Administratively detaches `conn`: the link is shut down and
+    /// dropped, pending reconstructed segments are published, and the
+    /// connection parks as detached — a session-mode peer resumes with
+    /// its token (TTL permitting), a legacy peer via
+    /// [`reattach`](Self::reattach). Returns false if the connection is
+    /// unknown, quarantined, or already detached.
+    pub fn drain(&mut self, conn: ConnId) -> bool {
+        let now = Instant::now();
+        match self.conns.get_mut(&conn.0) {
+            Some(c) if c.failed.is_none() && c.link.is_some() => {
+                if let Some(mut dead) = c.link.take() {
+                    dead.shutdown();
+                }
+                c.detached_at = Some(now);
+                self.publish_conn(conn.0);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Quarantines `stream` across every connection: from now on its
+    /// reconstructed segments are shed at the publish seam instead of
+    /// appended to the store. Already-published segments stay. Every
+    /// other stream is untouched. Returns false if already quarantined.
+    pub fn quarantine_stream(&mut self, stream: u64) -> bool {
+        self.quarantined_streams.insert(stream)
+    }
+
+    /// Lifts a [`quarantine_stream`](Self::quarantine_stream): publishing
+    /// resumes with segments reconstructed *after* the release (the
+    /// quarantined span is shed, not backfilled). Returns false if the
+    /// stream was not quarantined.
+    pub fn release_stream(&mut self, stream: u64) -> bool {
+        self.quarantined_streams.remove(&stream)
+    }
+
+    /// Whether `stream` is currently quarantined.
+    pub fn stream_quarantined(&self, stream: u64) -> bool {
+        self.quarantined_streams.contains(&stream)
+    }
+
+    /// Streams currently quarantined, ascending.
+    pub fn quarantined_streams(&self) -> Vec<u64> {
+        self.quarantined_streams.iter().copied().collect()
     }
 
     /// Ids of connections whose link died and await
@@ -727,6 +815,7 @@ impl<C: Codec + Clone, A: Acceptor> Collector<C, A> {
             published: c.published_total,
             backpressure: c.backpressure,
             bytes_moved: c.bytes_moved,
+            resumes: c.resumes,
             failed: c.failed.clone(),
             ack_points: c.rx.demux().streams().map(|s| (s, c.rx.demux().ack_point(s))).collect(),
         })
@@ -746,6 +835,11 @@ impl<C: Codec + Clone, A: Acceptor> Collector<C, A> {
             failed: conns.iter().filter(|c| c.failed.is_some()).count(),
             refused: self.refused,
             evicted: self.evicted,
+            heartbeats: conns.iter().map(|c| c.receiver.heartbeats).sum(),
+            resumes: conns.iter().map(|c| c.resumes).sum(),
+            shed_segments: self.shed_segments,
+            quarantined_streams: self.quarantined_streams(),
+            last_refusal: self.last_refusal.as_ref().map(|e| e.to_string()),
             conns,
         }
     }

@@ -363,20 +363,30 @@ impl FrameDecoder {
 /// Staged outbound bytes: whole frames are appended, the link drains
 /// from the front (partial writes allowed). The same offset-compaction
 /// scheme as [`FrameDecoder`].
+///
+/// Frame boundaries are tracked so callers can tell when the write
+/// position sits *inside* a frame — once a frame's prefix has entered
+/// the wire, its remaining bytes must go out before any other frame or
+/// the peer's decoder desyncs mid-frame.
 #[derive(Debug, Default)]
 pub struct Outbox {
     buf: Vec<u8>,
     pos: usize,
+    /// Lengths of the staged units not yet fully written; the head may
+    /// be partially consumed by `head_written` bytes.
+    frame_lens: std::collections::VecDeque<usize>,
+    head_written: usize,
 }
 
 impl Outbox {
-    /// Appends encoded frame bytes.
+    /// Appends encoded frame bytes (one whole frame per call).
     pub fn stage(&mut self, bytes: &[u8]) {
         if self.pos > 4096 && self.pos * 2 > self.buf.len() {
             self.buf.drain(..self.pos);
             self.pos = 0;
         }
         self.buf.extend_from_slice(bytes);
+        self.frame_lens.push_back(bytes.len());
     }
 
     /// Bytes not yet handed to the link.
@@ -398,6 +408,28 @@ impl Outbox {
     pub fn consume(&mut self, n: usize) {
         debug_assert!(n <= self.pending());
         self.pos += n;
+        self.head_written += n;
+        while let Some(&len) = self.frame_lens.front() {
+            if self.head_written >= len {
+                self.head_written -= len;
+                self.frame_lens.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// The unwritten remainder of a frame whose prefix already entered
+    /// the wire, if the write position sits mid-frame. Any rebuild of
+    /// this outbox must emit these bytes first to keep the peer's
+    /// decoder framed.
+    pub fn partial_head(&self) -> Option<&[u8]> {
+        if self.head_written == 0 {
+            return None;
+        }
+        let remaining =
+            self.frame_lens.front().expect("written bytes imply a head frame") - self.head_written;
+        Some(&self.buf[self.pos..self.pos + remaining])
     }
 
     /// Takes every pending byte at once (manual pumping, tests).
@@ -405,6 +437,8 @@ impl Outbox {
         let out = self.buf.split_off(self.pos.min(self.buf.len()));
         self.buf.clear();
         self.pos = 0;
+        self.frame_lens.clear();
+        self.head_written = 0;
         out
     }
 
@@ -413,6 +447,8 @@ impl Outbox {
     pub fn clear(&mut self) {
         self.buf.clear();
         self.pos = 0;
+        self.frame_lens.clear();
+        self.head_written = 0;
     }
 }
 

@@ -247,8 +247,17 @@ impl<C: Codec> MuxSender<C> {
         }
         // The replay staged by `on_reconnect` may now contain frames the
         // cursors just acknowledged; restage from the trimmed buffers so
-        // the wire never carries a byte the receiver already holds.
-        self.on_reconnect();
+        // the wire never carries a *whole* frame the receiver already
+        // holds. But this runs on a live link: if the link accepted a
+        // partial write, the frame it tore must complete first — the
+        // receiver drops duplicate frames by sequence number, it cannot
+        // survive a torn one.
+        let torn: Option<Vec<u8>> = self.out.partial_head().map(<[u8]>::to_vec);
+        self.out.clear();
+        if let Some(tail) = torn {
+            self.out.stage(&tail);
+        }
+        self.restage_unacked();
     }
 
     /// The connection died: drop everything staged for the dead link,
@@ -260,6 +269,12 @@ impl<C: Codec> MuxSender<C> {
     pub fn on_reconnect(&mut self) {
         self.out.clear();
         self.frames_in.reset();
+        self.restage_unacked();
+    }
+
+    /// Stages every unacknowledged `Data` frame (in per-stream sequence
+    /// order) plus the `Fin` of every finished stream.
+    fn restage_unacked(&mut self) {
         let mut fin_scratch = BytesMut::new();
         for (&stream, entry) in &self.streams {
             for (_, frame_bytes) in &entry.unacked {
@@ -337,6 +352,51 @@ mod tests {
 
     fn sender() -> MuxSender<FixedCodec> {
         MuxSender::new(FixedCodec, 1, NetConfig::default())
+    }
+
+    /// `apply_resume` arrives on the *live* link; if the link tore a
+    /// frame on a partial write, the rebuilt outbox must lead with that
+    /// frame's remaining bytes or the peer's decoder desyncs.
+    #[test]
+    fn apply_resume_preserves_a_torn_frame() {
+        let mut tx = MuxSender::new(FixedCodec, 1, NetConfig { window: 4096, max_frame: 1 << 20 });
+        for i in 0..4 {
+            tx.try_send_segment(5, &seg(i as f64 * 10.0, 0.0, i as f64 * 10.0 + 5.0, 1.0)).unwrap();
+        }
+        let staged = tx.outbox().as_bytes().to_vec();
+        // Frame boundaries from the length prefixes; cut mid-frame-3.
+        let mut bounds = vec![0usize];
+        let mut off = 0;
+        while off < staged.len() {
+            off += 4 + u32::from_le_bytes(staged[off..off + 4].try_into().unwrap()) as usize;
+            bounds.push(off);
+        }
+        let cut = bounds[2] + 3;
+        tx.outbox().consume(cut);
+
+        tx.apply_resume(&[crate::frame::ResumeCursor {
+            stream: 5,
+            through_seq: 1,
+            granted_total: 1 << 20,
+        }]);
+
+        // The wire = what the link already accepted + what goes out now.
+        let mut wire = staged[..cut].to_vec();
+        wire.extend(tx.take_staged());
+        let mut dec = FrameDecoder::new(1 << 20);
+        dec.extend(&wire);
+        let mut seqs = Vec::new();
+        while let Some(f) = dec.try_next().expect("wire must stay framed") {
+            match f {
+                NetFrame::Data { stream: 5, seq, .. } => seqs.push(seq),
+                other => panic!("unexpected frame on the wire: {other:?}"),
+            }
+        }
+        assert_eq!(dec.pending(), 0, "no torn bytes left behind");
+        // Frames 1-2 were fully written, the torn frame 3 completes,
+        // then the trimmed replay (unacked 2..=4) follows; the receiver
+        // dedups whole frames by seq.
+        assert_eq!(seqs, vec![1, 2, 3, 2, 3, 4]);
     }
 
     #[test]

@@ -561,28 +561,59 @@ impl<C: Codec, R: Redial> SessionSender<C, R> {
             _ => {}
         }
 
-        // Write: session frames strictly first, then the mux outbox.
-        let wrote_session = match pump_out(&mut self.session_out, &mut link) {
-            Ok(n) => n,
-            Err(_) => {
-                self.link = Some(link);
-                self.drop_link_and_backoff(now);
-                return moved;
+        // Write: session frames strictly first, then the mux outbox —
+        // unless the link tore a mux frame on an earlier partial write,
+        // in which case that frame must complete before any session
+        // frame may enter the wire (heartbeat bytes injected mid-frame
+        // would desync the peer's decoder). Heartbeats never starve
+        // behind a busy mux queue: the peer refreshes liveness on any
+        // inbound bytes, data included.
+        let mux_first = self.mux.outbox().partial_head().is_some();
+        let mut wrote_session = 0;
+        let mut wrote_mux = 0;
+        let write_err = if mux_first {
+            match pump_out(self.mux.outbox(), &mut link) {
+                Ok(n) => {
+                    wrote_mux = n;
+                    if self.mux.outbox().is_empty() {
+                        match pump_out(&mut self.session_out, &mut link) {
+                            Ok(n) => {
+                                wrote_session = n;
+                                false
+                            }
+                            Err(_) => true,
+                        }
+                    } else {
+                        false
+                    }
+                }
+                Err(_) => true,
+            }
+        } else {
+            match pump_out(&mut self.session_out, &mut link) {
+                Ok(n) => {
+                    wrote_session = n;
+                    if self.session_out.is_empty() {
+                        match pump_out(self.mux.outbox(), &mut link) {
+                            Ok(n) => {
+                                wrote_mux = n;
+                                false
+                            }
+                            Err(_) => true,
+                        }
+                    } else {
+                        false
+                    }
+                }
+                Err(_) => true,
             }
         };
-        moved += wrote_session;
-        let mut wrote_mux = 0;
-        if self.session_out.is_empty() {
-            match pump_out(self.mux.outbox(), &mut link) {
-                Ok(n) => wrote_mux = n,
-                Err(_) => {
-                    self.link = Some(link);
-                    self.drop_link_and_backoff(now);
-                    return moved;
-                }
-            }
+        moved += wrote_session + wrote_mux;
+        if write_err {
+            self.link = Some(link);
+            self.drop_link_and_backoff(now);
+            return moved;
         }
-        moved += wrote_mux;
         if wrote_session + wrote_mux > 0 {
             self.last_send = now;
         }

@@ -1,0 +1,73 @@
+//! Overhead of the metrics layer: ns per counter/histogram increment
+//! (the paths that run adjacent to the filter hot path) and ns per
+//! full exposition render at 1k series.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pla_ops::Registry;
+
+fn bench_ops_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ops_overhead");
+
+    let mut reg = Registry::new();
+    let counter = reg.counter("pla_bench_total", "Bench counter.");
+    let gauge = reg.gauge("pla_bench_gauge", "Bench gauge.");
+    let histogram =
+        reg.histogram("pla_bench_hist", "Bench histogram.", &[1.0, 10.0, 100.0, 1000.0]);
+
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("counter_inc", |b| {
+        b.iter(|| {
+            counter.inc();
+            black_box(&counter);
+        })
+    });
+    group.bench_function("gauge_set", |b| {
+        let mut v = 0.0f64;
+        b.iter(|| {
+            v += 0.5;
+            gauge.set(black_box(v));
+        })
+    });
+    group.bench_function("histogram_observe", |b| {
+        let mut v = 0.0f64;
+        b.iter(|| {
+            v = (v + 7.3) % 2000.0;
+            histogram.observe(black_box(v));
+        })
+    });
+
+    // 1k series: 10 counter families x 50 labeled series, 10 gauge
+    // families x 45, 5 histogram families x 10 (6 exposition lines each).
+    let mut big = Registry::new();
+    for f in 0..10 {
+        let cname = format!("pla_bench_fanout_{f}_total");
+        let gname = format!("pla_bench_level_{f}");
+        for s in 0..50 {
+            big.counter_with(&cname, "Fanout counter.", &[("series", &s.to_string())]).add(s);
+        }
+        for s in 0..45 {
+            big.gauge_with(&gname, "Fanout gauge.", &[("series", &s.to_string())]).set(s as f64);
+        }
+    }
+    for f in 0..5 {
+        let hname = format!("pla_bench_lat_{f}");
+        for s in 0..10 {
+            let h = big.histogram_with(
+                &hname,
+                "Fanout histogram.",
+                &[0.5, 1.0, 5.0],
+                &[("series", &s.to_string())],
+            );
+            h.observe(s as f64);
+        }
+    }
+    group.throughput(Throughput::Elements(1000));
+    group.bench_function("render_1k_series", |b| b.iter(|| black_box(big.render().len())));
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_ops_overhead);
+criterion_main!(benches);

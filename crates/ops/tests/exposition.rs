@@ -1,0 +1,102 @@
+//! Exposition format tests: a golden file pinning the exact rendered
+//! text (the wire contract dashboards scrape), plus structural checks
+//! that survive reordering-free re-renders.
+
+use pla_ops::{parse_exposition, Registry};
+
+/// Builds the registry the golden file captures: every primitive, label
+/// escaping, HELP escaping, multi-series families, and histogram
+/// cumulativity in one exposition.
+fn golden_registry() -> Registry {
+    let mut reg = Registry::new();
+    reg.counter("pla_golden_frames_total", "Frames applied.").add(42);
+    reg.counter_with(
+        "pla_golden_conn_bytes_total",
+        "Bytes per connection.",
+        &[("conn", "2"), ("site", "edge-a")],
+    )
+    .add(1024);
+    reg.counter_with("pla_golden_conn_bytes_total", "Bytes per connection.", &[("conn", "1")])
+        .add(7);
+    reg.gauge("pla_golden_attached", "Links currently attached.").set(3.0);
+    reg.gauge_with(
+        "pla_golden_quoted",
+        "Labels with \"quotes\", back\\slashes and\nnewlines must escape.",
+        &[("reason", "bad \"token\" \\ line\nbreak")],
+    )
+    .set(1.0);
+    reg.gauge("pla_golden_inf", "Non-finite values render as Prometheus spells them.")
+        .set(f64::INFINITY);
+    let h = reg.histogram("pla_golden_latency", "Observed latencies.", &[0.5, 1.0, 5.0]);
+    for v in [0.1, 0.7, 0.7, 3.0, 100.0] {
+        h.observe(v);
+    }
+    reg
+}
+
+#[test]
+fn exposition_matches_golden_file() {
+    let got = golden_registry().render();
+    let want = include_str!("golden_metrics.txt");
+    assert_eq!(got, want, "exposition text is a wire contract; update tests/golden_metrics.txt deliberately if the format changes:\n{got}");
+}
+
+#[test]
+fn golden_file_reparses_losslessly() {
+    let samples = parse_exposition(include_str!("golden_metrics.txt")).expect("golden parses");
+    let find = |name: &str, labels: &[(&str, &str)]| {
+        samples
+            .iter()
+            .find(|s| {
+                s.name == name
+                    && s.labels.len() == labels.len()
+                    && labels
+                        .iter()
+                        .all(|(k, v)| s.labels.iter().any(|(lk, lv)| lk == k && lv == v))
+            })
+            .unwrap_or_else(|| panic!("missing {name} {labels:?}"))
+    };
+    assert_eq!(find("pla_golden_frames_total", &[]).value, 42.0);
+    assert_eq!(find("pla_golden_conn_bytes_total", &[("conn", "1")]).value, 7.0);
+    assert_eq!(
+        find("pla_golden_conn_bytes_total", &[("conn", "2"), ("site", "edge-a")]).value,
+        1024.0
+    );
+    assert_eq!(find("pla_golden_attached", &[]).value, 3.0);
+    // The escaped label round-trips back to the raw string.
+    assert_eq!(find("pla_golden_quoted", &[("reason", "bad \"token\" \\ line\nbreak")]).value, 1.0);
+    assert!(find("pla_golden_inf", &[]).value.is_infinite());
+    // Histogram buckets are cumulative and capped by +Inf == count.
+    assert_eq!(find("pla_golden_latency_bucket", &[("le", "0.5")]).value, 1.0);
+    assert_eq!(find("pla_golden_latency_bucket", &[("le", "1")]).value, 3.0);
+    assert_eq!(find("pla_golden_latency_bucket", &[("le", "5")]).value, 4.0);
+    assert_eq!(find("pla_golden_latency_bucket", &[("le", "+Inf")]).value, 5.0);
+    assert_eq!(find("pla_golden_latency_count", &[]).value, 5.0);
+    assert_eq!(find("pla_golden_latency_sum", &[]).value, 0.1 + 0.7 + 0.7 + 3.0 + 100.0);
+}
+
+/// Rendering is deterministic: families sorted by name, series by label
+/// set, independent of registration order.
+#[test]
+fn render_is_deterministic() {
+    let a = golden_registry().render();
+    let b = golden_registry().render();
+    assert_eq!(a, b);
+    let names: Vec<&str> = a
+        .lines()
+        .filter_map(|l| l.strip_prefix("# HELP "))
+        .filter_map(|l| l.split(' ').next())
+        .collect();
+    let mut sorted = names.clone();
+    sorted.sort_unstable();
+    assert_eq!(names, sorted, "families must render in sorted order");
+}
+
+/// Deliberate-update path for the wire contract:
+/// `cargo test -p pla-ops --test exposition -- --ignored regenerate_golden`
+/// rewrites the golden file from the current renderer.
+#[test]
+#[ignore]
+fn regenerate_golden() {
+    std::fs::write("tests/golden_metrics.txt", golden_registry().render()).unwrap();
+}

@@ -1,0 +1,120 @@
+//! Property tests: whatever a registry renders, [`parse_exposition`]
+//! reads back losslessly — names, label sets (including every escaped
+//! character), and values. The renderer and parser are independent
+//! implementations, so round-tripping pins both.
+
+use pla_ops::{parse_exposition, Registry};
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+
+/// Label values drawn from a palette that forces every escape path:
+/// quotes, backslashes, newlines, plus ordinary text.
+fn label_value() -> impl Strategy<Value = String> {
+    const PALETTE: &[char] = &['a', 'Z', '9', '_', ' ', '"', '\\', '\n', '{', '}', ',', '='];
+    proptest::collection::vec(any::<u8>(), 1..12)
+        .prop_map(|bytes| bytes.iter().map(|b| PALETTE[*b as usize % PALETTE.len()]).collect())
+}
+
+/// Valid metric-name suffixes: `[a-z0-9_]`, non-empty.
+fn name_suffix() -> impl Strategy<Value = String> {
+    const PALETTE: &[char] =
+        &['a', 'b', 'c', 'q', 'z', '0', '7', '_', 'm', 'e', 't', 'r', 'i', 'x'];
+    proptest::collection::vec(any::<u8>(), 1..10)
+        .prop_map(|bytes| bytes.iter().map(|b| PALETTE[*b as usize % PALETTE.len()]).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn labeled_counters_round_trip(
+        suffix in name_suffix(),
+        entries in proptest::collection::vec((label_value(), any::<u32>()), 1..8),
+    ) {
+        let name = format!("pla_prop_{suffix}_total");
+        let mut reg = Registry::new();
+        // Distinct label values only: same-label entries share a counter.
+        let mut by_label = std::collections::BTreeMap::new();
+        for (label, add) in &entries {
+            *by_label.entry(label.clone()).or_insert(0u64) += u64::from(*add);
+        }
+        for (label, total) in &by_label {
+            reg.counter_with(&name, "Prop counter.", &[("case", label)]).add(*total);
+        }
+        let text = reg.render();
+        let samples = parse_exposition(&text)
+            .map_err(|e| TestCaseError::fail(format!("render must re-parse: {e}\n{text}")))?;
+        for (label, total) in &by_label {
+            let got = samples
+                .iter()
+                .find(|s| {
+                    s.name == name
+                        && s.labels.iter().any(|(k, v)| k == "case" && v == label)
+                })
+                .ok_or_else(|| TestCaseError::fail(format!("lost series {label:?}\n{text}")))?;
+            prop_assert_eq!(got.value, *total as f64);
+        }
+    }
+
+    #[test]
+    fn gauges_round_trip_finite_values(
+        suffix in name_suffix(),
+        raw in any::<i64>(),
+    ) {
+        let name = format!("pla_prop_{suffix}");
+        // i64 → f64 keeps the value finite; exposition must preserve it
+        // through Display precision.
+        let value = raw as f64;
+        let mut reg = Registry::new();
+        reg.gauge(&name, "Prop gauge.").set(value);
+        let text = reg.render();
+        let samples = parse_exposition(&text)
+            .map_err(|e| TestCaseError::fail(format!("render must re-parse: {e}\n{text}")))?;
+        let got = samples.iter().find(|s| s.name == name)
+            .ok_or_else(|| TestCaseError::fail("lost gauge"))?;
+        prop_assert_eq!(got.value, value);
+    }
+
+    #[test]
+    fn histograms_round_trip_cumulative_buckets(
+        suffix in name_suffix(),
+        observations in proptest::collection::vec(any::<u16>(), 1..32),
+    ) {
+        let name = format!("pla_prop_{suffix}");
+        let bounds = [100.0, 1000.0, 30000.0];
+        let mut reg = Registry::new();
+        let h = reg.histogram(&name, "Prop histogram.", &bounds);
+        for o in &observations {
+            h.observe(f64::from(*o));
+        }
+        let text = reg.render();
+        let samples = parse_exposition(&text)
+            .map_err(|e| TestCaseError::fail(format!("render must re-parse: {e}\n{text}")))?;
+        let bucket = |le: &str| -> Result<f64, TestCaseError> {
+            samples
+                .iter()
+                .find(|s| {
+                    s.name == format!("{name}_bucket")
+                        && s.labels.iter().any(|(k, v)| k == "le" && v == le)
+                })
+                .map(|s| s.value)
+                .ok_or_else(|| TestCaseError::fail(format!("missing bucket le={le}\n{text}")))
+        };
+        let mut want_cumulative = 0u64;
+        for bound in bounds {
+            want_cumulative =
+                observations.iter().filter(|o| f64::from(**o) <= bound).count() as u64;
+            // Display for 100/1000/30000 has no fractional part.
+            prop_assert_eq!(bucket(&format!("{bound}"))?, want_cumulative as f64);
+        }
+        prop_assert!(bucket("+Inf")? >= want_cumulative as f64);
+        prop_assert_eq!(bucket("+Inf")?, observations.len() as f64);
+        let count = samples.iter().find(|s| s.name == format!("{name}_count"))
+            .ok_or_else(|| TestCaseError::fail("missing _count"))?;
+        prop_assert_eq!(count.value, observations.len() as f64);
+        let sum = samples.iter().find(|s| s.name == format!("{name}_sum"))
+            .ok_or_else(|| TestCaseError::fail("missing _sum"))?;
+        let want_sum: f64 = observations.iter().map(|o| f64::from(*o)).sum();
+        prop_assert_eq!(sum.value, want_sum);
+    }
+}

@@ -1,40 +1,46 @@
 #!/usr/bin/env sh
-# Fails if crates/bench/benches/*.rs and the [[bench]] entries in
-# crates/bench/Cargo.toml have drifted apart. Cargo silently skips a
-# bench file with no [[bench]] entry (harness = false requires one), so
-# a forgotten entry means a bench that never runs — this check makes CI
-# catch it instead.
+# Fails if any crate's benches/*.rs and the [[bench]] entries in its
+# Cargo.toml have drifted apart. Cargo silently skips a bench file with
+# no [[bench]] entry (harness = false requires one), so a forgotten
+# entry means a bench that never runs — this check makes CI catch it
+# instead.
 set -eu
 
 cd "$(dirname "$0")/.."
-manifest=crates/bench/Cargo.toml
 status=0
+total=0
 
-declared=$(awk '
-    /^\[\[bench\]\]/ { expect = 1; next }
-    expect && /^name *= */ {
-        gsub(/^name *= *"|" *$/, ""); print; expect = 0
-    }
-' "$manifest" | sort)
+for crate in crates/bench crates/ops; do
+    manifest="$crate/Cargo.toml"
 
-on_disk=$(ls crates/bench/benches/*.rs | xargs -n1 basename | sed 's/\.rs$//' | sort)
+    declared=$(awk '
+        /^\[\[bench\]\]/ { expect = 1; next }
+        expect && /^name *= */ {
+            gsub(/^name *= *"|" *$/, ""); print; expect = 0
+        }
+    ' "$manifest" | sort)
 
-for name in $on_disk; do
-    if ! printf '%s\n' "$declared" | grep -qx "$name"; then
-        echo "MISSING: crates/bench/benches/$name.rs has no [[bench]] entry in $manifest" >&2
-        status=1
-    fi
-done
+    on_disk=$(ls "$crate"/benches/*.rs | xargs -n1 basename | sed 's/\.rs$//' | sort)
 
-for name in $declared; do
-    if ! printf '%s\n' "$on_disk" | grep -qx "$name"; then
-        echo "STALE: [[bench]] entry '$name' in $manifest has no crates/bench/benches/$name.rs" >&2
-        status=1
-    fi
+    for name in $on_disk; do
+        if ! printf '%s\n' "$declared" | grep -qx "$name"; then
+            echo "MISSING: $crate/benches/$name.rs has no [[bench]] entry in $manifest" >&2
+            status=1
+        fi
+    done
+
+    for name in $declared; do
+        if ! printf '%s\n' "$on_disk" | grep -qx "$name"; then
+            echo "STALE: [[bench]] entry '$name' in $manifest has no $crate/benches/$name.rs" >&2
+            status=1
+        fi
+    done
+
+    count=$(printf '%s\n' "$on_disk" | wc -l | tr -d ' ')
+    total=$((total + count))
 done
 
 if [ "$status" -eq 0 ]; then
-    count=$(printf '%s\n' "$on_disk" | wc -l | tr -d ' ')
-    echo "bench targets in sync ($count declared and present)"
+    echo "bench targets in sync ($total declared and present across crates)"
 fi
 exit $status

@@ -39,6 +39,7 @@ pub use pla_eval as eval;
 pub use pla_geom as geom;
 pub use pla_ingest as ingest;
 pub use pla_net as net;
+pub use pla_ops as ops;
 pub use pla_query as query;
 pub use pla_signal as signal;
 pub use pla_swab as swab;
