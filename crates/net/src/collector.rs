@@ -885,6 +885,10 @@ fn frame_name(frame: &NetFrame) -> &'static str {
         NetFrame::Hello { .. } => "Hello",
         NetFrame::HelloAck { .. } => "HelloAck",
         NetFrame::Heartbeat { .. } => "Heartbeat",
+        NetFrame::QueryReq { .. } => "QueryReq",
+        NetFrame::QueryResp { .. } => "QueryResp",
+        NetFrame::EpochsReq { .. } => "EpochsReq",
+        NetFrame::EpochsResp { .. } => "EpochsResp",
     }
 }
 

@@ -2,7 +2,7 @@
 //!
 //! The byte stream between the two endpoints is a sequence of frames,
 //! each `[u32 len LE][u8 kind][fields…]` where `len` counts everything
-//! after the length prefix. Seven kinds exist:
+//! after the length prefix. Eleven kinds exist:
 //!
 //! | Kind | Direction | Carries |
 //! |---|---|---|
@@ -13,6 +13,10 @@
 //! | [`NetFrame::Hello`] | sender → receiver | protocol version + session token (0 = new session); **must** be the first frame of a session-mode connection |
 //! | [`NetFrame::HelloAck`] | receiver → sender | protocol version + issued/confirmed token (0 = refused) + one [`ResumeCursor`] per known stream |
 //! | [`NetFrame::Heartbeat`] | either | liveness probe with a sequence number; the receiver echoes it back |
+//! | [`NetFrame::QueryReq`] | reader → query server | one query, opaque `pla-query` wire bytes, tagged with a client-chosen `req_id` |
+//! | [`NetFrame::QueryResp`] | query server → reader | the matching result (or typed error), echoing the request's `req_id` |
+//! | [`NetFrame::EpochsReq`] | reader → query server | cache-validation probe for the store's per-shard epochs |
+//! | [`NetFrame::EpochsResp`] | query server → reader | the store's per-shard epoch counters, echoing the probe's `req_id` |
 //!
 //! Frames never split messages: a `Data` frame's payload is a
 //! self-contained codec unit (the sender resets its codec per frame), so
@@ -29,7 +33,13 @@ use bytes::{BufMut, Bytes, BytesMut};
 /// other value with a typed
 /// [`HandshakeError::VersionMismatch`](crate::session::HandshakeError::VersionMismatch)
 /// instead of guessing at frame semantics it was never built for.
-pub const PROTOCOL_VERSION: u16 = 1;
+///
+/// History: 1 = ingest frames only (Data/Ack/Credit/Fin + session);
+/// 2 = adds the query frames (`QueryReq`/`QueryResp`/`EpochsReq`/
+/// `EpochsResp`). A version-1 speaker cannot decode kind bytes 8–11,
+/// so the bump makes old and new builds refuse each other cleanly at
+/// the handshake instead of failing mid-stream.
+pub const PROTOCOL_VERSION: u16 = 2;
 
 /// One stream's resume position, carried by [`NetFrame::HelloAck`]: the
 /// receiver's cumulative ack point and cumulative credit grant, i.e.
@@ -112,6 +122,43 @@ pub enum NetFrame {
         /// Sender-chosen sequence number, echoed verbatim.
         seq: u64,
     },
+    /// One query from a remote reader. The body is opaque at this layer
+    /// (`pla-query`'s wire codec owns it) so the frame format never
+    /// changes when the query language grows.
+    QueryReq {
+        /// Client-chosen correlation id; the server echoes it verbatim
+        /// on the matching [`NetFrame::QueryResp`]. Responses may be
+        /// reordered or duplicated across redials — the id, not arrival
+        /// order, pairs request with response.
+        req_id: u64,
+        /// `pla-query` wire-codec bytes describing the query.
+        body: Bytes,
+    },
+    /// The server's answer to one [`NetFrame::QueryReq`]. Carries a
+    /// result *or* a typed query error — both ride the opaque body; a
+    /// well-formed request never kills the connection.
+    QueryResp {
+        /// The `req_id` of the request being answered.
+        req_id: u64,
+        /// `pla-query` wire-codec bytes describing the result or error.
+        body: Bytes,
+    },
+    /// Cache-validation probe: asks the server for its store's
+    /// per-shard epoch counters so the client can invalidate exactly
+    /// the shards that moved.
+    EpochsReq {
+        /// Client-chosen correlation id, echoed on the response.
+        req_id: u64,
+    },
+    /// The store's per-shard epochs. Each counter is monotone under a
+    /// fixed server; a client observing any epoch *decrease* must drop
+    /// its whole cache (the server was replaced).
+    EpochsResp {
+        /// The `req_id` of the probe being answered.
+        req_id: u64,
+        /// One monotone append counter per store shard.
+        epochs: Vec<u64>,
+    },
 }
 
 const KIND_DATA: u8 = 1;
@@ -121,6 +168,10 @@ const KIND_FIN: u8 = 4;
 const KIND_HELLO: u8 = 5;
 const KIND_HELLO_ACK: u8 = 6;
 const KIND_HEARTBEAT: u8 = 7;
+const KIND_QUERY_REQ: u8 = 8;
+const KIND_QUERY_RESP: u8 = 9;
+const KIND_EPOCHS_REQ: u8 = 10;
+const KIND_EPOCHS_RESP: u8 = 11;
 
 /// Bytes per [`ResumeCursor`] in a `HelloAck` body.
 const CURSOR_BYTES: usize = 24;
@@ -210,6 +261,32 @@ pub fn encode(frame: &NetFrame, out: &mut BytesMut) -> usize {
             put_u32_le(out, 1 + 8);
             out.put_u8(KIND_HEARTBEAT);
             out.put_u64_le(*seq);
+        }
+        NetFrame::QueryReq { req_id, body } => {
+            put_u32_le(out, (1 + 8 + body.len()) as u32);
+            out.put_u8(KIND_QUERY_REQ);
+            out.put_u64_le(*req_id);
+            out.put_slice(body);
+        }
+        NetFrame::QueryResp { req_id, body } => {
+            put_u32_le(out, (1 + 8 + body.len()) as u32);
+            out.put_u8(KIND_QUERY_RESP);
+            out.put_u64_le(*req_id);
+            out.put_slice(body);
+        }
+        NetFrame::EpochsReq { req_id } => {
+            put_u32_le(out, 1 + 8);
+            out.put_u8(KIND_EPOCHS_REQ);
+            out.put_u64_le(*req_id);
+        }
+        NetFrame::EpochsResp { req_id, epochs } => {
+            put_u32_le(out, (1 + 8 + 4 + epochs.len() * 8) as u32);
+            out.put_u8(KIND_EPOCHS_RESP);
+            out.put_u64_le(*req_id);
+            put_u32_le(out, epochs.len() as u32);
+            for e in epochs {
+                out.put_u64_le(*e);
+            }
         }
     }
     out.len() - before
@@ -353,6 +430,38 @@ impl FrameDecoder {
                 }
                 NetFrame::Heartbeat { seq: Self::read_u64(body, 1) }
             }
+            KIND_QUERY_REQ | KIND_QUERY_RESP => {
+                if body.len() < 9 {
+                    return Err(FrameError::Malformed("query frame shorter than its header"));
+                }
+                let req_id = Self::read_u64(body, 1);
+                let payload = Bytes::from(body[9..].to_vec());
+                if kind == KIND_QUERY_REQ {
+                    NetFrame::QueryReq { req_id, body: payload }
+                } else {
+                    NetFrame::QueryResp { req_id, body: payload }
+                }
+            }
+            KIND_EPOCHS_REQ => {
+                if body.len() != 9 {
+                    return Err(FrameError::Malformed("EpochsReq frame must be exactly 9 bytes"));
+                }
+                NetFrame::EpochsReq { req_id: Self::read_u64(body, 1) }
+            }
+            KIND_EPOCHS_RESP => {
+                if body.len() < 13 {
+                    return Err(FrameError::Malformed("EpochsResp frame shorter than its header"));
+                }
+                let req_id = Self::read_u64(body, 1);
+                let n = u32::from_le_bytes(body[9..13].try_into().expect("4 bytes")) as usize;
+                if body.len() != 13 + n * 8 {
+                    return Err(FrameError::Malformed(
+                        "EpochsResp shard count disagrees with length",
+                    ));
+                }
+                let epochs = (0..n).map(|i| Self::read_u64(body, 13 + i * 8)).collect();
+                NetFrame::EpochsResp { req_id, epochs }
+            }
             other => return Err(FrameError::BadKind(other)),
         };
         self.pos += total;
@@ -475,6 +584,12 @@ mod tests {
                 ],
             },
             NetFrame::Heartbeat { seq: 41 },
+            NetFrame::QueryReq { req_id: 1, body: Bytes::from(vec![1, 2, 3, 4]) },
+            NetFrame::QueryReq { req_id: u64::MAX, body: Bytes::from(vec![]) },
+            NetFrame::QueryResp { req_id: 1, body: Bytes::from(vec![0xFF; 32]) },
+            NetFrame::EpochsReq { req_id: 9 },
+            NetFrame::EpochsResp { req_id: 9, epochs: vec![] },
+            NetFrame::EpochsResp { req_id: 10, epochs: vec![0, 3, u64::MAX] },
         ]
     }
 
@@ -551,6 +666,31 @@ mod tests {
         let mut dec = FrameDecoder::new(1024);
         dec.extend(&10u32.to_le_bytes());
         dec.extend(&[super::KIND_HEARTBEAT, 0, 0, 0, 0, 0, 0, 0, 0, 0]);
+        assert!(matches!(dec.try_next(), Err(FrameError::Malformed(_))));
+    }
+
+    #[test]
+    fn malformed_query_frames_are_rejected() {
+        // QueryReq with a truncated req_id.
+        let mut dec = FrameDecoder::new(1024);
+        dec.extend(&5u32.to_le_bytes());
+        dec.extend(&[super::KIND_QUERY_REQ, 1, 2, 3, 4]);
+        assert!(matches!(dec.try_next(), Err(FrameError::Malformed(_))));
+
+        // EpochsReq with trailing bytes.
+        let mut dec = FrameDecoder::new(1024);
+        dec.extend(&10u32.to_le_bytes());
+        dec.extend(&[super::KIND_EPOCHS_REQ, 0, 0, 0, 0, 0, 0, 0, 0, 0]);
+        assert!(matches!(dec.try_next(), Err(FrameError::Malformed(_))));
+
+        // EpochsResp whose shard count promises more epochs than the
+        // frame carries.
+        let mut dec = FrameDecoder::new(1024);
+        let mut body = vec![super::KIND_EPOCHS_RESP];
+        body.extend_from_slice(&7u64.to_le_bytes());
+        body.extend_from_slice(&4u32.to_le_bytes()); // claims 4 epochs, has 0
+        dec.extend(&(body.len() as u32).to_le_bytes());
+        dec.extend(&body);
         assert!(matches!(dec.try_next(), Err(FrameError::Malformed(_))));
     }
 

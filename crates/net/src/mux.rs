@@ -226,6 +226,12 @@ impl<C: Codec> MuxSender<C> {
             NetFrame::HelloAck { .. } => {
                 return Err(NetError::UnexpectedFrame("HelloAck outside handshake"))
             }
+            NetFrame::QueryReq { .. }
+            | NetFrame::QueryResp { .. }
+            | NetFrame::EpochsReq { .. }
+            | NetFrame::EpochsResp { .. } => {
+                return Err(NetError::UnexpectedFrame("query frame at ingest sender"))
+            }
         }
         Ok(())
     }

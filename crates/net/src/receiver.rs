@@ -176,6 +176,14 @@ impl<C: Codec> NetReceiver<C> {
                 NetFrame::HelloAck { .. } => {
                     return Err(NetError::UnexpectedFrame("HelloAck at receiver"))
                 }
+                // The ingest plane never carries query traffic; a query
+                // frame here means the peer confused the two servers.
+                NetFrame::QueryReq { .. } | NetFrame::EpochsReq { .. } => {
+                    return Err(NetError::UnexpectedFrame("query request at ingest receiver"))
+                }
+                NetFrame::QueryResp { .. } | NetFrame::EpochsResp { .. } => {
+                    return Err(NetError::UnexpectedFrame("query response at ingest receiver"))
+                }
             }
         }
         Ok(())

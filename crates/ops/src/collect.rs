@@ -14,7 +14,7 @@
 use pla_ingest::{IngestReport, StoreSnapshot};
 use pla_net::session::SessionStats;
 use pla_net::CollectorStats;
-use pla_query::LookupStats;
+use pla_query::{LookupStats, QueryServerStats};
 
 use crate::metrics::{MetricFamily, MetricKind, Sample, SampleValue};
 
@@ -297,6 +297,79 @@ pub fn query_families(lookups: u64, stats: &LookupStats, out: &mut Vec<MetricFam
     ));
 }
 
+/// Scrapes a [`QueryServerStats`] snapshot from the remote-query wire
+/// tier: request/refusal counters plus the service-time histogram.
+/// Register as an extra source on
+/// [`CollectorAdmin`](crate::admin::CollectorAdmin) with a closure that
+/// re-reads the shared server on every `/metrics`.
+pub fn query_server_families(stats: &QueryServerStats, out: &mut Vec<MetricFamily>) {
+    out.push(gauge(
+        "pla_query_server_connections",
+        "Query connections currently tracked.",
+        stats.connections as f64,
+    ));
+    out.push(counter(
+        "pla_query_server_accepted_total",
+        "Query connections accepted.",
+        stats.accepted,
+    ));
+    out.push(counter(
+        "pla_query_server_requests_total",
+        "Query requests answered.",
+        stats.requests,
+    ));
+    out.push(counter(
+        "pla_query_server_errors_total",
+        "Answers that carried a typed query error.",
+        stats.errors,
+    ));
+    out.push(counter(
+        "pla_query_server_epoch_probes_total",
+        "Epoch cache-validation probes answered.",
+        stats.epoch_probes,
+    ));
+    out.push(counter(
+        "pla_query_server_refused_total",
+        "Query handshakes refused (version mismatch, non-Hello first frame).",
+        stats.refused,
+    ));
+    out.push(counter(
+        "pla_query_server_malformed_total",
+        "Query connections killed by undecodable bytes.",
+        stats.malformed,
+    ));
+    out.push(counter(
+        "pla_query_server_heartbeats_total",
+        "Heartbeats echoed on the query plane.",
+        stats.heartbeats,
+    ));
+    out.push(counter(
+        "pla_query_server_bytes_read_total",
+        "Bytes read from query links.",
+        stats.bytes_in,
+    ));
+    out.push(counter(
+        "pla_query_server_bytes_written_total",
+        "Bytes written to query links.",
+        stats.bytes_out,
+    ));
+    out.push(counter(
+        "pla_query_server_snapshot_rebuilds_total",
+        "Engine rebuilds triggered by moved store epochs.",
+        stats.rebuilds,
+    ));
+    out.push(family(
+        "pla_query_server_service_seconds",
+        "Per-request service time on the query server.",
+        MetricKind::Histogram,
+        plain(SampleValue::Histogram {
+            buckets: stats.latency.buckets(),
+            sum: stats.latency.sum,
+            count: stats.latency.count,
+        }),
+    ));
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -325,5 +398,22 @@ mod tests {
         assert!(text.contains("pla_store_segments_total 1"));
         assert!(text.contains("pla_store_source_segments_total{source=\"7\"} 1"));
         assert!(text.contains("pla_store_source_covered_through{source=\"7\"} 2"));
+    }
+
+    #[test]
+    fn query_server_families_render() {
+        let mut stats =
+            QueryServerStats { connections: 2, requests: 9, errors: 1, ..Default::default() };
+        stats.latency.counts[0] = 9;
+        stats.latency.count = 9;
+        stats.latency.sum = 9.0 * 10e-6;
+        let mut fams = Vec::new();
+        query_server_families(&stats, &mut fams);
+        let text = render_families(&fams);
+        assert!(text.contains("pla_query_server_connections 2"));
+        assert!(text.contains("pla_query_server_requests_total 9"));
+        assert!(text.contains("pla_query_server_errors_total 1"));
+        assert!(text.contains("pla_query_server_service_seconds_count 9"));
+        assert!(text.contains("pla_query_server_service_seconds_bucket{le=\"0.00005\"} 9"));
     }
 }

@@ -27,6 +27,18 @@
 //!   the ingest tier's sharded store, using the segments themselves as
 //!   a learned index (two-level binary search over run start times).
 //!
+//! The serving tier puts the store engine on the wire (see
+//! `crates/query/README.md` for the protocol):
+//!
+//! * [`wire`] — the bit-exact body codec for [`Query`]/[`QueryResult`]
+//!   riding `pla-net`'s `QueryReq`/`QueryResp` frames.
+//! * [`server`] — [`QueryServer`], the collector-side responder over
+//!   any [`Acceptor`](pla_net::Acceptor), with epoch-lazy snapshot
+//!   rebuilds.
+//! * [`client`] — [`QueryClient`], a sans-I/O remote reader with
+//!   pipelining, per-request timeouts, redial, and an epoch-validated
+//!   result cache ([`SnapshotCache`]).
+//!
 //! ```
 //! use pla_core::filters::{run_filter, SlideFilter};
 //! use pla_core::{Polyline, Signal};
@@ -45,10 +57,19 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod client;
 mod engine;
+pub mod server;
 mod store;
 mod types;
+pub mod wire;
 
+pub use client::{
+    Cached, ClientError, ClientStats, Outcome, QueryClient, QueryClientConfig, Response,
+    SnapshotCache,
+};
 pub use engine::QueryEngine;
+pub use server::{drive_query_server, QueryServer, QueryServerStats, ServiceLatency};
 pub use store::{BoundedRange, LookupStats, RangeAggregate, StoreQueryEngine};
 pub use types::{Bounded, BoundedCount, Crossing, CrossingKind, QueryError, SamplingGrid};
+pub use wire::{Query, QueryResult, WireError};

@@ -1,0 +1,126 @@
+//! Shared harness for the query-protocol integration suites: a
+//! populated store, a representative query mix (including every typed
+//! engine error), and a deterministic client/server drive loop on a
+//! synthetic millisecond clock.
+
+#![allow(dead_code)]
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use pla_core::Segment;
+use pla_ingest::{SegmentStore, StoreConfig, StreamId};
+use pla_net::listen::Acceptor;
+use pla_net::Redial;
+use pla_query::{Outcome, Query, QueryClient, QueryResult, QueryServer, StoreQueryEngine};
+
+pub fn seg(t0: f64, x0: f64, t1: f64, x1: f64) -> Segment {
+    Segment {
+        t_start: t0,
+        x_start: [x0].into(),
+        t_end: t1,
+        x_end: [x1].into(),
+        connected: false,
+        n_points: 2,
+        new_recordings: 2,
+    }
+}
+
+/// Two shards, small seal threshold so lookups route through sealed
+/// runs and the tail: stream 5 is the module-doc ramp/gap/plateau/
+/// descent shape, stream 2 an identity ramp over several sealed runs,
+/// stream 9 a disconnected jump.
+pub fn sample_store() -> Arc<SegmentStore> {
+    let store = SegmentStore::with_config(StoreConfig { shards: 2, seal_threshold: 2 });
+    store.append(1, StreamId(5), seg(0.0, 0.0, 2.0, 2.0));
+    // gap (2, 3)
+    store.append(1, StreamId(5), seg(3.0, 5.0, 5.0, 5.0));
+    store.append(1, StreamId(5), seg(5.0, 5.0, 6.0, 4.0));
+    for i in 0..11 {
+        let t = i as f64;
+        store.append(1, StreamId(2), seg(t, t, t + 1.0, t + 1.0));
+    }
+    store.append(2, StreamId(9), seg(0.0, -1.0, 4.0, 3.0));
+    store.append(2, StreamId(9), seg(4.0, 10.0, 8.0, 2.0));
+    Arc::new(store)
+}
+
+/// Every query kind against [`sample_store`], plus one of each typed
+/// engine error — a remote answer must reproduce refusals bit-exactly
+/// too.
+pub fn all_queries() -> Vec<Query> {
+    vec![
+        Query::Point { stream: 5, t: 1.0, dim: 0 },
+        Query::Point { stream: 5, t: 2.5, dim: 0 }, // interpolates the gap
+        Query::PointWithStats { stream: 2, t: 7.25, dim: 0 },
+        Query::PointWithStats { stream: 5, t: 5.5, dim: 0 },
+        Query::PointBounded { stream: 5, t: 4.0, dim: 0, eps: 0.5 },
+        Query::Range { stream: 5, a: 0.0, b: 6.0, dim: 0 },
+        Query::Range { stream: 9, a: 0.0, b: 8.0, dim: 0 },
+        Query::RangeBounded { stream: 9, a: 1.0, b: 7.0, dim: 0, eps: 0.25 },
+        Query::CountAbove {
+            stream: 5,
+            dim: 0,
+            threshold: 4.4,
+            eps: 0.5,
+            times: vec![1.0, 4.0, 5.5],
+        },
+        Query::Span { stream: 9 },
+        Query::Span { stream: 404 }, // absent stream: Span(None), not an error
+        Query::Streams,
+        Query::Point { stream: 99, t: 1.0, dim: 0 }, // UnknownStream
+        Query::Point { stream: 5, t: -3.0, dim: 0 }, // Uncovered
+        Query::Point { stream: 5, t: 1.0, dim: 7 },  // BadDimension
+        Query::PointBounded { stream: 5, t: 1.0, dim: 0, eps: -1.0 }, // InvalidEpsilon
+        Query::Range { stream: 5, a: 5.0, b: 1.0, dim: 0 }, // EmptyGrid
+    ]
+}
+
+/// The local reference: what [`Query::run`] answers on the same store.
+pub fn local_answers(store: &SegmentStore, queries: &[Query]) -> Vec<QueryResult> {
+    let engine = StoreQueryEngine::new(store.snapshot());
+    queries.iter().map(|q| q.run(&engine)).collect()
+}
+
+/// Bit-exact equality via the wire encoding — `PartialEq` on f64 can't
+/// see NaN payloads or -0.0, the codec's `to_bits` round-trip can.
+pub fn assert_bit_equal(got: &QueryResult, want: &QueryResult, context: &str) {
+    assert_eq!(
+        got.encode(),
+        want.encode(),
+        "{context}: remote answer must be bit-identical to the local engine\n\
+         got:  {got:?}\nwant: {want:?}"
+    );
+}
+
+/// Drives client and server rounds on a synthetic 1 ms clock until
+/// every id in `ids` has completed (or panics after `max_rounds`).
+/// Returns the outcomes keyed by `req_id`.
+pub fn drive_to_completion<R: Redial, A: Acceptor>(
+    client: &mut QueryClient<R>,
+    server: &mut QueryServer<A>,
+    start: Instant,
+    ids: &[u64],
+    max_rounds: usize,
+) -> BTreeMap<u64, Outcome> {
+    let mut now = start;
+    let mut done = BTreeMap::new();
+    for _ in 0..max_rounds {
+        now += Duration::from_millis(1);
+        client.pump_at(now);
+        server.pump();
+        for (id, out) in client.take_completed() {
+            done.insert(id, out);
+        }
+        if ids.iter().all(|id| done.contains_key(id)) {
+            return done;
+        }
+    }
+    panic!(
+        "query exchange failed to converge after {max_rounds} rounds \
+         ({} of {} outcomes arrived)",
+        done.len(),
+        ids.len()
+    );
+}

@@ -1,0 +1,248 @@
+//! Chaos battery for the query path: seeded fault storms (severs,
+//! duplicate deliveries, mid-frame truncations, read delays) and
+//! scripted silent wedges injected at exact frame indices while queries
+//! are in flight. Reads are idempotent, so recovery is entirely the
+//! client's redial + re-issue loop — and every completed answer must be
+//! **bit-identical** to the fault-free run on the same store. The
+//! regression tests at the bottom are the checked-in seed corpus.
+
+mod common;
+
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+use proptest::prelude::*;
+
+use pla_net::listen::MemoryAcceptor;
+use pla_net::testutil::{Fault, FaultPlan, FaultRedial};
+use pla_net::NetConfig;
+use pla_query::{Outcome, QueryClient, QueryClientConfig, QueryResult, QueryServer, Response};
+
+use common::{all_queries, assert_bit_equal, local_answers, sample_store};
+
+/// Frame-index horizon for seeded plans: the Hello is frame 0, then one
+/// frame per pipelined request — the full workload fits inside it, so
+/// faults land on live traffic, not after it.
+const FAULT_HORIZON: u64 = 18;
+const LINK_CAPACITY: usize = 4096;
+
+/// Client timing for the synthetic 1 ms clock: a wedged link burns a
+/// 40 ms deadline, and the generous attempt budget means a storm can
+/// never exhaust a request before the plan queue runs dry and the link
+/// goes clean.
+fn chaos_config() -> QueryClientConfig {
+    QueryClientConfig {
+        net: NetConfig::default(),
+        request_timeout: Duration::from_millis(40),
+        max_attempts: 16,
+        redial_initial: Duration::from_millis(1),
+        redial_cap: Duration::from_millis(8),
+    }
+}
+
+/// Seed → this connection's fault-plan queue, exactly like the session
+/// suite: 0 is a healthy link, anything else two seeded storms before
+/// the queue runs dry and redials go clean — every schedule converges.
+fn plans_from_seed(seed: u64) -> Vec<FaultPlan> {
+    if seed == 0 {
+        vec![FaultPlan::none()]
+    } else {
+        vec![
+            FaultPlan::seeded(seed, FAULT_HORIZON),
+            FaultPlan::seeded(seed ^ 0xA5A5_A5A5, FAULT_HORIZON),
+        ]
+    }
+}
+
+/// Runs the whole query mix through one faulted client, optionally
+/// wedging the active link at scripted rounds, and returns the
+/// outcomes. Panics if the run fails to converge.
+fn run_chaos(plans: Vec<FaultPlan>, wedge_rounds: &[usize]) -> BTreeMap<u64, Outcome> {
+    let store = sample_store();
+    let acceptor = MemoryAcceptor::new();
+    let connector = acceptor.connector();
+    let mut server = QueryServer::new(acceptor, store, NetConfig::default());
+    let redial = FaultRedial::new(connector, LINK_CAPACITY, plans);
+    let mut client = QueryClient::new(redial, chaos_config());
+
+    let t0 = Instant::now();
+    let queries = all_queries();
+    let ids: Vec<u64> = queries.iter().map(|q| client.submit(q.clone(), t0)).collect();
+
+    let mut now = t0;
+    let mut done = BTreeMap::new();
+    for round in 0..50_000 {
+        now += Duration::from_millis(1);
+        if wedge_rounds.contains(&round) {
+            client.redial().wedge_active();
+        }
+        client.pump_at(now);
+        server.pump();
+        for (id, out) in client.take_completed() {
+            done.insert(id, out);
+        }
+        if ids.iter().all(|id| done.contains_key(id)) {
+            assert!(
+                client.failure().is_none(),
+                "the fault vocabulary must never terminally fail the client: {:?}",
+                client.failure()
+            );
+            return done;
+        }
+    }
+    panic!("chaos run failed to converge ({} of {} outcomes)", done.len(), ids.len());
+}
+
+/// Every outcome must be the fault-free answer, bit for bit. (With a
+/// converging plan queue and an ample attempt budget, typed timeouts
+/// are legal mid-run but cannot be the *final* outcome — the clean
+/// redial always lands inside the attempt budget.)
+fn assert_bit_identical_to_fault_free(done: &BTreeMap<u64, Outcome>) {
+    let store = sample_store();
+    let queries = all_queries();
+    let reference = local_answers(&store, &queries);
+    assert_eq!(done.len(), queries.len());
+    // req_ids are minted 1.. in submission order.
+    for (i, (query, want)) in queries.iter().zip(&reference).enumerate() {
+        let id = i as u64 + 1;
+        match &done[&id] {
+            Ok(Response::Result(got)) => assert_bit_equal(got, want, &format!("{query:?}")),
+            other => panic!("under chaos, {query:?} must still answer; got {other:?}"),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Seeded storms: severs, duplicates, truncations, and delays at
+    /// arbitrary frame indices during in-flight queries. After however
+    /// many redials, every answer is bit-identical to the fault-free
+    /// run.
+    #[test]
+    fn fault_storms_preserve_bit_identical_answers(seed in 0u64..1_000_000) {
+        let done = run_chaos(plans_from_seed(seed), &[]);
+        assert_bit_identical_to_fault_free(&done);
+    }
+
+    /// Silent wedges at arbitrary rounds on top of a seeded storm: the
+    /// failure mode only the per-request deadline can detect. The
+    /// deadline declares the link suspect, redials, re-issues — and the
+    /// answers still match bit for bit.
+    #[test]
+    fn wedges_mid_flight_recover_through_deadlines(
+        seed in 0u64..1_000_000,
+        wedge_round in 1usize..40,
+    ) {
+        let done = run_chaos(plans_from_seed(seed), &[wedge_round]);
+        assert_bit_identical_to_fault_free(&done);
+    }
+}
+
+// --- checked-in regression corpus ----------------------------------------
+
+/// The very first dial's `Hello` never arrives: back off, redial,
+/// converge.
+#[test]
+fn regression_hello_severed_on_first_dial() {
+    let plans = vec![FaultPlan::new(vec![Fault::Sever { frame: 0 }])];
+    assert_bit_identical_to_fault_free(&run_chaos(plans, &[]));
+}
+
+/// A duplicated request plus a mid-frame truncation on the same link:
+/// the server answers the duplicate a second time (dup-dropped by the
+/// client), the torn frame kills the connection, the redial re-issues.
+#[test]
+fn regression_duplicate_then_midframe_truncate() {
+    let plans = vec![FaultPlan::new(vec![
+        Fault::Duplicate { frame: 2 },
+        Fault::Truncate { frame: 7, keep: 9 },
+    ])];
+    assert_bit_identical_to_fault_free(&run_chaos(plans, &[]));
+}
+
+/// Read stalls across the response burst: transient latency must never
+/// be confused with loss.
+#[test]
+fn regression_delayed_reads_are_not_loss() {
+    let plans = vec![FaultPlan::new(vec![
+        Fault::Delay { read_call: 1, rounds: 4 },
+        Fault::Delay { read_call: 9, rounds: 3 },
+    ])];
+    let done = run_chaos(plans, &[]);
+    assert_bit_identical_to_fault_free(&done);
+}
+
+/// A wedge scripted *by frame index* (the plan's own vocabulary) right
+/// in the middle of the pipelined burst.
+#[test]
+fn regression_wedge_at_frame_five() {
+    let plans = vec![FaultPlan::new(vec![Fault::Wedge { frame: 5 }])];
+    assert_bit_identical_to_fault_free(&run_chaos(plans, &[]));
+}
+
+/// Two storms back to back, then clean — plus an explicit wedge while
+/// the second storm is live. The seeds are the ones that drove this
+/// suite's development, kept verbatim.
+#[test]
+fn regression_seed_corpus_storms() {
+    for seed in [42u64, 1337, 271_828, 314_159, 577_215, 662_607] {
+        let done = run_chaos(plans_from_seed(seed), &[]);
+        assert_bit_identical_to_fault_free(&done);
+    }
+    for (seed, wedge_round) in [(7u64, 3usize), (999_983, 11), (161_803, 27)] {
+        let done = run_chaos(plans_from_seed(seed), &[wedge_round]);
+        assert_bit_identical_to_fault_free(&done);
+    }
+}
+
+/// Chaos on the wire must stay contained to connections: across the
+/// whole corpus the server never sees a malformed *body* decode into a
+/// wrong answer (bit-identity above) and keeps accepting fresh dials.
+#[test]
+fn regression_server_survives_every_corpus_storm() {
+    let store = sample_store();
+    let acceptor = MemoryAcceptor::new();
+    let connector = acceptor.connector();
+    let mut server = QueryServer::new(acceptor, store, NetConfig::default());
+    let queries = all_queries();
+    let reference = local_answers(server.store(), &queries);
+
+    for seed in [42u64, 7, 1337, 999_983] {
+        let redial = FaultRedial::new(connector.clone(), LINK_CAPACITY, plans_from_seed(seed));
+        let mut client = QueryClient::new(redial, chaos_config());
+        let t0 = Instant::now();
+        let ids: Vec<u64> = queries.iter().map(|q| client.submit(q.clone(), t0)).collect();
+        let mut now = t0;
+        let mut done = BTreeMap::new();
+        for _ in 0..50_000 {
+            now += Duration::from_millis(1);
+            client.pump_at(now);
+            server.pump();
+            for (id, out) in client.take_completed() {
+                done.insert(id, out);
+            }
+            if ids.iter().all(|id| done.contains_key(id)) {
+                break;
+            }
+        }
+        for ((id, query), want) in ids.iter().zip(&queries).zip(&reference) {
+            match &done[id] {
+                Ok(Response::Result(got)) => assert_bit_equal(got, want, &format!("{query:?}")),
+                other => panic!("client (seed {seed}) lost {query:?}: {other:?}"),
+            }
+        }
+        // Hang up this client's surviving link so the server reaps it —
+        // a memory pipe has no peer-drop signal, only resets.
+        client.redial().sever_active();
+        server.pump();
+    }
+    let stats = server.stats();
+    assert!(stats.accepted >= 4, "every client got at least one connection");
+    assert_eq!(stats.connections, 0, "dead connections are reaped, not leaked");
+    // Engine errors in the mix answered every time; the server's typed
+    // refusal path kept working across every storm.
+    let errors_per_run =
+        reference.iter().filter(|r| matches!(r, QueryResult::Err(_))).count() as u64;
+    assert!(stats.errors >= 4 * errors_per_run);
+}

@@ -1,0 +1,185 @@
+//! Epoch cache validation over the wire: a stale-epoch read after new
+//! segments land must refresh exactly the shards whose epoch moved —
+//! entries on quiet shards keep serving locally, whole-store entries
+//! (`Streams`) drop on any movement, and observed epoch vectors are
+//! monotone for the lifetime of one server.
+
+mod common;
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use pla_ingest::{shard_of, SegmentStore, StoreConfig, StreamId};
+use pla_net::listen::MemoryAcceptor;
+use pla_net::{MemoryRedial, NetConfig};
+use pla_query::{
+    Cached, Outcome, Query, QueryClient, QueryClientConfig, QueryResult, QueryServer, Response,
+    SnapshotCache,
+};
+
+use common::{assert_bit_equal, drive_to_completion, seg};
+
+const SHARDS: usize = 2;
+
+/// Two stream ids guaranteed to live on different store shards.
+fn streams_on_both_shards() -> (u64, u64) {
+    let a = 1u64;
+    let shard_a = shard_of(StreamId(a), SHARDS);
+    let b = (2..100)
+        .find(|&id| shard_of(StreamId(id), SHARDS) != shard_a)
+        .expect("some id below 100 hashes to the other shard");
+    (a, b)
+}
+
+fn epochs_of(out: &Outcome) -> Vec<u64> {
+    match out {
+        Ok(Response::Epochs(e)) => e.clone(),
+        other => panic!("expected an epochs response, got {other:?}"),
+    }
+}
+
+#[test]
+fn moved_shards_invalidate_exactly_their_entries() {
+    let (a, b) = streams_on_both_shards();
+    let store = SegmentStore::with_config(StoreConfig { shards: SHARDS, seal_threshold: 2 });
+    for i in 0..4 {
+        let t = i as f64;
+        store.append(1, StreamId(a), seg(t, t, t + 1.0, t + 1.0));
+        store.append(1, StreamId(b), seg(t, -t, t + 1.0, -t - 1.0));
+    }
+    let store = Arc::new(store);
+
+    let acceptor = MemoryAcceptor::new();
+    let connector = acceptor.connector();
+    let mut server = QueryServer::new(acceptor, store.clone(), NetConfig::default());
+    let mut client =
+        QueryClient::new(MemoryRedial::new(connector, 1 << 16), QueryClientConfig::default());
+
+    let t0 = Instant::now();
+
+    // Before the first successful probe there is nothing to validate
+    // against: submits go remote and nothing is cached.
+    let span_a = Query::Span { stream: a };
+    let Cached::Sent(warmup) = client.submit_cached(span_a.clone(), t0) else {
+        panic!("an unvalidated cache can never hit");
+    };
+    let done = drive_to_completion(&mut client, &mut server, t0, &[warmup], 1_000);
+    assert!(matches!(&done[&warmup], Ok(Response::Result(_))));
+    assert!(client.cache().is_empty(), "answers are only cached under a known epoch vector");
+
+    // Validate, then populate: one per-shard entry each, plus the
+    // whole-store Streams entry.
+    let p0 = client.probe_epochs(t0);
+    let done = drive_to_completion(&mut client, &mut server, t0, &[p0], 1_000);
+    let e0 = epochs_of(&done[&p0]);
+    assert_eq!(e0.len(), SHARDS);
+    assert!(client.cache().validated());
+
+    let point_b = Query::Point { stream: b, t: 1.5, dim: 0 };
+    let ids: Vec<u64> = [span_a.clone(), point_b.clone(), Query::Streams]
+        .into_iter()
+        .map(|q| match client.submit_cached(q, t0) {
+            Cached::Sent(id) => id,
+            Cached::Hit(r) => panic!("nothing cached yet, got hit {r:?}"),
+        })
+        .collect();
+    drive_to_completion(&mut client, &mut server, t0, &ids, 1_000);
+    assert_eq!(client.cache().len(), 3);
+    let stale_span = match client.submit_cached(span_a.clone(), t0) {
+        Cached::Hit(r) => r,
+        Cached::Sent(_) => panic!("a validated cache must serve the span locally"),
+    };
+    assert_eq!(client.stats().cache_hits, 1);
+
+    // New segments land on stream a's shard only.
+    store.append(1, StreamId(a), seg(4.0, 4.0, 6.0, 6.0));
+    let shard_a = shard_of(StreamId(a), SHARDS);
+
+    // The next probe revalidates: span(a) and Streams drop, point(b)
+    // survives.
+    let requests_before = server.stats().requests;
+    let p1 = client.probe_epochs(t0);
+    let done = drive_to_completion(&mut client, &mut server, t0, &[p1], 1_000);
+    let e1 = epochs_of(&done[&p1]);
+    assert_eq!(e1.len(), e0.len(), "shard count is stable for one server");
+    assert!(e0.iter().zip(&e1).all(|(old, new)| new >= old), "epochs are monotone");
+    assert!(e1[shard_a] > e0[shard_a], "stream a's shard must have moved");
+    for (shard, (old, new)) in e0.iter().zip(&e1).enumerate() {
+        if shard != shard_a {
+            assert_eq!(old, new, "quiet shards must not move");
+        }
+    }
+    assert_eq!(client.stats().cache_invalidations, 2, "span(a) and Streams drop, nothing else");
+    assert_eq!(client.cache().len(), 1);
+
+    // The surviving entry still hits; the dropped one re-fetches and
+    // sees the new tail.
+    match client.submit_cached(point_b.clone(), t0) {
+        Cached::Hit(r) => {
+            let engine = pla_query::StoreQueryEngine::new(store.snapshot());
+            assert_bit_equal(&r, &point_b.run(&engine), "surviving cache entry");
+        }
+        Cached::Sent(_) => panic!("the quiet shard's entry must survive revalidation"),
+    }
+    assert_eq!(server.stats().requests, requests_before, "hits never touch the wire");
+
+    let Cached::Sent(refetch) = client.submit_cached(span_a, t0) else {
+        panic!("the moved shard's entry must have been dropped");
+    };
+    let done = drive_to_completion(&mut client, &mut server, t0, &[refetch], 1_000);
+    match &done[&refetch] {
+        Ok(Response::Result(QueryResult::Span(Some((lo, hi))))) => {
+            assert_eq!((*lo, *hi), (0.0, 6.0), "the refreshed span must cover the new tail");
+        }
+        other => panic!("expected the refreshed span, got {other:?}"),
+    }
+    assert_ne!(
+        QueryResult::Span(Some((0.0, 6.0))).encode(),
+        stale_span.encode(),
+        "the refetch observably differs from the stale answer"
+    );
+
+    // A quiet re-probe invalidates nothing.
+    let p2 = client.probe_epochs(t0);
+    let done = drive_to_completion(&mut client, &mut server, t0, &[p2], 1_000);
+    let e2 = epochs_of(&done[&p2]);
+    assert_eq!(e1, e2, "no writes, no movement");
+    assert_eq!(client.stats().cache_invalidations, 2);
+    assert_eq!(server.stats().epoch_probes, 3);
+}
+
+#[test]
+fn epoch_regression_or_reshard_drops_the_whole_cache() {
+    // Direct SnapshotCache exercise: a replaced server shows up as an
+    // epoch decrease or a shard-count change — either way every cached
+    // answer is untrustworthy.
+    let q_a = Query::Span { stream: 1 };
+    let q_b = Query::Streams;
+
+    let mut cache = SnapshotCache::default();
+    assert!(!cache.validated());
+    cache.insert(&q_a, QueryResult::Value(1.0));
+    assert!(cache.is_empty(), "inserts before validation are dropped");
+
+    assert_eq!(cache.revalidate(&[3, 7]), 0);
+    cache.insert(&q_a, QueryResult::Value(1.0));
+    cache.insert(&q_b, QueryResult::Streams(vec![1]));
+    assert_eq!(cache.len(), 2);
+
+    // An epoch running backwards: everything drops.
+    assert_eq!(cache.revalidate(&[3, 6]), 2);
+    assert!(cache.is_empty());
+    assert_eq!(cache.epochs(), &[3, 6]);
+
+    cache.insert(&q_a, QueryResult::Value(2.0));
+    assert_eq!(cache.len(), 1);
+    // A shard-count change: everything drops.
+    assert_eq!(cache.revalidate(&[3, 6, 0]), 1);
+    assert!(cache.is_empty());
+    assert_eq!(cache.epochs(), &[3, 6, 0]);
+
+    // Identical epochs: nothing drops.
+    cache.insert(&q_a, QueryResult::Value(3.0));
+    assert_eq!(cache.revalidate(&[3, 6, 0]), 0);
+    assert_eq!(cache.get(&q_a), Some(&QueryResult::Value(3.0)));
+}

@@ -1,0 +1,122 @@
+//! Torn-frame pin for the query wire: the fault-injection harness's
+//! `FaultLink` buffers whole frames and never returns a partial write,
+//! so this suite runs over **raw** small-capacity `MemoryLink`s where
+//! `try_write` routinely tears frames mid-byte — including request
+//! frames strictly larger than the whole pipe. Both peers stage whole
+//! frames per `Outbox::stage` call and resume mid-frame flushes across
+//! pumps; a single violation desyncs the peer's frame decoder, so
+//! bit-identical answers here pin the torn-write discipline on both
+//! sides of the connection.
+
+mod common;
+
+use std::time::Instant;
+
+use bytes::BytesMut;
+
+use pla_net::frame::{encode, NetFrame};
+use pla_net::listen::MemoryAcceptor;
+use pla_net::{MemoryRedial, NetConfig};
+use pla_query::{Query, QueryClient, QueryClientConfig, QueryServer, Response};
+
+use common::{all_queries, assert_bit_equal, drive_to_completion, local_answers, sample_store};
+
+/// Small enough that the pipelined burst tears mid-frame on every
+/// flush, and that the wide `CountAbove` frames below cannot fit in the
+/// pipe at all.
+const LINK_CAPACITY: usize = 200;
+
+/// The regular mix plus `CountAbove` grids whose encoded frames exceed
+/// the whole pipe capacity — those *must* cross in torn pieces.
+fn torn_workload() -> Vec<Query> {
+    let mut queries = all_queries();
+    for (stream, n) in [(5u64, 48usize), (2, 64), (9, 48)] {
+        let times: Vec<f64> = (0..n).map(|i| i as f64 * 0.25 - 1.0).collect();
+        queries.push(Query::CountAbove { stream, dim: 0, threshold: 2.0, eps: 0.5, times });
+    }
+    queries
+}
+
+#[test]
+fn torn_frames_never_desync_the_query_wire() {
+    let store = sample_store();
+    let queries = torn_workload();
+    let reference = local_answers(&store, &queries);
+
+    // Pin the premise: at least one request frame is bigger than the
+    // entire pipe, so it cannot cross in one write.
+    let mut oversized = 0usize;
+    for q in &queries {
+        let mut buf = BytesMut::new();
+        encode(&NetFrame::QueryReq { req_id: 1, body: q.encode() }, &mut buf);
+        if buf.len() > LINK_CAPACITY {
+            oversized += 1;
+        }
+    }
+    assert!(oversized >= 3, "the workload must contain frames larger than the pipe");
+
+    let acceptor = MemoryAcceptor::new();
+    let connector = acceptor.connector();
+    let mut server = QueryServer::new(acceptor, store, NetConfig::default());
+    let mut client =
+        QueryClient::new(MemoryRedial::new(connector, LINK_CAPACITY), QueryClientConfig::default());
+
+    let t0 = Instant::now();
+    let ids: Vec<u64> = queries.iter().map(|q| client.submit(q.clone(), t0)).collect();
+    let done = drive_to_completion(&mut client, &mut server, t0, &ids, 20_000);
+
+    for ((id, query), want) in ids.iter().zip(&queries).zip(&reference) {
+        match &done[id] {
+            Ok(Response::Result(got)) => {
+                assert_bit_equal(got, want, &format!("torn-pipe {query:?}"))
+            }
+            other => panic!("{query:?} must survive torn frames, got {other:?}"),
+        }
+    }
+
+    // No frame ever tore badly enough to kill a connection: one dial,
+    // no redials, no decoder garbage on the server.
+    assert_eq!(client.stats().dials, 1, "torn writes are not loss; no redial may happen");
+    assert_eq!(client.stats().retransmits, 0);
+    assert_eq!(client.stats().timeouts, 0);
+    let stats = server.stats();
+    assert_eq!(stats.accepted, 1);
+    assert_eq!(stats.malformed, 0, "a torn frame must never decode as garbage");
+    assert_eq!(stats.requests, queries.len() as u64);
+    // The burst really crossed in pieces: the server read more bytes
+    // than any single pipe fill could carry.
+    assert!(
+        stats.bytes_in as usize > LINK_CAPACITY * 2,
+        "the workload must overfill the pipe repeatedly (read {} bytes)",
+        stats.bytes_in
+    );
+}
+
+#[test]
+fn torn_frames_survive_many_tiny_capacities() {
+    // Sweep awkward capacities (prime-ish, around header sizes) so
+    // frame boundaries land at every offset: the classic off-by-one
+    // hunting ground for length-delimited framing.
+    let queries = torn_workload();
+    for capacity in [61usize, 97, 131, 211, 256] {
+        let store = sample_store();
+        let reference = local_answers(&store, &queries);
+        let acceptor = MemoryAcceptor::new();
+        let connector = acceptor.connector();
+        let mut server = QueryServer::new(acceptor, store, NetConfig::default());
+        let mut client =
+            QueryClient::new(MemoryRedial::new(connector, capacity), QueryClientConfig::default());
+        let t0 = Instant::now();
+        let ids: Vec<u64> = queries.iter().map(|q| client.submit(q.clone(), t0)).collect();
+        let done = drive_to_completion(&mut client, &mut server, t0, &ids, 40_000);
+        for ((id, query), want) in ids.iter().zip(&queries).zip(&reference) {
+            match &done[id] {
+                Ok(Response::Result(got)) => {
+                    assert_bit_equal(got, want, &format!("capacity {capacity}, {query:?}"))
+                }
+                other => panic!("capacity {capacity}: {query:?} lost to torn frames: {other:?}"),
+            }
+        }
+        assert_eq!(server.stats().malformed, 0, "capacity {capacity} desynced the decoder");
+    }
+}
